@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Bench_common Float List Printf Svgic Svgic_data Svgic_lp Svgic_util

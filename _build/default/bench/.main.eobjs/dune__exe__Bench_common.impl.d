@@ -1,0 +1,1 @@
+bench/bench_common.ml: List Printf String Svgic Svgic_data Svgic_lp Svgic_util

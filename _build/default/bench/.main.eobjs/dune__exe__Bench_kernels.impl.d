@@ -1,0 +1,1 @@
+bench/bench_kernels.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Instance List Measure Printf Staged Svgic Svgic_data Svgic_lp Svgic_util Test Time Toolkit

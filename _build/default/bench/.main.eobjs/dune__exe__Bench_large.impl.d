@@ -1,0 +1,1 @@
+bench/bench_large.ml: Bench_common List Printf Svgic Svgic_data Svgic_util

@@ -1,0 +1,1 @@
+bench/bench_small.ml: Bench_common List Printf Svgic Svgic_data Svgic_util

@@ -1,0 +1,1 @@
+bench/bench_subgroup.ml: Array Bench_common Float List Printf String Svgic Svgic_data Svgic_graph Svgic_util

@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Array Bench_common Printf Svgic Svgic_util

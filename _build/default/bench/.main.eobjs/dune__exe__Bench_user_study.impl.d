@@ -1,0 +1,1 @@
+bench/bench_user_study.ml: Array Bench_common Float List Printf String Svgic Svgic_data Svgic_util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_kernels Bench_large Bench_small Bench_st Bench_subgroup Bench_tables Bench_user_study List Printf Svgic_data Sys

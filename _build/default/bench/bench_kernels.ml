@@ -1,0 +1,70 @@
+(* Bechamel micro-benchmarks of the algorithmic kernels: LP build,
+   simplex solve, one Frank-Wolfe sweep, CSF rounding, AVG-D, and
+   objective evaluation. Not a paper figure — these watch for
+   performance regressions in the hot paths behind Figures 3/8/9. *)
+
+open Bechamel
+open Toolkit
+
+module Rng = Svgic_util.Rng
+module Datasets = Svgic_data.Datasets
+
+let make_instance () =
+  let rng = Rng.create 1700 in
+  Datasets.make Datasets.Timik rng ~n:20 ~m:24 ~k:4 ~lambda:0.5
+
+let tests () =
+  let inst = make_instance () in
+  let relax = Svgic.Relaxation.solve ~backend:Svgic.Relaxation.Exact_simplex inst in
+  let fw_problem = Svgic.Lp_build.fw_problem inst in
+  let cfg = Svgic.Baselines.personalized inst in
+  [
+    Test.make ~name:"lp_build.simp"
+      (Staged.stage (fun () -> ignore (Svgic.Lp_build.simp_lp inst)));
+    Test.make ~name:"simplex.solve_simp"
+      (Staged.stage (fun () ->
+           ignore
+             (Svgic.Relaxation.solve ~backend:Svgic.Relaxation.Exact_simplex inst)));
+    Test.make ~name:"fw.40_iterations"
+      (Staged.stage (fun () ->
+           ignore (Svgic_lp.Pairwise_fw.solve ~iterations:40 fw_problem)));
+    Test.make ~name:"csf.avg_rounding"
+      (Staged.stage (fun () ->
+           let rng = Rng.create 1701 in
+           ignore (Svgic.Algorithms.avg rng inst relax)));
+    Test.make ~name:"avg_d.full"
+      (Staged.stage (fun () -> ignore (Svgic.Algorithms.avg_d inst relax)));
+    Test.make ~name:"objective.total_utility"
+      (Staged.stage (fun () -> ignore (Svgic.Config.total_utility inst cfg)));
+    Test.make ~name:"metrics.regret_ratios"
+      (Staged.stage (fun () -> ignore (Svgic.Metrics.regret_ratios inst cfg)));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+  in
+  let raw_results =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"kernels" (tests ()))
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  (Analyze.merge ols instances results, raw_results)
+
+let run () =
+  Bench_common.heading "kernels" "Bechamel kernel micro-benchmarks";
+  let results, _ = benchmark () in
+  Hashtbl.iter
+    (fun _measure table ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+        table)
+    results

@@ -1,0 +1,85 @@
+(* Figure 16: the user study, run on the synthetic 44-participant
+   cohort (DESIGN.md section 2 documents the substitution). *)
+
+module C = Bench_common
+module Rng = Svgic_util.Rng
+module User_study = Svgic_data.User_study
+module Stats = Svgic_util.Stats
+
+let run () =
+  C.heading "fig16" "User study (44 synthetic participants, hTC VIVE surrogate)";
+  C.paper_note
+    [
+      "lambda in [0.15, 0.85], mean 0.53; AVG beats baselines by";
+      ">= 34.2% utility and >= 29.6% satisfaction; utility vs";
+      "satisfaction correlates strongly (Spearman 0.835, Pearson";
+      "0.814); GRF's normalized density is low (~0.21), AVG's > 1 with";
+      "alone rate 0.";
+    ];
+  let rng = Rng.create 1600 in
+  let cohort = User_study.make_cohort rng in
+  (* 16(a): λ histogram. *)
+  let lambdas = User_study.all_lambdas cohort in
+  Printf.printf "Figure 16(a): lambda distribution (mean %.3f, min %.2f, max %.2f)\n"
+    (Stats.mean lambdas)
+    (Array.fold_left Float.min 1.0 lambdas)
+    (Array.fold_left Float.max 0.0 lambdas);
+  let bins = Stats.histogram lambdas ~lo:0.1 ~hi:0.9 ~bins:8 in
+  Array.iteri
+    (fun i count ->
+      Printf.printf "  [%.2f-%.2f): %s\n"
+        (0.1 +. (0.1 *. float_of_int i))
+        (0.2 +. (0.1 *. float_of_int i))
+        (String.make count '#'))
+    bins;
+  print_newline ();
+  let methods =
+    [
+      ( "AVG",
+        fun inst ->
+          let relax = Svgic.Relaxation.solve inst in
+          Svgic.Algorithms.avg_best_of ~repeats:C.avg_repeats (Rng.create 1601)
+            inst relax );
+      ("PER", Svgic.Baselines.personalized);
+      ("FMG", fun inst -> Svgic.Baselines.group inst);
+      ("GRF", fun inst -> Svgic.Baselines.subgroup_by_preference (Rng.create 1602) inst);
+    ]
+  in
+  let outcomes = User_study.run rng cohort methods in
+  Printf.printf "Figure 16(b): utility and satisfaction\n";
+  C.print_header "method" [ "utility"; "satisf."; "spearman"; "pearson" ];
+  List.iter
+    (fun (o : User_study.method_outcome) ->
+      let spearman, pearson = User_study.correlation o in
+      C.print_row o.method_name
+        [ o.mean_utility; o.mean_satisfaction; spearman; pearson ])
+    outcomes;
+  let spearman_all, pearson_all = User_study.pooled_correlation outcomes in
+  Printf.printf
+    "pooled utility-satisfaction correlation: Spearman %.3f, Pearson %.3f\n"
+    spearman_all pearson_all;
+  (match outcomes with
+  | avg :: rest ->
+      let n_obs = 4 * Array.length avg.utilities in
+      let p = Stats.t_test_correlation ~r:pearson_all ~n:n_obs in
+      Printf.printf "(pooled correlation p-value ~ %.4f)\n" p;
+      let best_u = List.fold_left (fun a (o : User_study.method_outcome) -> Float.max a o.mean_utility) 0.0 rest in
+      let best_s = List.fold_left (fun a (o : User_study.method_outcome) -> Float.max a o.mean_satisfaction) 0.0 rest in
+      Printf.printf "AVG vs best baseline: +%.1f%% utility, +%.1f%% satisfaction\n"
+        (100.0 *. ((avg.mean_utility /. best_u) -. 1.0))
+        (100.0 *. ((avg.mean_satisfaction /. best_s) -. 1.0))
+  | [] -> ());
+  print_newline ();
+  Printf.printf "Figure 16(c): subgroup structure\n";
+  C.print_header "method" [ "intra%"; "density" ];
+  List.iter
+    (fun (o : User_study.method_outcome) ->
+      C.print_row o.method_name [ o.intra_pct; o.normalized_density ])
+    outcomes;
+  print_newline ();
+  Printf.printf "Figure 16(d): co-display and alone rates\n";
+  C.print_header "method" [ "codisplay%"; "alone%" ];
+  List.iter
+    (fun (o : User_study.method_outcome) ->
+      C.print_row o.method_name [ o.codisplay_rate; o.alone_rate ])
+    outcomes

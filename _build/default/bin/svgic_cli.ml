@@ -1,0 +1,177 @@
+(* Command-line front end: sample a synthetic dataset and run the
+   SVGIC algorithms on it.
+
+     svgic_cli solve   --dataset yelp --n 40 --k 6 --method avg-d
+     svgic_cli compare --dataset timik --n 30 --cap 5
+*)
+
+open Cmdliner
+
+module Rng = Svgic_util.Rng
+module Datasets = Svgic_data.Datasets
+module Metrics = Svgic.Metrics
+module Config = Svgic.Config
+
+let dataset_conv =
+  let parse = function
+    | "timik" -> Ok Datasets.Timik
+    | "epinions" -> Ok Datasets.Epinions
+    | "yelp" -> Ok Datasets.Yelp
+    | other -> Error (`Msg (Printf.sprintf "unknown dataset %S" other))
+  in
+  let print ppf preset = Format.pp_print_string ppf (Datasets.name preset) in
+  Arg.conv (parse, print)
+
+let dataset_arg =
+  Arg.(value & opt dataset_conv Datasets.Timik & info [ "dataset"; "d" ] ~doc:"timik | epinions | yelp")
+
+let n_arg = Arg.(value & opt int 30 & info [ "n" ] ~doc:"number of shoppers")
+let m_arg = Arg.(value & opt int 60 & info [ "m" ] ~doc:"number of items")
+let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~doc:"number of display slots")
+let lambda_arg = Arg.(value & opt float 0.5 & info [ "lambda" ] ~doc:"social weight in [0,1]")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed")
+
+let cap_arg =
+  Arg.(value & opt (some int) None & info [ "cap" ] ~doc:"SVGIC-ST subgroup size cap M")
+
+let method_arg =
+  Arg.(
+    value
+    & opt string "avg"
+    & info [ "method" ] ~doc:"avg | avg-d | per | fmg | sdp | grf | ip")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load" ] ~doc:"load the instance from a file written by 'generate'")
+
+let out_arg =
+  Arg.(value & opt string "instance.svgic" & info [ "out"; "o" ] ~doc:"output path")
+
+let make_instance ?load preset seed ~n ~m ~k ~lambda =
+  match load with
+  | Some path -> (
+      match Svgic.Serialize.instance_of_string (Svgic.Serialize.read_file path) with
+      | Ok inst -> inst
+      | Error msg ->
+          Printf.eprintf "cannot load %s: %s\n" path msg;
+          exit 1)
+  | None ->
+      let rng = Rng.create seed in
+      Datasets.make preset rng ~n ~m ~k ~lambda
+
+let run_method name ?cap seed inst =
+  let rng = Rng.create (seed + 1) in
+  match name with
+  | "avg" ->
+      let relax = Svgic.Relaxation.solve inst in
+      Ok (Svgic.Algorithms.avg_best_of ~repeats:9 ?size_cap:cap rng inst relax)
+  | "avg-d" ->
+      let relax = Svgic.Relaxation.solve inst in
+      Ok (Svgic.Algorithms.avg_d ?size_cap:cap inst relax)
+  | "per" -> Ok (Svgic.Baselines.personalized inst)
+  | "fmg" -> Ok (Svgic.Baselines.group inst)
+  | "sdp" -> Ok (Svgic.Baselines.subgroup_by_friendship rng inst)
+  | "grf" -> Ok (Svgic.Baselines.subgroup_by_preference rng inst)
+  | "ip" -> (
+      let options =
+        {
+          Svgic_lp.Branch_bound.default_options with
+          time_budget_s = Some 60.0;
+        }
+      in
+      match Svgic.Baselines.exact_ip ~options inst with
+      | Some cfg, _ -> Ok cfg
+      | None, _ -> Error "IP found no incumbent within the budget")
+  | other -> Error (Printf.sprintf "unknown method %S" other)
+
+let report inst cfg =
+  let pref, social = Metrics.utility_split inst cfg in
+  Printf.printf "total SAVG utility : %.4f\n" (pref +. social);
+  Printf.printf "  preference part  : %.4f\n" pref;
+  Printf.printf "  social part      : %.4f\n" social;
+  Printf.printf "co-display rate    : %.1f%%\n" (100.0 *. Metrics.codisplay_rate inst cfg);
+  Printf.printf "alone rate         : %.1f%%\n" (100.0 *. Metrics.alone_rate inst cfg);
+  let intra, _ = Metrics.intra_inter_pct inst cfg in
+  Printf.printf "intra-subgroup     : %.1f%%\n" (100.0 *. intra);
+  Printf.printf "normalized density : %.3f\n" (Metrics.normalized_density inst cfg);
+  Printf.printf "mean regret        : %.3f\n"
+    (Svgic_util.Stats.mean (Metrics.regret_ratios inst cfg))
+
+let generate_cmd =
+  let run preset n m k lambda seed out =
+    let inst = make_instance preset seed ~n ~m ~k ~lambda in
+    Svgic.Serialize.write_file out (Svgic.Serialize.instance_to_string inst);
+    Printf.printf "wrote %s-like instance (n=%d m=%d k=%d) to %s\n"
+      (Datasets.name preset) n m k out
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Sample an instance and write it to a file")
+    Term.(
+      const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
+      $ out_arg)
+
+let solve_cmd =
+  let run preset n m k lambda seed method_name cap load =
+    let inst = make_instance ?load preset seed ~n ~m ~k ~lambda in
+    Printf.printf "%s instance: n=%d m=%d k=%d lambda=%.2f\n\n"
+      (match load with Some path -> path | None -> Datasets.name preset ^ "-like")
+      (Svgic.Instance.n inst) (Svgic.Instance.m inst) (Svgic.Instance.k inst)
+      (Svgic.Instance.lambda inst);
+    match run_method method_name ?cap seed inst with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok cfg ->
+        report inst cfg;
+        (match cap with
+        | Some m_cap ->
+            let excess, oversized = Svgic.St.violations inst ~m_cap cfg in
+            Printf.printf "size-cap violations: %d users in %d subgroups\n" excess
+              oversized
+        | None -> ());
+        print_newline ();
+        let slots_to_show = min 3 k in
+        for s = 0 to slots_to_show - 1 do
+          Printf.printf "slot %d subgroups:\n" (s + 1);
+          Array.iter
+            (fun members ->
+              Printf.printf "  item %3d -> {%s}\n"
+                (Config.item cfg ~user:members.(0) ~slot:s)
+                (String.concat ","
+                   (List.map string_of_int (Array.to_list members))))
+            (Config.subgroups_at_slot cfg inst s)
+        done
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve one instance with a chosen method")
+    Term.(
+      const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
+      $ method_arg $ cap_arg $ load_arg)
+
+let compare_cmd =
+  let run preset n m k lambda seed cap =
+    let inst = make_instance preset seed ~n ~m ~k ~lambda in
+    Printf.printf "%s-like instance: n=%d m=%d k=%d lambda=%.2f (seed %d)\n\n"
+      (Datasets.name preset) n m k lambda seed;
+    Printf.printf "%-8s %10s %10s %10s %10s %8s\n" "method" "total" "pref" "social"
+      "codisp%" "alone%";
+    List.iter
+      (fun name ->
+        match run_method name ?cap seed inst with
+        | Error msg -> Printf.printf "%-8s failed: %s\n" name msg
+        | Ok cfg ->
+            let pref, social = Metrics.utility_split inst cfg in
+            Printf.printf "%-8s %10.3f %10.3f %10.3f %9.1f%% %7.1f%%\n" name
+              (pref +. social) pref social
+              (100.0 *. Metrics.codisplay_rate inst cfg)
+              (100.0 *. Metrics.alone_rate inst cfg))
+      [ "avg"; "avg-d"; "per"; "fmg"; "sdp"; "grf" ]
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all methods on one instance")
+    Term.(
+      const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
+      $ cap_arg)
+
+let () =
+  let info = Cmd.info "svgic_cli" ~doc:"Social-aware VR group-item configuration" in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; compare_cmd ]))

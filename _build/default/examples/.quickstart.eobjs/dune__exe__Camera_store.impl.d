@@ -1,0 +1,1 @@
+examples/camera_store.ml: Array List Printf String Svgic Svgic_util

@@ -1,0 +1,1 @@
+examples/dynamic_session.ml: Array Printf Svgic Svgic_data Svgic_util

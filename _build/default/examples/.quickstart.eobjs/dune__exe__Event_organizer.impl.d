@@ -1,0 +1,1 @@
+examples/event_organizer.ml: Array List Printf String Svgic Svgic_data Svgic_graph Svgic_util

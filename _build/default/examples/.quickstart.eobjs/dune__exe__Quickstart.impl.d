@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float List Printf String Svgic Svgic_graph Svgic_util

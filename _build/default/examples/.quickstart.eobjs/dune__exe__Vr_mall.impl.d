@@ -1,0 +1,1 @@
+examples/vr_mall.ml: Array Float Printf Svgic Svgic_data Svgic_util

@@ -1,0 +1,54 @@
+(* Extension F: a dynamic VR shopping session — shoppers join and leave
+   while the store keeps the configuration consistent, with incremental
+   (greedy CSF-style) handling of each event and an occasional full
+   re-optimization.
+
+   Run with: dune exec examples/dynamic_session.exe *)
+
+module Rng = Svgic_util.Rng
+module Dynamic = Svgic.Dynamic
+
+let () =
+  let rng = Rng.create 31337 in
+  let inst =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:12 ~m:30 ~k:4
+      ~lambda:0.5
+  in
+  let session = Dynamic.start rng inst in
+  Printf.printf "t=0  %2d shoppers, utility %7.2f (initial AVG)\n"
+    (Svgic.Instance.n (Dynamic.instance session))
+    (Dynamic.total_utility session);
+
+  (* Two friends of shoppers 0 and 3 walk in. *)
+  let m = Svgic.Instance.m inst in
+  let newcomer friends seed =
+    let prng = Rng.create seed in
+    Dynamic.
+      {
+        pref = Array.init m (fun _ -> Rng.float prng 1.0);
+        tau_out = (fun _ _ -> 0.15);
+        tau_in = (fun _ _ -> 0.15);
+        friends;
+      }
+  in
+  let session, id1 = Dynamic.join session (newcomer [| 0; 3 |] 1) in
+  Printf.printf "t=1  %2d shoppers, utility %7.2f (shopper %d joined)\n"
+    (Svgic.Instance.n (Dynamic.instance session))
+    (Dynamic.total_utility session) id1;
+
+  let session, id2 = Dynamic.join session (newcomer [| id1; 5 |] 2) in
+  Printf.printf "t=2  %2d shoppers, utility %7.2f (shopper %d joined)\n"
+    (Svgic.Instance.n (Dynamic.instance session))
+    (Dynamic.total_utility session) id2;
+
+  (* Shopper 5 checks out. *)
+  let session = Dynamic.leave session 5 in
+  Printf.printf "t=3  %2d shoppers, utility %7.2f (shopper 5 left)\n"
+    (Svgic.Instance.n (Dynamic.instance session))
+    (Dynamic.total_utility session);
+
+  (* Periodic full re-optimization catches up with the drift. *)
+  let resolved = Dynamic.resolve rng session in
+  Printf.printf "t=4  %2d shoppers, utility %7.2f (full AVG re-optimization)\n"
+    (Svgic.Instance.n (Dynamic.instance resolved))
+    (Dynamic.total_utility resolved)

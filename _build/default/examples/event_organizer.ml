@@ -1,0 +1,55 @@
+(* Social Event Organization (SEO) as an application of SVGIC-ST
+   (Section 4.4): schedule a weekend of meetup sessions so that
+   attendees see events they like together with friends, respecting
+   venue capacities.
+
+   Run with: dune exec examples/event_organizer.exe *)
+
+module Rng = Svgic_util.Rng
+module Seo = Svgic.Seo
+
+let event_names =
+  [|
+    "board games"; "hiking"; "wine tasting"; "museum tour"; "escape room";
+    "karaoke"; "cooking class"; "five-a-side"; "book club"; "photo walk";
+  |]
+
+let () =
+  let rng = Rng.create 99 in
+  let attendees = 18 in
+  let rounds = 2 in
+  let capacity = 6 in
+  (* Friendships: a small-world community. *)
+  let graph = Svgic_graph.Generate.watts_strogatz rng ~n:attendees ~neighbors:2 ~beta:0.2 in
+  let events = Array.map (fun name -> Seo.{ name }) event_names in
+  (* Interests from the latent-topic model; companionship utility from
+     shared interest. *)
+  let model =
+    Svgic_data.Utility_model.generate Svgic_data.Utility_model.Piert rng graph
+      ~m:(Array.length events)
+  in
+  let pref = Svgic_data.Utility_model.pref model in
+  let tau = Svgic_data.Utility_model.tau model in
+  let plan =
+    Seo.organize rng ~graph ~events ~rounds ~capacity ~pref ~tau ~lambda:0.6
+  in
+  Printf.printf "scheduled %d attendees into %d rounds (capacity %d/event)\n"
+    attendees rounds capacity;
+  Printf.printf "total welfare %.2f; largest session %d people\n\n"
+    (Seo.total_welfare plan) (Seo.max_event_load plan);
+  for round = 0 to rounds - 1 do
+    Printf.printf "round %d:\n" (round + 1);
+    Array.iteri
+      (fun e (event : Seo.event) ->
+        let who = Seo.attendees plan ~round ~event:e in
+        if Array.length who > 0 then
+          Printf.printf "  %-14s %s\n" event.name
+            (String.concat ", "
+               (List.map (fun u -> Printf.sprintf "p%02d" u) (Array.to_list who))))
+      plan.events;
+    print_newline ()
+  done;
+  Printf.printf "sample schedule for p00: %s\n"
+    (String.concat " then "
+       (Array.to_list
+          (Array.map (fun (e : Seo.event) -> e.name) (Seo.schedule_of plan ~user:0))))

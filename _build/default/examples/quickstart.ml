@@ -1,0 +1,52 @@
+(* Quickstart: build an SVGIC instance by hand, solve it with AVG, and
+   inspect the resulting SAVG k-configuration.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A shopping group of four friends: 0-1, 1-2, 2-3 and 0-2 are
+     friends (reciprocal edges). *)
+  let graph =
+    Svgic_graph.Graph.of_edges ~n:4
+      (List.concat_map
+         (fun (u, v) -> [ (u, v); (v, u) ])
+         [ (0, 1); (1, 2); (2, 3); (0, 2) ])
+  in
+  (* Six items; user u's preference decays away from her favourite
+     item (items 0, 1, 2, 3 respectively). *)
+  let pref =
+    Array.init 4 (fun u ->
+        Array.init 6 (fun c -> 1.0 /. (1.0 +. float_of_int (abs (c - u)))))
+  in
+  (* Friends enjoy discussing an item both of them like. *)
+  let tau u v c = 0.4 *. Float.min pref.(u).(c) pref.(v).(c) in
+  let inst =
+    Svgic.Instance.create ~graph ~m:6 ~k:2 ~lambda:0.5 ~pref ~tau
+  in
+
+  (* AVG = LP relaxation ("config phase") + CSF rounding. *)
+  let relax = Svgic.Relaxation.solve inst in
+  let rng = Svgic_util.Rng.create 42 in
+  let config = Svgic.Algorithms.avg rng inst relax in
+
+  Printf.printf "total SAVG utility: %.3f (LP upper bound %.3f)\n\n"
+    (Svgic.Config.total_utility inst config)
+    (Svgic.Relaxation.upper_bound inst relax);
+  for u = 0 to 3 do
+    let row = Svgic.Config.row config u in
+    Printf.printf "user %d sees items: %s\n" u
+      (String.concat ", " (List.map string_of_int (Array.to_list row)))
+  done;
+  print_newline ();
+
+  (* Who discusses what where? *)
+  for s = 0 to 1 do
+    Printf.printf "slot %d subgroups:\n" (s + 1);
+    Array.iter
+      (fun members ->
+        Printf.printf "  item %d -> users {%s}\n"
+          (Svgic.Config.item config ~user:members.(0) ~slot:s)
+          (String.concat ", "
+             (List.map string_of_int (Array.to_list members))))
+      (Svgic.Config.subgroups_at_slot config inst s)
+  done

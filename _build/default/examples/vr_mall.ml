@@ -1,0 +1,74 @@
+(* A full VR-mall shopping session on a synthetic Timik-like social
+   network, exercising the large-scale pipeline and the Section 5
+   extensions: slot significance, multi-view display and
+   subgroup-change smoothing.
+
+   Run with: dune exec examples/vr_mall.exe *)
+
+module Rng = Svgic_util.Rng
+module Datasets = Svgic_data.Datasets
+module Metrics = Svgic.Metrics
+
+let () =
+  let rng = Rng.create 2026 in
+  let inst =
+    Datasets.make Datasets.Timik rng ~n:60 ~m:120 ~k:8 ~lambda:0.5
+  in
+  Printf.printf "VR mall: %d shoppers, %d items, %d display slots, %d friend pairs\n\n"
+    (Svgic.Instance.n inst) (Svgic.Instance.m inst) (Svgic.Instance.k inst)
+    (Array.length (Svgic.Instance.pairs inst));
+
+  let relax = Svgic.Relaxation.solve inst in
+  let config = Svgic.Algorithms.avg_best_of ~repeats:9 rng inst relax in
+  let personalized = Svgic.Baselines.personalized inst in
+
+  let report name cfg =
+    let pref, social = Metrics.utility_split inst cfg in
+    Printf.printf
+      "%-14s total %8.2f (preference %7.2f, social %7.2f)  codisplay %4.0f%%  alone %4.0f%%\n"
+      name (pref +. social) pref social
+      (100.0 *. Metrics.codisplay_rate inst cfg)
+      (100.0 *. Metrics.alone_rate inst cfg)
+  in
+  report "AVG" config;
+  report "personalized" personalized;
+  print_newline ();
+
+  (* Slot significance: the aisle center (middle slots) is worth more
+     (Dreze et al.); reorder the configuration's slot contents. *)
+  let k = Svgic.Instance.k inst in
+  let gamma =
+    Array.init k (fun s ->
+        let center = float_of_int (k - 1) /. 2.0 in
+        2.0 -. (Float.abs (float_of_int s -. center) /. center))
+  in
+  let placed = Svgic.Extensions.optimize_slot_order inst ~gamma config in
+  Printf.printf "slot significance: weighted utility %8.2f -> %8.2f after placement\n"
+    (Svgic.Extensions.weighted_total_utility inst ~gamma config)
+    (Svgic.Extensions.weighted_total_utility inst ~gamma placed);
+
+  (* Smooth subgroup changes between consecutive shelves. *)
+  let smoothed = Svgic.Extensions.smooth_subgroup_changes inst config in
+  Printf.printf "subgroup fluctuation: %d pair-breaks -> %d after smoothing\n"
+    (Svgic.Extensions.edit_distance inst config)
+    (Svgic.Extensions.edit_distance inst smoothed);
+
+  (* Multi-view display: let each shopper keep her personal pick and
+     open up to two extra group views per shelf. *)
+  let mvd = Svgic.Mvd.greedy_enrich inst ~beta:3 config in
+  Printf.printf "multi-view display (beta = 3): utility %8.2f -> %8.2f\n"
+    (Svgic.Config.total_utility inst config)
+    (Svgic.Mvd.total_utility inst mvd);
+
+  (* Commodity values: maximize profit instead of raw satisfaction. *)
+  let omega =
+    Array.init (Svgic.Instance.m inst) (fun c ->
+        1.0 +. (float_of_int (c mod 7) /. 2.0))
+  in
+  let shop = Svgic.Extensions.with_commodity_values inst omega in
+  let relax_profit = Svgic.Relaxation.solve shop in
+  let profit_config = Svgic.Algorithms.avg rng shop relax_profit in
+  Printf.printf "commodity-weighted expected profit: %8.2f (vs %8.2f for the\n"
+    (Svgic.Config.total_utility shop profit_config)
+    (Svgic.Config.total_utility shop config);
+  print_endline "  satisfaction-optimal configuration re-priced)"

@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: Array Config Csf Float Instance List Relaxation Svgic_util

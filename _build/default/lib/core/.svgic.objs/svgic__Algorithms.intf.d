@@ -1,0 +1,1 @@
+lib/core/algorithms.mli: Config Instance Relaxation Svgic_util

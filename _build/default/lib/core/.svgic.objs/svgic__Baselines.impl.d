@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Config Float Hashtbl Instance List Lp_build Svgic_graph Svgic_lp Svgic_util

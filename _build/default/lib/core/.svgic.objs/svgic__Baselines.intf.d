@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Config Instance Svgic_lp Svgic_util

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Hashtbl Instance List Option Printf Svgic_graph

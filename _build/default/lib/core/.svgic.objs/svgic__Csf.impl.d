@@ -1,0 +1,1 @@
+lib/core/csf.ml: Array Config Instance Lazy List Relaxation

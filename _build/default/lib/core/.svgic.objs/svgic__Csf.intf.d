@@ -1,0 +1,1 @@
+lib/core/csf.mli: Config Instance Relaxation

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Algorithms Array Config Instance List Relaxation Svgic_graph

@@ -1,0 +1,1 @@
+lib/core/example_paper.ml: Array Config Hashtbl Instance List Svgic_graph

@@ -1,0 +1,1 @@
+lib/core/example_paper.mli: Config Instance

@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Array Config Instance List Svgic_graph Svgic_util

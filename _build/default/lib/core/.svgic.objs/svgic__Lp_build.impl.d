@@ -1,0 +1,1 @@
+lib/core/lp_build.ml: Array Instance List Printf Svgic_lp

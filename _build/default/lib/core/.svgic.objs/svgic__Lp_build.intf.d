@@ -1,0 +1,1 @@
+lib/core/lp_build.mli: Instance Svgic_lp

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Config Float Instance Svgic_graph Svgic_util

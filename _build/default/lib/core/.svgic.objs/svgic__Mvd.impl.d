@@ -1,0 +1,1 @@
+lib/core/mvd.ml: Array Config Hashtbl Instance List Printf Svgic_graph Svgic_lp

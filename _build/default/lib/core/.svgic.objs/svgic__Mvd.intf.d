@@ -1,0 +1,1 @@
+lib/core/mvd.mli: Config Instance Svgic_lp

@@ -1,0 +1,1 @@
+lib/core/polish.ml: Array Config Instance Relaxation Svgic_graph

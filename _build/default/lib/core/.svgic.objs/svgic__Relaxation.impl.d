@@ -1,0 +1,1 @@
+lib/core/relaxation.ml: Array Instance Lp_build Svgic_lp

@@ -1,0 +1,1 @@
+lib/core/seo.ml: Array Config Instance Relaxation St Svgic_graph

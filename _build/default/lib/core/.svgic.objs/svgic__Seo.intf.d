@@ -1,0 +1,1 @@
+lib/core/seo.mli: Config Instance Svgic_graph Svgic_util

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Config Fun Hashtbl Instance List Printf String Svgic_graph

@@ -1,0 +1,1 @@
+lib/core/st.ml: Algorithms Array Config Hashtbl Instance Svgic_graph

@@ -1,0 +1,1 @@
+lib/core/st.mli: Config Instance Relaxation Svgic_util

@@ -1,0 +1,280 @@
+module Rng = Svgic_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* AVG: randomized rounding                                            *)
+(* ------------------------------------------------------------------ *)
+
+let avg_advanced ?size_cap rng inst relax =
+  let m = Instance.m inst and k = Instance.k inst in
+  let state = Csf.create ?size_cap inst relax in
+  (* Cached advanced-sampling weights x̄*(c,s). Caches are only ever
+     stale-high (assignments can't raise a maximum), so a cached weight
+     is refreshed when its pair is drawn; a refresh to zero simply
+     voids the draw. *)
+  let weights = Array.make (m * k) 0.0 in
+  for c = 0 to m - 1 do
+    let top = Float.max 0.0 (Csf.max_eligible_factor state ~item:c ~slot:0) in
+    for s = 0 to k - 1 do
+      weights.((c * k) + s) <- top
+    done
+  done;
+  let refresh idx =
+    let c = idx / k and s = idx mod k in
+    let fresh = Float.max 0.0 (Csf.max_eligible_factor state ~item:c ~slot:s) in
+    weights.(idx) <- fresh;
+    fresh
+  in
+  let finished = ref false in
+  while not !finished do
+    if Csf.complete state then finished := true
+    else begin
+      let total = Svgic_util.Select.sum weights in
+      if total <= 0.0 then begin
+        (* Either every cached weight is genuinely zero (only
+           zero-factor cells remain) or all are stale; refresh once and
+           fall back to greedy completion if nothing reappears. *)
+        let any = ref false in
+        for idx = 0 to (m * k) - 1 do
+          if refresh idx > 0.0 then any := true
+        done;
+        if not !any then begin
+          Csf.greedy_complete state;
+          finished := true
+        end
+      end
+      else begin
+        let idx = Rng.pick_weighted rng weights in
+        let fresh = refresh idx in
+        if fresh > 0.0 then begin
+          let c = idx / k and s = idx mod k in
+          let alpha = Rng.float rng fresh in
+          let assigned = Csf.apply state ~item:c ~slot:s ~alpha in
+          if assigned <> [] then ignore (refresh idx)
+        end
+      end
+    end
+  done;
+  Csf.to_config state
+
+let avg_plain ?size_cap rng inst relax =
+  let m = Instance.m inst and k = Instance.k inst in
+  let state = Csf.create ?size_cap inst relax in
+  let cap = 500 * Instance.n inst * k in
+  let iterations = ref 0 in
+  while (not (Csf.complete state)) && !iterations < cap do
+    incr iterations;
+    let c = Rng.int rng m and s = Rng.int rng k in
+    let alpha = Rng.uniform rng in
+    ignore (Csf.apply state ~item:c ~slot:s ~alpha)
+  done;
+  if not (Csf.complete state) then Csf.greedy_complete state;
+  Csf.to_config state
+
+(* λ = 0 makes SVGIC trivial (Section 4.4): the exact optimum is each
+   user's top-k items; the rounding machinery is unnecessary (and, run
+   anyway, only guarantees the 1/4 factor). The ST size cap still has
+   to be respected, so the trivial path is only taken without one. *)
+let lambda_zero_topk inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  Config.make inst
+    (Array.init n (fun u ->
+         Svgic_util.Select.top_k k (Array.init m (fun c -> Instance.pref inst u c))))
+
+let avg ?(advanced_sampling = true) ?size_cap rng inst relax =
+  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  else if advanced_sampling then avg_advanced ?size_cap rng inst relax
+  else avg_plain ?size_cap rng inst relax
+
+let avg_best_of ?advanced_sampling ?size_cap ~repeats rng inst relax =
+  assert (repeats >= 1);
+  let best = ref None in
+  for _ = 1 to repeats do
+    let cfg = avg ?advanced_sampling ?size_cap rng inst relax in
+    let value = Config.total_utility inst cfg in
+    match !best with
+    | Some (_, best_value) when best_value >= value -> ()
+    | Some _ | None -> best := Some (cfg, value)
+  done;
+  match !best with Some (cfg, _) -> cfg | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* AVG-D: derandomized rounding                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate score for a focal pair (c, s): the best threshold
+   α = x*(u,c,s) over eligible users, ranked by
+       score = ALG(S_tar) - r · Δ_LP(S_tar)
+   where Δ_LP is the part of OPT_LP(S_cur) removed by assigning the
+   target subgroup. The global term r·OPT_LP(S_cur) is common to all
+   candidates of an iteration and therefore dropped from the argmax. *)
+type candidate = { score : float; alpha : float }
+
+type avg_d_ctx = {
+  state : Csf.t;
+  p' : float array array;
+  r : float;
+  pcell : float array; (* Σ_c p'(u,c)·x*(u,c): LP mass of one cell of u *)
+  wedge : float array; (* per pair: Σ_c w_e(c)·min factors — per-slot LP mass *)
+  pair_w : float array array; (* per pair, per item *)
+  adj : (int * int) array array; (* u -> (neighbor, pair index) *)
+  in_star : bool array;
+  star_members : int list ref;
+}
+
+let make_ctx ?size_cap ~r inst relax =
+  let n = Instance.n inst and m = Instance.m inst in
+  let state = Csf.create ?size_cap inst relax in
+  let facts = Csf.factors state in
+  let p' = Instance.scaled_pref inst in
+  let pairs = Instance.pairs inst in
+  let pair_w = Instance.pair_weights inst in
+  let pcell =
+    Array.init n (fun u ->
+        let acc = ref 0.0 in
+        for c = 0 to m - 1 do
+          acc := !acc +. (p'.(u).(c) *. facts.(u).(c))
+        done;
+        !acc)
+  in
+  let wedge =
+    Array.mapi
+      (fun e (u, v) ->
+        let acc = ref 0.0 in
+        for c = 0 to m - 1 do
+          acc :=
+            !acc +. (pair_w.(e).(c) *. Float.min facts.(u).(c) facts.(v).(c))
+        done;
+        !acc)
+      pairs
+  in
+  let adj_lists = Array.make n [] in
+  Array.iteri
+    (fun e (u, v) ->
+      adj_lists.(u) <- (v, e) :: adj_lists.(u);
+      adj_lists.(v) <- (u, e) :: adj_lists.(v))
+    pairs;
+  {
+    state;
+    p';
+    r;
+    pcell;
+    wedge;
+    pair_w;
+    adj = Array.map Array.of_list adj_lists;
+    in_star = Array.make n false;
+    star_members = ref [];
+  }
+
+(* Evaluates the best threshold for a focal pair. O(n + degree sum of
+   eligible users). *)
+let evaluate_pair ctx ~item ~slot =
+  let facts = Csf.factors ctx.state in
+  let order = Csf.sorted_users ctx.state item in
+  let best = ref None in
+  let alg = ref 0.0 and removed = ref 0.0 in
+  let record alpha =
+    let score = !alg -. (ctx.r *. !removed) in
+    match !best with
+    | Some { score = s; _ } when s >= score -> ()
+    | Some _ | None -> best := Some { score; alpha }
+  in
+  let add u =
+    ctx.in_star.(u) <- true;
+    ctx.star_members := u :: !(ctx.star_members);
+    alg := !alg +. ctx.p'.(u).(item);
+    removed := !removed +. ctx.pcell.(u);
+    Array.iter
+      (fun (v, e) ->
+        if Csf.slot_empty ctx.state ~user:v ~slot then
+          if ctx.in_star.(v) then alg := !alg +. ctx.pair_w.(e).(item)
+          else removed := !removed +. ctx.wedge.(e))
+      ctx.adj.(u)
+  in
+  let pending = ref nan in
+  Array.iter
+    (fun u ->
+      if Csf.eligible ctx.state ~user:u ~item ~slot then begin
+        let f = facts.(u).(item) in
+        (* Record the previous threshold once a strictly smaller factor
+           appears (ties must enter the subgroup together). *)
+        if (not (Float.is_nan !pending)) && f < !pending then record !pending;
+        add u;
+        pending := f
+      end)
+    order;
+  if not (Float.is_nan !pending) then record !pending;
+  (* Reset scratch state. *)
+  List.iter (fun u -> ctx.in_star.(u) <- false) !(ctx.star_members);
+  ctx.star_members := [];
+  !best
+
+let avg_d ?(r = 0.25) ?size_cap inst relax =
+  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  else
+  let m = Instance.m inst and k = Instance.k inst in
+  let ctx = make_ctx ?size_cap ~r inst relax in
+  let cache = Array.make (m * k) None in
+  let recompute idx =
+    cache.(idx) <- evaluate_pair ctx ~item:(idx / k) ~slot:(idx mod k)
+  in
+  for idx = 0 to (m * k) - 1 do
+    recompute idx
+  done;
+  let finished = ref false in
+  while not !finished do
+    if Csf.complete ctx.state then finished := true
+    else begin
+      let best_idx = ref (-1) and best_score = ref neg_infinity in
+      for idx = 0 to (m * k) - 1 do
+        match cache.(idx) with
+        | Some { score; _ } when score > !best_score ->
+            best_idx := idx;
+            best_score := score
+        | Some _ | None -> ()
+      done;
+      if !best_idx < 0 then begin
+        (* No candidate has an eligible user — only possible through a
+           size-cap lockout; complete greedily. *)
+        Csf.greedy_complete ctx.state;
+        finished := true
+      end
+      else begin
+        let idx = !best_idx in
+        let c = idx / k and s = idx mod k in
+        match cache.(idx) with
+        | None -> assert false
+        | Some { alpha; _ } ->
+            let assigned = Csf.apply ctx.state ~item:c ~slot:s ~alpha in
+            if assigned = [] then recompute idx
+            else begin
+              (* Invalidate exactly the pairs whose eligibility or
+                 future-mass terms changed: same slot (any item), same
+                 item (any slot). *)
+              for c' = 0 to m - 1 do
+                recompute ((c' * k) + s)
+              done;
+              for s' = 0 to k - 1 do
+                recompute ((c * k) + s')
+              done
+            end
+      end
+    end
+  done;
+  Csf.to_config ctx.state
+
+(* ------------------------------------------------------------------ *)
+(* Independent rounding (Algorithm 1, kept as a counter-example)       *)
+(* ------------------------------------------------------------------ *)
+
+let independent_rounding rng inst relax =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  Array.init n (fun u ->
+      let probs =
+        Svgic_util.Select.normalize
+          (Array.init m (fun c -> Float.max 0.0 (Relaxation.factor inst relax u c)))
+      in
+      Array.init k (fun _ -> Rng.pick_weighted rng probs))

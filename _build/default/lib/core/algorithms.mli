@@ -1,0 +1,55 @@
+(** The paper's algorithms: AVG (randomized, Theorem 4: expected
+    4-approximation; 2-approximation for k = 1) and AVG-D (its
+    derandomization, Theorem 5), plus the trivial independent rounding
+    of Algorithm 1 (Lemma 3: can be Θ(1/m) of optimal) kept as an
+    executable counter-example.
+
+    All functions take a pre-solved relaxation so that the LP cost is
+    paid once and shared across repetitions/ablations; use
+    [Relaxation.solve] (or [Relaxation.solve_without_transform] for the
+    "–ALP" ablation). *)
+
+val avg :
+  ?advanced_sampling:bool ->
+  ?size_cap:int ->
+  Svgic_util.Rng.t ->
+  Instance.t ->
+  Relaxation.t ->
+  Config.t
+(** Alignment-aware VR Subgroup Formation. With
+    [advanced_sampling:true] (default) focal pairs [(c,s)] are drawn
+    proportionally to the maximum eligible utility factor and [α]
+    uniformly below it (Observation 3: same outcome distribution as the
+    plain sampler conditioned on progress, with no idle iterations).
+    With [false] the plain sampler of Algorithm 2 is used (the "–AS"
+    ablation), with an iteration cap and greedy completion as a safety
+    net. [size_cap] activates the SVGIC-ST subgroup-size extension.
+
+    For [λ = 0] (and no size cap) the problem is trivial (Section 4.4)
+    and both AVG and AVG-D return the exact optimum directly: each
+    user's top-k preferred items. *)
+
+val avg_best_of :
+  ?advanced_sampling:bool ->
+  ?size_cap:int ->
+  repeats:int ->
+  Svgic_util.Rng.t ->
+  Instance.t ->
+  Relaxation.t ->
+  Config.t
+(** Corollary 4.1: repeats AVG and keeps the configuration with the
+    best total SAVG utility. *)
+
+val avg_d :
+  ?r:float -> ?size_cap:int -> Instance.t -> Relaxation.t -> Config.t
+(** Deterministic AVG. Each iteration evaluates every candidate
+    [(c, s, α = x*(u,c,s))] and applies the CSF step maximizing
+    [ALG(S_tar) + r·OPT_LP(S_fut)]; [r] defaults to the
+    guarantee-preserving 1/4 (Section 6.7 studies other values). *)
+
+val independent_rounding :
+  Svgic_util.Rng.t -> Instance.t -> Relaxation.t -> int array array
+(** Algorithm 1: each cell independently draws an item with probability
+    equal to its utility factor. The result generally violates the
+    no-duplication constraint, which is the point of Lemma 3 — returned
+    as a raw matrix, not a [Config.t]. *)

@@ -1,0 +1,239 @@
+module Rng = Svgic_util.Rng
+module Select = Svgic_util.Select
+module Graph = Svgic_graph.Graph
+module Community = Svgic_graph.Community
+
+let personalized inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let assign =
+    Array.init n (fun u ->
+        Select.top_k k (Array.init m (fun c -> Instance.pref inst u c)))
+  in
+  Config.make inst assign
+
+(* Whole-group utility of co-displaying item c to every user in [users]
+   (in original units, for one slot). *)
+let group_item_score inst users c =
+  let lambda = Instance.lambda inst in
+  let inside = Hashtbl.create (Array.length users) in
+  Array.iter (fun u -> Hashtbl.replace inside u ()) users;
+  let pref_part =
+    Array.fold_left (fun acc u -> acc +. Instance.pref inst u c) 0.0 users
+  in
+  let social_part = ref 0.0 in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if Hashtbl.mem inside v then
+            social_part := !social_part +. Instance.tau inst u v c)
+        (Graph.out_neighbors (Instance.graph inst) u))
+    users;
+  ((1.0 -. lambda) *. pref_part) +. (lambda *. !social_part)
+
+let group_for_users ?(fairness = 0.3) inst users =
+  let m = Instance.m inst and k = Instance.k inst in
+  let nf = float_of_int (Array.length users) in
+  let scores =
+    Array.init m (fun c ->
+        let base = group_item_score inst users c in
+        let worst =
+          Array.fold_left
+            (fun acc u -> Float.min acc (Instance.pref inst u c))
+            infinity users
+        in
+        let worst = if worst = infinity then 0.0 else worst in
+        ((1.0 -. fairness) *. base) +. (fairness *. nf *. worst))
+  in
+  Select.top_k k scores
+
+let group ?fairness inst =
+  let n = Instance.n inst in
+  let users = Array.init n (fun u -> u) in
+  let bundle = group_for_users ?fairness inst users in
+  Config.make inst (Array.init n (fun _ -> Array.copy bundle))
+
+let config_from_parts inst parts =
+  let n = Instance.n inst in
+  let assign = Array.make n [||] in
+  Array.iter
+    (fun members ->
+      (* The subgroup approaches of the paper rank items purely by the
+         aggregate subgroup utility (no fairness blending — that is
+         FMG's trait). *)
+      let bundle = group_for_users ~fairness:0.0 inst members in
+      Array.iter (fun u -> assign.(u) <- Array.copy bundle) members)
+    parts;
+  Config.make inst assign
+
+let subgroup_by_friendship ?communities rng inst =
+  ignore rng;
+  let labels =
+    match communities with
+    | Some labels -> Community.compact_labels labels
+    | None -> Community.greedy_modularity (Instance.graph inst)
+  in
+  config_from_parts inst (Community.groups_of_labels labels)
+
+(* Plain k-means on preference rows (euclidean); empty clusters are
+   reseeded on the farthest point from its centroid. *)
+let preference_clusters ?clusters rng inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let count =
+    match clusters with
+    | Some c -> max 1 (min n c)
+    | None -> if n < 2 then 1 else max 2 (int_of_float (Float.round (sqrt (float_of_int n))))
+  in
+  let point u = Array.init m (fun c -> Instance.pref inst u c) in
+  let points = Array.init n point in
+  let dist2 a b =
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      let d = a.(i) -. b.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc
+  in
+  let run_once () =
+    let seeds = Rng.sample_without_replacement rng count n in
+    let centroids = Array.map (fun u -> Array.copy points.(u)) seeds in
+    let labels = Array.make n 0 in
+    for _round = 1 to 25 do
+      (* Assignment step. *)
+      for u = 0 to n - 1 do
+        labels.(u) <- Select.argmin (Array.map (dist2 points.(u)) centroids)
+      done;
+      (* Update step. *)
+      for c = 0 to count - 1 do
+        let members = ref [] in
+        Array.iteri (fun u l -> if l = c then members := u :: !members) labels;
+        match !members with
+        | [] ->
+            (* Reseed on the point farthest from its own centroid. *)
+            let far =
+              Select.argmax
+                (Array.init n (fun u -> dist2 points.(u) centroids.(labels.(u))))
+            in
+            centroids.(c) <- Array.copy points.(far)
+        | members ->
+            let size = float_of_int (List.length members) in
+            let acc = Array.make m 0.0 in
+            List.iter
+              (fun u ->
+                for i = 0 to m - 1 do
+                  acc.(i) <- acc.(i) +. points.(u).(i)
+                done)
+              members;
+            centroids.(c) <- Array.map (fun v -> v /. size) acc
+      done
+    done;
+    let cost = ref 0.0 in
+    for u = 0 to n - 1 do
+      cost := !cost +. dist2 points.(u) centroids.(labels.(u))
+    done;
+    (labels, !cost)
+  in
+  (* k-means is sensitive to seeding; keep the best of a few restarts
+     (by within-cluster sum of squares). *)
+  let best_labels = ref [||] and best_cost = ref infinity in
+  for _restart = 1 to 8 do
+    let labels, cost = run_once () in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best_labels := labels
+    end
+  done;
+  Community.compact_labels !best_labels
+
+let subgroup_by_preference ?clusters rng inst =
+  let labels = preference_clusters ?clusters rng inst in
+  config_from_parts inst (Community.groups_of_labels labels)
+
+let exact_ip ?options inst =
+  let problem, binaries, maps = Lp_build.ip inst in
+  let result = Svgic_lp.Branch_bound.solve ?options problem ~binary:binaries in
+  let config =
+    match result.incumbent with
+    | None -> None
+    | Some x ->
+        let n = Instance.n inst
+        and m = Instance.m inst
+        and k = Instance.k inst in
+        let assign = Array.make_matrix n k (-1) in
+        for u = 0 to n - 1 do
+          for s = 0 to k - 1 do
+            for c = 0 to m - 1 do
+              if x.(maps.x_var u c s) > 0.5 then assign.(u).(s) <- c
+            done
+          done
+        done;
+        Some (Config.make inst assign)
+  in
+  (config, result)
+
+let exhaustive inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  (* Rows are ordered k-tuples of distinct items: P(m,k) choices per
+     user. *)
+  let rec row_choices prefix used depth acc =
+    if depth = k then Array.of_list (List.rev prefix) :: acc
+    else
+      let acc = ref acc in
+      for c = 0 to m - 1 do
+        if not (List.mem c used) then
+          acc := row_choices (c :: prefix) (c :: used) (depth + 1) !acc
+      done;
+      !acc
+  in
+  let rows = Array.of_list (row_choices [] [] 0 []) in
+  let per_user = Array.length rows in
+  let states =
+    let rec power acc i = if i = 0 then acc else power (acc *. float_of_int per_user) (i - 1) in
+    power 1.0 n
+  in
+  if states > 2e6 then
+    invalid_arg "Baselines.exhaustive: search space too large";
+  let assign = Array.make n rows.(0) in
+  let best = ref neg_infinity and best_assign = ref None in
+  let rec search u =
+    if u = n then begin
+      let cfg = Config.make_unchecked assign in
+      let value = Config.total_utility inst cfg in
+      if value > !best then begin
+        best := value;
+        best_assign := Some (Array.map Array.copy assign)
+      end
+    end
+    else
+      Array.iter
+        (fun row ->
+          assign.(u) <- row;
+          search (u + 1))
+        rows
+  in
+  search 0;
+  match !best_assign with
+  | Some matrix -> Config.make inst matrix
+  | None -> assert false
+
+let prepartition rng inst ~max_size ~solver =
+  let n = Instance.n inst in
+  let parts = (n + max_size - 1) / max_size in
+  let labels =
+    Community.balanced_partition rng (Instance.graph inst) ~parts
+  in
+  let groups = Community.groups_of_labels labels in
+  let assign = Array.make n [||] in
+  Array.iter
+    (fun members ->
+      let sub, mapping = Instance.restrict_users inst members in
+      let cfg = solver sub in
+      Array.iteri
+        (fun local old -> assign.(old) <- Config.row cfg local)
+        mapping)
+    groups;
+  Config.make inst assign

@@ -1,0 +1,70 @@
+(** Baseline configuration approaches from the paper's evaluation
+    (Section 6.1):
+
+    - PER — Personalized Top-k: each user independently receives her k
+      favorite items (the personalized approach; optimal for λ = 0).
+    - FMG — the group approach with a fairness-aware item scoring
+      (surrogate for "Fairness Maximization in Group recommendation"):
+      one bundle of k items displayed identically to everyone.
+    - SDP — the subgroup-by-friendship approach: community detection on
+      the social network, then the group approach per community.
+    - GRF — the subgroup-by-preference approach: preference clustering
+      (k-means on preference vectors), then the group approach per
+      cluster.
+    - IP — the exact integer program via branch and bound.
+
+    Every function returns a valid SAVG k-Configuration. *)
+
+val personalized : Instance.t -> Config.t
+(** PER: slot s shows each user her (s+1)-th favorite item. *)
+
+val group : ?fairness:float -> Instance.t -> Config.t
+(** FMG: greedily selects k items maximizing the whole-group utility;
+    [fairness] in [0,1] (default 0.3) blends in a least-misery term
+    ([n · min_u p(u,c)]) the way fairness-aware group recommenders
+    trade aggregate utility for the worst-off member. Slots are
+    ordered by decreasing score. *)
+
+val group_for_users : ?fairness:float -> Instance.t -> int array -> int array
+(** The k-item bundle FMG would select for a subset of users (exposed
+    for the subgroup approaches and the SEO application). *)
+
+val subgroup_by_friendship :
+  ?communities:int array -> Svgic_util.Rng.t -> Instance.t -> Config.t
+(** SDP: partitions users by [communities] labels (default: greedy
+    modularity on the social graph) and runs the group approach inside
+    each part. *)
+
+val subgroup_by_preference :
+  ?clusters:int -> Svgic_util.Rng.t -> Instance.t -> Config.t
+(** GRF: k-means clustering of preference vectors into [clusters]
+    groups (default [round (sqrt n)], at least 2 when n >= 2), then the
+    group approach per cluster. The social topology is ignored when
+    forming clusters — the defining weakness the paper ascribes to
+    GRF. *)
+
+val preference_clusters : ?clusters:int -> Svgic_util.Rng.t -> Instance.t -> int array
+(** The raw GRF cluster labels (for subgroup metrics). *)
+
+val exact_ip :
+  ?options:Svgic_lp.Branch_bound.options ->
+  Instance.t ->
+  Config.t option * Svgic_lp.Branch_bound.result
+(** IP: exact solution by branch and bound on the slot-indexed integer
+    program. [None] when the budgeted search found no incumbent. *)
+
+val exhaustive : Instance.t -> Config.t
+(** Brute-force optimum by enumerating all [P(m,k)^n] configurations.
+    Guarded: raises [Invalid_argument] when the search space exceeds
+    ~2e6 states. Test oracle only. *)
+
+val prepartition :
+  Svgic_util.Rng.t ->
+  Instance.t ->
+  max_size:int ->
+  solver:(Instance.t -> Config.t) ->
+  Config.t
+(** The "-P" wrapper of the SVGIC-ST experiments: splits the user set
+    into ⌈n / max_size⌉ balanced friendship-aware parts, solves each
+    induced sub-instance with [solver], and reassembles the global
+    configuration. *)

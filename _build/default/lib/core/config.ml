@@ -1,0 +1,125 @@
+type t = { assign : int array array }
+
+let validate inst matrix =
+  let n = Instance.n inst and m = Instance.m inst and k = Instance.k inst in
+  if Array.length matrix <> n then Error "wrong number of rows"
+  else
+    let check_row u row =
+      if Array.length row <> k then Some (Printf.sprintf "user %d: wrong row length" u)
+      else begin
+        let seen = Hashtbl.create k in
+        let problem = ref None in
+        Array.iter
+          (fun c ->
+            if !problem = None then
+              if c < 0 || c >= m then
+                problem := Some (Printf.sprintf "user %d: item %d out of range" u c)
+              else if Hashtbl.mem seen c then
+                problem := Some (Printf.sprintf "user %d: duplicate item %d" u c)
+              else Hashtbl.replace seen c ())
+          row;
+        !problem
+      end
+    in
+    let rec scan u =
+      if u >= n then Ok ()
+      else
+        match check_row u matrix.(u) with
+        | Some msg -> Error msg
+        | None -> scan (u + 1)
+    in
+    scan 0
+
+let make inst matrix =
+  match validate inst matrix with
+  | Ok () -> { assign = Array.map Array.copy matrix }
+  | Error msg -> invalid_arg ("Config.make: " ^ msg)
+
+let make_unchecked matrix = { assign = matrix }
+
+let item t ~user ~slot = t.assign.(user).(slot)
+let row t u = Array.copy t.assign.(u)
+let assignment t = Array.map Array.copy t.assign
+
+let sees t inst ~user ~item =
+  let k = Instance.k inst in
+  let rec scan s = s < k && (t.assign.(user).(s) = item || scan (s + 1)) in
+  scan 0
+
+let codisplayed t ~user ~friend ~slot =
+  t.assign.(user).(slot) = t.assign.(friend).(slot)
+
+let utility_split inst t =
+  let n = Instance.n inst and k = Instance.k inst in
+  let lambda = Instance.lambda inst in
+  let pref_total = ref 0.0 in
+  for u = 0 to n - 1 do
+    for s = 0 to k - 1 do
+      pref_total := !pref_total +. Instance.pref inst u (t.assign.(u).(s))
+    done
+  done;
+  let social_total = ref 0.0 in
+  Array.iter
+    (fun (u, v) ->
+      for s = 0 to k - 1 do
+        let c = t.assign.(u).(s) in
+        if t.assign.(v).(s) = c then
+          social_total := !social_total +. Instance.tau inst u v c
+      done)
+    (Svgic_graph.Graph.edges (Instance.graph inst));
+  ((1.0 -. lambda) *. !pref_total, lambda *. !social_total)
+
+let total_utility inst t =
+  let pref_part, social_part = utility_split inst t in
+  pref_part +. social_part
+
+let user_utility inst t u =
+  let k = Instance.k inst in
+  let lambda = Instance.lambda inst in
+  let acc = ref 0.0 in
+  for s = 0 to k - 1 do
+    let c = t.assign.(u).(s) in
+    acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u c);
+    Array.iter
+      (fun v ->
+        if t.assign.(v).(s) = c then
+          acc := !acc +. (lambda *. Instance.tau inst u v c))
+      (Svgic_graph.Graph.out_neighbors (Instance.graph inst) u)
+  done;
+  !acc
+
+let subgroups_at_slot t inst s =
+  let n = Instance.n inst in
+  let by_item = Hashtbl.create 16 in
+  for u = n - 1 downto 0 do
+    let c = t.assign.(u).(s) in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt by_item c) in
+    Hashtbl.replace by_item c (u :: existing)
+  done;
+  Hashtbl.fold (fun c members acc -> (c, members) :: acc) by_item []
+  |> List.sort compare
+  |> List.map (fun (_, members) -> Array.of_list members)
+  |> Array.of_list
+
+let slot_utility inst t s =
+  let n = Instance.n inst in
+  let lambda = Instance.lambda inst in
+  let acc = ref 0.0 in
+  for u = 0 to n - 1 do
+    acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u (t.assign.(u).(s)))
+  done;
+  Array.iter
+    (fun (u, v) ->
+      let c = t.assign.(u).(s) in
+      if t.assign.(v).(s) = c then acc := !acc +. (lambda *. Instance.tau inst u v c))
+    (Svgic_graph.Graph.edges (Instance.graph inst));
+  !acc
+
+let permute_slots t perm =
+  let k = Array.length perm in
+  let remap row =
+    let out = Array.make k (-1) in
+    Array.iteri (fun s c -> out.(perm.(s)) <- c) row;
+    out
+  in
+  { assign = Array.map remap t.assign }

@@ -1,0 +1,54 @@
+(** SAVG k-Configuration: the assignment [A(u, s) = c] of one item per
+    (user, slot) cell, subject to the no-duplication constraint
+    (Definition 1 of the paper). *)
+
+type t
+
+val make : Instance.t -> int array array -> t
+(** Wraps an [n x k] assignment matrix. Raises [Invalid_argument] if a
+    row contains an out-of-range item or a duplicate. The matrix is
+    copied. *)
+
+val make_unchecked : int array array -> t
+(** Trusted constructor for algorithm internals (the matrix is not
+    copied). *)
+
+val validate : Instance.t -> int array array -> (unit, string) result
+
+val item : t -> user:int -> slot:int -> int
+val row : t -> int -> int array
+(** The k items displayed to a user, indexed by slot (copy). *)
+
+val assignment : t -> int array array
+(** Full matrix (copy). *)
+
+val sees : t -> Instance.t -> user:int -> item:int -> bool
+(** Whether the item appears anywhere in the user's row. *)
+
+val codisplayed : t -> user:int -> friend:int -> slot:int -> bool
+(** Direct co-display at a slot: both users see the same item there. *)
+
+val total_utility : Instance.t -> t -> float
+(** The SVGIC objective (Definition 3 summed over users and slots):
+    [Σ_u Σ_s (1-λ)·p(u,A(u,s)) + λ·Σ_{v | u ~c~ v} τ(u,v,c)]. *)
+
+val utility_split : Instance.t -> t -> float * float
+(** (total preference part, total social part), i.e.
+    [Σ (1-λ)·p] and [Σ λ·τ]; their sum is [total_utility]. *)
+
+val user_utility : Instance.t -> t -> int -> float
+(** One user's contribution to the objective (preference plus the
+    social utility *she* receives). Used by the regret ratio. *)
+
+val subgroups_at_slot : t -> Instance.t -> int -> int array array
+(** The partition [V^s] induced at a slot: users grouped by the item
+    they see there. Groups are nonempty; order is by item id. *)
+
+val slot_utility : Instance.t -> t -> int -> float
+(** Objective contribution of one slot (used by the slot-significance
+    extension, where slot contents are permuted onto weights). *)
+
+val permute_slots : t -> int array -> t
+(** [permute_slots cfg perm] moves the content of slot [s] to slot
+    [perm.(s)] for every user simultaneously (a global slot
+    relabelling, which preserves all co-display structure). *)

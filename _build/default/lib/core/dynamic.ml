@@ -1,0 +1,118 @@
+module Graph = Svgic_graph.Graph
+
+type t = { inst : Instance.t; cfg : Config.t }
+
+type user_profile = {
+  pref : float array;
+  tau_out : int -> int -> float;
+  tau_in : int -> int -> float;
+  friends : int array;
+}
+
+let start rng inst =
+  let relax = Relaxation.solve inst in
+  { inst; cfg = Algorithms.avg rng inst relax }
+
+let instance t = t.inst
+let config t = t.cfg
+let total_utility t = Config.total_utility t.inst t.cfg
+
+(* Marginal SAVG utility (both directions) of the newcomer u seeing
+   item c at slot s, given the frozen assignment of everyone else. *)
+let marginal inst assign ~user ~item ~slot =
+  let lambda = Instance.lambda inst in
+  let g = Instance.graph inst in
+  let acc = ref ((1.0 -. lambda) *. Instance.pref inst user item) in
+  Array.iter
+    (fun v ->
+      if v <> user && assign.(v).(slot) = item then begin
+        acc := !acc +. (lambda *. Instance.tau inst user v item);
+        acc := !acc +. (lambda *. Instance.tau inst v user item)
+      end)
+    (Graph.neighbors_undirected g user);
+  !acc
+
+let fill_row_greedy inst assign ~user =
+  let m = Instance.m inst and k = Instance.k inst in
+  let used = Array.make m false in
+  for s = 0 to k - 1 do
+    let best = ref (-1) and best_gain = ref neg_infinity in
+    for c = 0 to m - 1 do
+      if not used.(c) then begin
+        let gain = marginal inst assign ~user ~item:c ~slot:s in
+        if gain > !best_gain then begin
+          best := c;
+          best_gain := gain
+        end
+      end
+    done;
+    assign.(user).(s) <- !best;
+    used.(!best) <- true
+  done;
+  (* One improvement pass: try swapping any two of the newcomer's slots
+     (alignment with different friend groups may prefer another
+     order). *)
+  let row_gain () =
+    let acc = ref 0.0 in
+    for s = 0 to k - 1 do
+      acc := !acc +. marginal inst assign ~user ~item:assign.(user).(s) ~slot:s
+    done;
+    !acc
+  in
+  for s1 = 0 to k - 2 do
+    for s2 = s1 + 1 to k - 1 do
+      let before = row_gain () in
+      let a = assign.(user).(s1) and b = assign.(user).(s2) in
+      assign.(user).(s1) <- b;
+      assign.(user).(s2) <- a;
+      if row_gain () < before then begin
+        assign.(user).(s1) <- a;
+        assign.(user).(s2) <- b
+      end
+    done
+  done
+
+let join t profile =
+  let old_n = Instance.n t.inst in
+  let new_user = old_n in
+  if Array.length profile.pref <> Instance.m t.inst then
+    invalid_arg "Dynamic.join: preference vector has wrong length";
+  let new_edges =
+    Array.to_list profile.friends
+    |> List.concat_map (fun v -> [ (new_user, v); (v, new_user) ])
+  in
+  let graph =
+    Graph.of_edges ~n:(old_n + 1)
+      (Array.to_list (Graph.edges (Instance.graph t.inst)) @ new_edges)
+  in
+  let pref =
+    Array.init (old_n + 1) (fun u ->
+        if u = new_user then Array.copy profile.pref
+        else Array.init (Instance.m t.inst) (fun c -> Instance.pref t.inst u c))
+  in
+  let tau u v c =
+    if u = new_user then profile.tau_out v c
+    else if v = new_user then profile.tau_in u c
+    else Instance.tau t.inst u v c
+  in
+  let inst =
+    Instance.create ~graph ~m:(Instance.m t.inst) ~k:(Instance.k t.inst)
+      ~lambda:(Instance.lambda t.inst) ~pref ~tau
+  in
+  let assign =
+    Array.init (old_n + 1) (fun u ->
+        if u = new_user then Array.make (Instance.k t.inst) (-1)
+        else Config.row t.cfg u)
+  in
+  fill_row_greedy inst assign ~user:new_user;
+  ({ inst; cfg = Config.make inst assign }, new_user)
+
+let leave t user =
+  let old_n = Instance.n t.inst in
+  if user < 0 || user >= old_n then invalid_arg "Dynamic.leave: unknown user";
+  let keep = Array.of_list (List.filter (( <> ) user) (List.init old_n (fun i -> i))) in
+  let inst, mapping = Instance.restrict_users t.inst keep in
+  let assign = Array.map (fun old -> Config.row t.cfg old) mapping in
+  { inst; cfg = Config.make inst assign }
+
+let resolve rng t = start rng t.inst

@@ -1,0 +1,40 @@
+(** Extension F: the dynamic scenario — users join and leave the
+    shopping session over time (Section 5).
+
+    Re-running the full AVG pipeline per event is expensive; following
+    the paper, a join is handled incrementally: the newcomer is slotted
+    into existing co-display subgroups greedily (CSF-style, by marginal
+    utility), then a bounded local search exchanges items between the
+    newcomer's and her friends' cells. A leave simply removes the user.
+    [resolve] re-runs the full pipeline when solution drift warrants
+    it. *)
+
+type t
+
+type user_profile = {
+  pref : float array;  (** length m *)
+  tau_out : int -> int -> float;  (** friend -> item -> τ(new, friend, item) *)
+  tau_in : int -> int -> float;  (** friend -> item -> τ(friend, new, item) *)
+  friends : int array;  (** existing user ids (bidirectional friendship) *)
+}
+
+val start : Svgic_util.Rng.t -> Instance.t -> t
+(** Solves the initial instance with AVG. *)
+
+val instance : t -> Instance.t
+val config : t -> Config.t
+val total_utility : t -> float
+
+val join : t -> user_profile -> t * int
+(** Adds a user; returns the new session and her user id. The
+    newcomer's row is filled greedily (each slot gets the item of
+    maximal marginal SAVG utility against the current configuration,
+    respecting no-duplication), followed by one local-search pass over
+    her slots. Other users' rows are untouched — the O(n·m·k)
+    incremental cost the paper aims for. *)
+
+val leave : t -> int -> t
+(** Removes a user (ids of later users shift down by one). *)
+
+val resolve : Svgic_util.Rng.t -> t -> t
+(** Full re-optimization of the current population with AVG. *)

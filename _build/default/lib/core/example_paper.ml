@@ -1,0 +1,71 @@
+let alice = 0
+let bob = 1
+let charlie = 2
+let dave = 3
+
+let tripod = 0
+let dslr = 1
+let psd = 2
+let memory_card = 3
+let sp_camera = 4
+
+(* Table 1, preference utilities: rows are items c1..c5, columns are
+   Alice, Bob, Charlie, Dave. *)
+let pref_by_item =
+  [|
+    [| 0.8; 0.7; 0.0; 0.1 |] (* c1 tripod *);
+    [| 0.85; 1.0; 0.15; 0.0 |] (* c2 DSLR *);
+    [| 0.1; 0.15; 0.7; 0.3 |] (* c3 PSD *);
+    [| 0.05; 0.2; 0.6; 1.0 |] (* c4 memory card *);
+    [| 1.0; 0.1; 0.1; 0.95 |] (* c5 SP camera *);
+  |]
+
+(* Table 1, social utilities: one row per directed edge present in the
+   social network of Figure 1, values per item c1..c5. *)
+let tau_by_edge =
+  [
+    ((alice, bob), [| 0.2; 0.05; 0.1; 0.0; 0.05 |]);
+    ((alice, charlie), [| 0.0; 0.05; 0.1; 0.0; 0.3 |]);
+    ((alice, dave), [| 0.2; 0.05; 0.1; 0.05; 0.2 |]);
+    ((bob, alice), [| 0.2; 0.05; 0.1; 0.05; 0.05 |]);
+    ((bob, charlie), [| 0.0; 0.05; 0.1; 0.2; 0.0 |]);
+    ((charlie, alice), [| 0.0; 0.05; 0.1; 0.05; 0.3 |]);
+    ((charlie, bob), [| 0.1; 0.05; 0.1; 0.2; 0.05 |]);
+    ((dave, alice), [| 0.3; 0.05; 0.05; 0.0; 0.25 |]);
+  ]
+
+let instance ?(lambda = 0.5) () =
+  let graph =
+    Svgic_graph.Graph.of_edges ~n:4 (List.map fst tau_by_edge)
+  in
+  let pref =
+    Array.init 4 (fun u -> Array.init 5 (fun c -> pref_by_item.(c).(u)))
+  in
+  let table = Hashtbl.create 8 in
+  List.iter (fun (edge, row) -> Hashtbl.replace table edge row) tau_by_edge;
+  let tau u v c =
+    match Hashtbl.find_opt table (u, v) with
+    | Some row -> row.(c)
+    | None -> 0.0
+  in
+  Instance.create ~graph ~m:5 ~k:3 ~lambda ~pref ~tau
+
+let paper_scale = 2.0
+
+let optimal_config inst =
+  Config.make inst
+    [|
+      [| sp_camera; tripod; dslr |] (* Alice *);
+      [| dslr; tripod; memory_card |] (* Bob *);
+      [| sp_camera; psd; memory_card |] (* Charlie *);
+      [| sp_camera; tripod; memory_card |] (* Dave *);
+    |]
+
+let optimal_value = 10.35
+let personalized_value = 8.25
+let group_value = 8.35
+let subgroup_friendship_value = 8.4
+let subgroup_preference_value = 8.7
+
+let friendship_parts = [| [| alice; dave |]; [| bob; charlie |] |]
+let preference_parts = [| [| alice; bob |]; [| charlie; dave |] |]

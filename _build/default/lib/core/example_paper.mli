@@ -1,0 +1,52 @@
+(** The paper's running example (Example 1/2, Table 1): Alice, Bob,
+    Charlie and Dave shopping a 5-item digital-photography store with 3
+    display slots.
+
+    The paper reports its objective values "scaled up by 2" at
+    λ = 1/2, i.e. as [Σ p + Σ τ]; [paper_scale] converts
+    [Config.total_utility] into those units. *)
+
+val alice : int
+val bob : int
+val charlie : int
+val dave : int
+
+val tripod : int
+val dslr : int
+val psd : int
+val memory_card : int
+val sp_camera : int
+
+val instance : ?lambda:float -> unit -> Instance.t
+(** Default λ = 0.5 (the value used for the worked objective values in
+    Example 5). *)
+
+val paper_scale : float
+(** 2.0 — multiply [Config.total_utility] at λ = 1/2 by this to match
+    the paper's reported numbers. *)
+
+val optimal_config : Instance.t -> Config.t
+(** The SAVG 3-configuration at the top of Figure 1(a):
+    A ⟨c5,c1,c2⟩, B ⟨c2,c1,c4⟩, C ⟨c5,c3,c4⟩, D ⟨c5,c1,c4⟩. Its
+    paper-scaled utility is 10.35 — the proven optimum. *)
+
+val optimal_value : float
+(** 10.35 (paper-scaled). *)
+
+val personalized_value : float
+(** 8.25 — objective of the personalized configuration of Table 9. *)
+
+val group_value : float
+(** 8.35 — objective of the group configuration of Table 9. *)
+
+val subgroup_friendship_value : float
+(** 8.4 — subgroup-by-friendship with parts {A,D} / {B,C}. *)
+
+val subgroup_preference_value : float
+(** 8.7 — subgroup-by-preference with parts {A,B} / {C,D}. *)
+
+val friendship_parts : int array array
+(** The {A,D} / {B,C} split used by Table 9. *)
+
+val preference_parts : int array array
+(** The {A,B} / {C,D} split used by Table 9. *)

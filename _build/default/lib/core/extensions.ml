@@ -1,0 +1,131 @@
+module Graph = Svgic_graph.Graph
+
+let with_commodity_values inst omega =
+  if Array.length omega <> Instance.m inst then
+    invalid_arg "Extensions.with_commodity_values: wrong length";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Extensions.with_commodity_values: negative value")
+    omega;
+  let n = Instance.n inst in
+  let pref =
+    Array.init n (fun u ->
+        Array.init (Instance.m inst) (fun c -> omega.(c) *. Instance.pref inst u c))
+  in
+  Instance.create ~graph:(Instance.graph inst) ~m:(Instance.m inst)
+    ~k:(Instance.k inst) ~lambda:(Instance.lambda inst) ~pref
+    ~tau:(fun u v c -> omega.(c) *. Instance.tau inst u v c)
+
+let weighted_total_utility inst ~gamma cfg =
+  if Array.length gamma <> Instance.k inst then
+    invalid_arg "Extensions.weighted_total_utility: wrong length";
+  let acc = ref 0.0 in
+  for s = 0 to Instance.k inst - 1 do
+    acc := !acc +. (gamma.(s) *. Config.slot_utility inst cfg s)
+  done;
+  !acc
+
+let optimize_slot_order inst ~gamma cfg =
+  let k = Instance.k inst in
+  if Array.length gamma <> k then
+    invalid_arg "Extensions.optimize_slot_order: wrong length";
+  let utilities = Array.init k (fun s -> Config.slot_utility inst cfg s) in
+  (* Pair the i-th largest utility with the i-th largest significance
+     (rearrangement inequality: optimal among all permutations). *)
+  let by_utility = Svgic_util.Select.top_k k utilities in
+  let by_gamma = Svgic_util.Select.top_k k gamma in
+  let perm = Array.make k 0 in
+  Array.iteri (fun rank s -> perm.(s) <- by_gamma.(rank)) by_utility;
+  Config.permute_slots cfg perm
+
+let diminishing_tau_group inst ~gamma u members c =
+  assert (gamma > 0.0 && gamma <= 1.0);
+  let base =
+    Array.fold_left (fun acc v -> acc +. Instance.tau inst u v c) 0.0 members
+  in
+  base ** gamma
+
+let groupwise_total_utility inst ~tau_group cfg =
+  let n = Instance.n inst and k = Instance.k inst in
+  let lambda = Instance.lambda inst in
+  let acc = ref 0.0 in
+  for s = 0 to k - 1 do
+    let groups = Config.subgroups_at_slot cfg inst s in
+    Array.iter
+      (fun members ->
+        Array.iter
+          (fun u ->
+            let c = Config.item cfg ~user:u ~slot:s in
+            let others = Array.of_list (List.filter (( <> ) u) (Array.to_list members)) in
+            acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u c);
+            if Array.length others > 0 then
+              acc := !acc +. (lambda *. tau_group u others c))
+          members)
+      groups
+  done;
+  ignore n;
+  !acc
+
+(* Pairs co-displayed at slot [a] but separated at slot [b]. *)
+let breaks inst cfg a b =
+  Array.fold_left
+    (fun acc (u, v) ->
+      if
+        Config.codisplayed cfg ~user:u ~friend:v ~slot:a
+        && not (Config.codisplayed cfg ~user:u ~friend:v ~slot:b)
+      then acc + 1
+      else acc)
+    0 (Instance.pairs inst)
+
+let edit_distance inst cfg =
+  let k = Instance.k inst in
+  let acc = ref 0 in
+  for s = 0 to k - 2 do
+    acc := !acc + breaks inst cfg s (s + 1)
+  done;
+  !acc
+
+let smooth_subgroup_changes inst cfg =
+  let k = Instance.k inst in
+  if k <= 2 then cfg
+  else begin
+    (* Symmetric pair-break distance between slot contents. *)
+    let dist = Array.make_matrix k k 0 in
+    for a = 0 to k - 1 do
+      for b = 0 to k - 1 do
+        if a <> b then dist.(a).(b) <- breaks inst cfg a b + breaks inst cfg b a
+      done
+    done;
+    (* Greedy nearest-neighbour path, best over all start slots. *)
+    let path_from start =
+      let visited = Array.make k false in
+      visited.(start) <- true;
+      let order = Array.make k start in
+      let cost = ref 0 in
+      for i = 1 to k - 1 do
+        let prev = order.(i - 1) in
+        let best = ref (-1) in
+        for s = 0 to k - 1 do
+          if (not visited.(s)) && (!best < 0 || dist.(prev).(s) < dist.(prev).(!best))
+          then best := s
+        done;
+        order.(i) <- !best;
+        visited.(!best) <- true;
+        cost := !cost + dist.(prev).(!best)
+      done;
+      (order, !cost)
+    in
+    let best_order = ref (Array.init k (fun i -> i)) and best_cost = ref max_int in
+    for start = 0 to k - 1 do
+      let order, cost = path_from start in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best_order := order
+      end
+    done;
+    (* order.(i) = which old slot sits at position i; permute_slots
+       wants perm.(old) = new. *)
+    let perm = Array.make k 0 in
+    Array.iteri (fun position old_slot -> perm.(old_slot) <- position) !best_order;
+    let candidate = Config.permute_slots cfg perm in
+    if edit_distance inst candidate <= edit_distance inst cfg then candidate else cfg
+  end

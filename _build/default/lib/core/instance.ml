@@ -1,0 +1,101 @@
+module Graph = Svgic_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  m : int;
+  k : int;
+  lambda : float;
+  pref_table : float array array;
+  tau_table : (int * int, float array) Hashtbl.t;
+  pair_weight_table : float array array; (* aligned with Graph.pairs *)
+  scaled_pref_table : float array array lazy_t;
+}
+
+let create ~graph ~m ~k ~lambda ~pref ~tau =
+  let n = Graph.n graph in
+  if not (1 <= k && k <= m) then invalid_arg "Instance.create: need 1 <= k <= m";
+  if not (0.0 <= lambda && lambda <= 1.0) then
+    invalid_arg "Instance.create: lambda out of [0,1]";
+  if Array.length pref <> n then invalid_arg "Instance.create: pref has wrong rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> m then invalid_arg "Instance.create: pref row length";
+      Array.iter
+        (fun p -> if p < 0.0 then invalid_arg "Instance.create: negative preference")
+        row)
+    pref;
+  let tau_table = Hashtbl.create (max 16 (Graph.num_edges graph)) in
+  Array.iter
+    (fun (u, v) ->
+      let row =
+        Array.init m (fun c ->
+            let value = tau u v c in
+            if value < 0.0 then invalid_arg "Instance.create: negative social utility";
+            value)
+      in
+      Hashtbl.replace tau_table (u, v) row)
+    (Graph.edges graph);
+  let pair_weight_table =
+    (* Combined per-pair weights of the scaled objective
+       [Σ p'·x + Σ w·y]. For λ = 0 the objective is purely
+       preferential, so the scaled program must carry no social mass
+       (the λ-scaling identity only holds for λ > 0). *)
+    if lambda = 0.0 then
+      Array.map (fun _ -> Array.make m 0.0) (Graph.pairs graph)
+    else
+      Array.map
+        (fun (u, v) ->
+          let fwd = Hashtbl.find_opt tau_table (u, v) in
+          let bwd = Hashtbl.find_opt tau_table (v, u) in
+          Array.init m (fun c ->
+              let get = function Some row -> row.(c) | None -> 0.0 in
+              get fwd +. get bwd))
+        (Graph.pairs graph)
+  in
+  let scaled_pref_table =
+    lazy
+      (if lambda = 0.0 then pref
+       else
+         let factor = (1.0 -. lambda) /. lambda in
+         Array.map (Array.map (fun p -> factor *. p)) pref)
+  in
+  {
+    graph;
+    m;
+    k;
+    lambda;
+    pref_table = pref;
+    tau_table;
+    pair_weight_table;
+    scaled_pref_table;
+  }
+
+let n t = Graph.n t.graph
+let m t = t.m
+let k t = t.k
+let lambda t = t.lambda
+let graph t = t.graph
+let pref t u c = t.pref_table.(u).(c)
+
+let tau t u v c =
+  match Hashtbl.find_opt t.tau_table (u, v) with
+  | Some row -> row.(c)
+  | None -> 0.0
+
+let pairs t = Graph.pairs t.graph
+let pair_weights t = t.pair_weight_table
+let scaled_pref t = Lazy.force t.scaled_pref_table
+let objective_scale t = if t.lambda = 0.0 then 1.0 else t.lambda
+
+let with_lambda t lambda =
+  create ~graph:t.graph ~m:t.m ~k:t.k ~lambda ~pref:t.pref_table
+    ~tau:(fun u v c -> tau t u v c)
+
+let restrict_users t users =
+  let sub, mapping = Graph.subgraph t.graph users in
+  let pref = Array.map (fun old -> Array.copy t.pref_table.(old)) mapping in
+  let inst =
+    create ~graph:sub ~m:t.m ~k:t.k ~lambda:t.lambda ~pref ~tau:(fun u v c ->
+        tau t mapping.(u) mapping.(v) c)
+  in
+  (inst, mapping)

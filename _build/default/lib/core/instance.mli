@@ -1,0 +1,66 @@
+(** SVGIC problem instance: a shopping group over a social network, a
+    universal item set, preference utilities [p(u,c)], directed social
+    utilities [τ(u,v,c)], the preference/social weight [λ] and the
+    number of display slots [k]. *)
+
+type t
+
+val create :
+  graph:Svgic_graph.Graph.t ->
+  m:int ->
+  k:int ->
+  lambda:float ->
+  pref:float array array ->
+  tau:(int -> int -> int -> float) ->
+  t
+(** [create ~graph ~m ~k ~lambda ~pref ~tau] materializes an instance.
+    [pref] is [n x m] with non-negative entries; [tau u v c] is queried
+    once per directed edge of [graph] and item and must be
+    non-negative. Requires [1 <= k <= m] and [0 <= lambda <= 1]. *)
+
+val n : t -> int
+(** Number of users. *)
+
+val m : t -> int
+(** Number of items. *)
+
+val k : t -> int
+(** Number of display slots. *)
+
+val lambda : t -> float
+val graph : t -> Svgic_graph.Graph.t
+
+val pref : t -> int -> int -> float
+(** [pref t u c] = p(u,c). *)
+
+val tau : t -> int -> int -> int -> float
+(** [tau t u v c] = τ(u,v,c); 0 when [(u,v)] is not an edge. *)
+
+val pairs : t -> (int * int) array
+(** Unordered friend pairs (from the graph). *)
+
+val pair_weights : t -> float array array
+(** [pair_weights t] is indexed like [pairs t]: entry [i] is the
+    per-item combined social weight
+    [w_e(c) = τ(u,v,c) + τ(v,u,c)] for pair [i = (u,v)], as used by the
+    scaled objective [Σ p'·x + Σ w·y]. For [λ = 0] all weights are 0
+    (the objective is purely preferential). The returned arrays are
+    owned by the instance — do not mutate. *)
+
+val scaled_pref : t -> float array array
+(** The λ-scaling of Section 4.4: [p'(u,c) = (1-λ)/λ · p(u,c)] so that
+    algorithms can work at the canonical [λ = 1/2]. For [λ = 0] this
+    returns [p] itself (the social part is zero anyway). Owned by the
+    instance — do not mutate. *)
+
+val objective_scale : t -> float
+(** Factor converting a scaled objective [Σ p'·x + Σ w·y] back to the
+    paper's total SAVG utility: [λ] when [λ > 0], else [1]. *)
+
+val with_lambda : t -> float -> t
+(** Same data under a different weight. *)
+
+val restrict_users : t -> int array -> t * int array
+(** Induced sub-instance on the given users (renumbered); returns the
+    new-index-to-old-index map. Used by pre-partitioning baselines and
+    the dynamic scenario. *)

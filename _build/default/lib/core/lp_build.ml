@@ -1,0 +1,154 @@
+module Problem = Svgic_lp.Problem
+
+type var_maps = {
+  x_var : int -> int -> int -> int;
+  y_var : int -> int -> int -> int;
+}
+
+(* Shared construction of the slot-indexed program; [relaxed] controls
+   nothing here (integrality lives in the solver), but the variable
+   layout and constraints are common to [full_lp] and [ip]. *)
+let build_slot_indexed inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let p' = Instance.scaled_pref inst in
+  let pairs = Instance.pairs inst in
+  let weights = Instance.pair_weights inst in
+  let np = Array.length pairs in
+  let problem = Problem.create () in
+  (* x variables: u-major, then c, then s. *)
+  let x_var u c s = (((u * m) + c) * k) + s in
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      for s = 0 to k - 1 do
+        let idx =
+          Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c)
+            (Printf.sprintf "x_%d_%d_%d" u c s)
+        in
+        assert (idx = x_var u c s)
+      done
+    done
+  done;
+  let x_count = n * m * k in
+  let y_var e c s = x_count + (((e * m) + c) * k) + s in
+  for e = 0 to np - 1 do
+    for c = 0 to m - 1 do
+      for s = 0 to k - 1 do
+        let idx =
+          Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c)
+            (Printf.sprintf "y_%d_%d_%d" e c s)
+        in
+        assert (idx = y_var e c s)
+      done
+    done
+  done;
+  (* (1) no-duplication: sum_s x(u,c,s) <= 1. *)
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      Problem.add_row problem
+        (List.init k (fun s -> (x_var u c s, 1.0)))
+        Problem.Le 1.0
+    done
+  done;
+  (* (2) one item per slot: sum_c x(u,c,s) = 1. *)
+  for u = 0 to n - 1 do
+    for s = 0 to k - 1 do
+      Problem.add_row problem
+        (List.init m (fun c -> (x_var u c s, 1.0)))
+        Problem.Eq 1.0
+    done
+  done;
+  (* (5)(6) co-display: y(e,c,s) <= x(u,c,s) and <= x(v,c,s). *)
+  Array.iteri
+    (fun e (u, v) ->
+      for c = 0 to m - 1 do
+        for s = 0 to k - 1 do
+          Problem.add_row problem
+            [ (y_var e c s, 1.0); (x_var u c s, -1.0) ]
+            Problem.Le 0.0;
+          Problem.add_row problem
+            [ (y_var e c s, 1.0); (x_var v c s, -1.0) ]
+            Problem.Le 0.0
+        done
+      done)
+    pairs;
+  (problem, { x_var; y_var })
+
+let full_lp inst = build_slot_indexed inst
+
+let ip inst =
+  let problem, maps = build_slot_indexed inst in
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let binaries = Array.make (n * m * k) 0 in
+  let idx = ref 0 in
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      for s = 0 to k - 1 do
+        binaries.(!idx) <- maps.x_var u c s;
+        incr idx
+      done
+    done
+  done;
+  (problem, binaries, maps)
+
+let simp_lp inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let k = float_of_int (Instance.k inst) in
+  let p' = Instance.scaled_pref inst in
+  let pairs = Instance.pairs inst in
+  let weights = Instance.pair_weights inst in
+  let problem = Problem.create () in
+  let x_var u c = (u * m) + c in
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      let idx =
+        Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c)
+          (Printf.sprintf "x_%d_%d" u c)
+      in
+      assert (idx = x_var u c)
+    done
+  done;
+  let x_count = n * m in
+  let y_var e c = x_count + (e * m) + c in
+  Array.iteri
+    (fun e _ ->
+      for c = 0 to m - 1 do
+        let idx =
+          Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c)
+            (Printf.sprintf "y_%d_%d" e c)
+        in
+        assert (idx = y_var e c)
+      done)
+    pairs;
+  for u = 0 to n - 1 do
+    Problem.add_row problem
+      (List.init m (fun c -> (x_var u c, 1.0)))
+      Problem.Eq k
+  done;
+  Array.iteri
+    (fun e (u, v) ->
+      for c = 0 to m - 1 do
+        Problem.add_row problem
+          [ (y_var e c, 1.0); (x_var u c, -1.0) ]
+          Problem.Le 0.0;
+        Problem.add_row problem
+          [ (y_var e c, 1.0); (x_var v c, -1.0) ]
+          Problem.Le 0.0
+      done)
+    pairs;
+  (problem, x_var)
+
+let fw_problem inst =
+  let pairs = Instance.pairs inst in
+  let weights = Instance.pair_weights inst in
+  Svgic_lp.Pairwise_fw.
+    {
+      n = Instance.n inst;
+      m = Instance.m inst;
+      k = Instance.k inst;
+      linear = Instance.scaled_pref inst;
+      pairs = Array.mapi (fun e (u, v) -> (u, v, weights.(e))) pairs;
+    }

@@ -1,0 +1,33 @@
+(** Builders translating an SVGIC instance into the linear / integer
+    programs of Section 3.3 and Section 4.4 of the paper. All programs
+    are expressed in the scaled units of the λ-scaling enhancement
+    (objective [Σ p'(u,c)·x + Σ w_e^c·y] with
+    [w_e^c = τ(u,v,c) + τ(v,u,c)]), so a program objective [S]
+    corresponds to a total SAVG utility of
+    [Instance.objective_scale · S]. *)
+
+type var_maps = {
+  x_var : int -> int -> int -> int;  (** [x_var u c s] *)
+  y_var : int -> int -> int -> int;  (** [y_var pair_index c s] *)
+}
+
+val full_lp : Instance.t -> Svgic_lp.Problem.t * var_maps
+(** [LP_SVGIC]: the slot-indexed relaxation (constraints (1)–(6) with
+    bounds relaxed). Large — kept for the advanced-LP-transformation
+    ablation and as the base of the exact IP. *)
+
+val simp_lp : Instance.t -> Svgic_lp.Problem.t * (int -> int -> int)
+(** [LP_SIMP] of Section 4.4: variables [x(u,c)] with
+    [Σ_c x(u,c) = k], and [y(e,c) <= min]. Returns the x-variable
+    map. By Observation 2, its optimum equals [LP_SVGIC]'s and
+    [x*(u,c,s) = x(u,c)/k]. *)
+
+val ip : Instance.t -> Svgic_lp.Problem.t * int array * var_maps
+(** The exact integer program: [full_lp] plus integrality on the
+    x-variables (the y-variables may stay continuous: with integral x
+    they are integral at any optimum). Returns the binary variable
+    list for branch-and-bound. *)
+
+val fw_problem : Instance.t -> Svgic_lp.Pairwise_fw.problem
+(** The same compact relaxation in the form consumed by the
+    Frank–Wolfe solver. *)

@@ -1,0 +1,109 @@
+module Graph = Svgic_graph.Graph
+
+let utility_split = Config.utility_split
+
+let intra_inter_pct inst cfg =
+  let k = Instance.k inst in
+  let pairs = Instance.pairs inst in
+  let total = Array.length pairs in
+  if total = 0 then (0.0, 0.0)
+  else begin
+    let intra_sum = ref 0.0 in
+    for s = 0 to k - 1 do
+      let intra =
+        Array.fold_left
+          (fun acc (u, v) ->
+            if Config.codisplayed cfg ~user:u ~friend:v ~slot:s then acc + 1
+            else acc)
+          0 pairs
+      in
+      intra_sum := !intra_sum +. (float_of_int intra /. float_of_int total)
+    done;
+    let intra = !intra_sum /. float_of_int k in
+    (intra, 1.0 -. intra)
+  end
+
+let normalized_density inst cfg =
+  let k = Instance.k inst in
+  let g = Instance.graph inst in
+  let base = Graph.density g in
+  if base = 0.0 then 0.0
+  else begin
+    let slot_avg = ref 0.0 in
+    for s = 0 to k - 1 do
+      let groups = Config.subgroups_at_slot cfg inst s in
+      let densities =
+        Array.map
+          (fun members ->
+            if Array.length members < 2 then 0.0
+            else Graph.induced_density g members)
+          groups
+      in
+      slot_avg := !slot_avg +. Svgic_util.Stats.mean densities
+    done;
+    !slot_avg /. float_of_int k /. base
+  end
+
+let codisplay_rate inst cfg =
+  let k = Instance.k inst in
+  let pairs = Instance.pairs inst in
+  if Array.length pairs = 0 then 0.0
+  else begin
+    let shared = ref 0 in
+    Array.iter
+      (fun (u, v) ->
+        let any = ref false in
+        for s = 0 to k - 1 do
+          if Config.codisplayed cfg ~user:u ~friend:v ~slot:s then any := true
+        done;
+        if !any then incr shared)
+      pairs;
+    float_of_int !shared /. float_of_int (Array.length pairs)
+  end
+
+let alone_rate inst cfg =
+  let n = Instance.n inst and k = Instance.k inst in
+  let g = Instance.graph inst in
+  let alone = ref 0 in
+  for u = 0 to n - 1 do
+    let shared = ref false in
+    Array.iter
+      (fun v ->
+        for s = 0 to k - 1 do
+          if Config.codisplayed cfg ~user:u ~friend:v ~slot:s then shared := true
+        done)
+      (Graph.neighbors_undirected g u);
+    if not !shared then incr alone
+  done;
+  float_of_int !alone /. float_of_int n
+
+(* Selfish upper bound for one user: her top-k items scored as if the
+   whole friend set co-viewed each (the w̄ of Section 6.5). *)
+let selfish_bound inst u =
+  let m = Instance.m inst and k = Instance.k inst in
+  let lambda = Instance.lambda inst in
+  let g = Instance.graph inst in
+  let scores =
+    Array.init m (fun c ->
+        let social =
+          Array.fold_left
+            (fun acc v -> acc +. Instance.tau inst u v c)
+            0.0
+            (Graph.out_neighbors g u)
+        in
+        ((1.0 -. lambda) *. Instance.pref inst u c) +. (lambda *. social))
+  in
+  let top = Svgic_util.Select.top_k k scores in
+  Array.fold_left (fun acc c -> acc +. scores.(c)) 0.0 top
+
+let happiness inst cfg u =
+  let bound = selfish_bound inst u in
+  if bound <= 0.0 then 1.0
+  else Float.min 1.0 (Config.user_utility inst cfg u /. bound)
+
+let regret_ratios inst cfg =
+  Array.init (Instance.n inst) (fun u ->
+      Float.max 0.0 (1.0 -. happiness inst cfg u))
+
+let regret_cdf inst cfg ~points =
+  Svgic_util.Stats.cdf (regret_ratios inst cfg) ~points

@@ -1,0 +1,34 @@
+(** The evaluation metrics of Section 6.1. *)
+
+val utility_split : Instance.t -> Config.t -> float * float
+(** (preference part, social part) of the total SAVG utility —
+    Personal% / Social% are these over their sum. *)
+
+val intra_inter_pct : Instance.t -> Config.t -> float * float
+(** Fraction of friend pairs that are intra- vs inter-subgroup,
+    averaged across the k per-slot partitions. Sums to 1 when the
+    graph has edges; (0, 0) otherwise. *)
+
+val normalized_density : Instance.t -> Config.t -> float
+(** Mean induced pair-density of the partitioned subgroups (averaged
+    over subgroups, then slots; singleton subgroups count as density
+    0), normalized by the density of the whole social network. *)
+
+val codisplay_rate : Instance.t -> Config.t -> float
+(** Fraction of friend pairs directly co-displayed at least one item
+    (Co-display%). *)
+
+val alone_rate : Instance.t -> Config.t -> float
+(** Fraction of users never directly co-displayed any item with any
+    friend (Alone%). *)
+
+val happiness : Instance.t -> Config.t -> int -> float
+(** hap(u) of Section 6.5: achieved SAVG utility of the user divided by
+    the utility of her selfish optimum (her top-k items under the
+    optimistic assumption that everyone joins her on each of them). *)
+
+val regret_ratios : Instance.t -> Config.t -> float array
+(** reg(u) = 1 - hap(u), per user, clamped to [0, 1]. *)
+
+val regret_cdf : Instance.t -> Config.t -> points:float array -> float array
+(** Empirical CDF of the regret ratios at the given points. *)

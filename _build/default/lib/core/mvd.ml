@@ -1,0 +1,190 @@
+module Graph = Svgic_graph.Graph
+
+type t = { cells : int list array array (* n x k, primary first *) }
+
+let of_config cfg =
+  let matrix = Config.assignment cfg in
+  { cells = Array.map (Array.map (fun c -> [ c ])) matrix }
+
+let views t ~user ~slot = t.cells.(user).(slot)
+
+let primary t ~user ~slot =
+  match t.cells.(user).(slot) with
+  | c :: _ -> c
+  | [] -> invalid_arg "Mvd.primary: empty cell"
+
+let sees_at t ~user ~slot ~item = List.mem item t.cells.(user).(slot)
+
+let total_utility inst t =
+  let n = Instance.n inst and k = Instance.k inst in
+  let lambda = Instance.lambda inst in
+  let g = Instance.graph inst in
+  let acc = ref 0.0 in
+  for u = 0 to n - 1 do
+    for s = 0 to k - 1 do
+      List.iter
+        (fun c ->
+          acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u c);
+          Array.iter
+            (fun v ->
+              if sees_at t ~user:v ~slot:s ~item:c then
+                acc := !acc +. (lambda *. Instance.tau inst u v c))
+            (Graph.out_neighbors g u))
+        t.cells.(u).(s)
+    done
+  done;
+  !acc
+
+(* Marginal utility of adding [item] to cell (u, s): the user's own
+   preference plus the social utility created in both directions with
+   friends already viewing the item there. *)
+let marginal inst t ~user ~slot ~item =
+  let lambda = Instance.lambda inst in
+  let g = Instance.graph inst in
+  let acc = ref ((1.0 -. lambda) *. Instance.pref inst user item) in
+  Array.iter
+    (fun v ->
+      if sees_at t ~user:v ~slot ~item then begin
+        acc := !acc +. (lambda *. Instance.tau inst user v item);
+        if Graph.has_edge g v user then
+          acc := !acc +. (lambda *. Instance.tau inst v user item)
+      end)
+    (Graph.neighbors_undirected g user);
+  !acc
+
+let exact_ip ?options inst ~beta =
+  let module Problem = Svgic_lp.Problem in
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let p' = Instance.scaled_pref inst in
+  let pairs = Instance.pairs inst in
+  let weights = Instance.pair_weights inst in
+  let problem = Problem.create () in
+  (* w(u,c,s): u can view c at slot s (primary or group view). *)
+  let w_var u c s = (((u * m) + c) * k) + s in
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      for s = 0 to k - 1 do
+        let idx =
+          Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c)
+            (Printf.sprintf "w_%d_%d_%d" u c s)
+        in
+        assert (idx = w_var u c s)
+      done
+    done
+  done;
+  (* x(u,c,s): the primary view. No objective of its own — the item is
+     already counted through w. *)
+  let x_base = n * m * k in
+  let x_var u c s = x_base + (((u * m) + c) * k) + s in
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      for s = 0 to k - 1 do
+        let idx =
+          Problem.add_var problem ~upper:1.0 ~obj:0.0
+            (Printf.sprintf "x_%d_%d_%d" u c s)
+        in
+        assert (idx = x_var u c s)
+      done
+    done
+  done;
+  (* y(e,c,s): co-viewing, bounded by both endpoints' w. *)
+  Array.iteri
+    (fun e (u, v) ->
+      for c = 0 to m - 1 do
+        for s = 0 to k - 1 do
+          if weights.(e).(c) > 0.0 then begin
+            let y =
+              Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) "y"
+            in
+            Problem.add_row problem [ (y, 1.0); (w_var u c s, -1.0) ] Problem.Le 0.0;
+            Problem.add_row problem [ (y, 1.0); (w_var v c s, -1.0) ] Problem.Le 0.0
+          end
+        done
+      done)
+    pairs;
+  for u = 0 to n - 1 do
+    for s = 0 to k - 1 do
+      (* (11) exactly one primary view; (12) at most beta views. *)
+      Problem.add_row problem
+        (List.init m (fun c -> (x_var u c s, 1.0)))
+        Problem.Eq 1.0;
+      Problem.add_row problem
+        (List.init m (fun c -> (w_var u c s, 1.0)))
+        Problem.Le (float_of_int beta)
+    done;
+    for c = 0 to m - 1 do
+      (* (13) the primary item is viewable; (14) distinct primaries. *)
+      for s = 0 to k - 1 do
+        Problem.add_row problem
+          [ (x_var u c s, 1.0); (w_var u c s, -1.0) ]
+          Problem.Le 0.0
+      done;
+      Problem.add_row problem
+        (List.init k (fun s -> (x_var u c s, 1.0)))
+        Problem.Le 1.0
+    done
+  done;
+  let binaries =
+    Array.init (2 * n * m * k) (fun i -> i)
+  in
+  let result = Svgic_lp.Branch_bound.solve ?options problem ~binary:binaries in
+  match result.incumbent with
+  | None -> None
+  | Some sol ->
+      let cells =
+        Array.init n (fun u ->
+            Array.init k (fun s ->
+                let primary = ref (-1) in
+                for c = 0 to m - 1 do
+                  if sol.(x_var u c s) > 0.5 then primary := c
+                done;
+                let extras = ref [] in
+                for c = m - 1 downto 0 do
+                  if sol.(w_var u c s) > 0.5 && c <> !primary then
+                    extras := c :: !extras
+                done;
+                !primary :: !extras))
+      in
+      Some ({ cells }, result)
+
+let greedy_enrich inst ~beta cfg =
+  if beta < 1 then invalid_arg "Mvd.greedy_enrich: beta must be >= 1";
+  let t = of_config cfg in
+  let n = Instance.n inst and k = Instance.k inst in
+  let g = Instance.graph inst in
+  (* Two passes let later additions create new co-display candidates. *)
+  for _pass = 1 to 2 do
+    for u = 0 to n - 1 do
+      for s = 0 to k - 1 do
+        let room = ref (beta - List.length t.cells.(u).(s)) in
+        if !room > 0 then begin
+          (* Candidates: friends' current views at this slot. *)
+          let candidates = Hashtbl.create 8 in
+          Array.iter
+            (fun v ->
+              List.iter
+                (fun c ->
+                  if not (sees_at t ~user:u ~slot:s ~item:c) then
+                    Hashtbl.replace candidates c ())
+                t.cells.(v).(s))
+            (Graph.neighbors_undirected g u);
+          let scored =
+            Hashtbl.fold
+              (fun c () acc -> (marginal inst t ~user:u ~slot:s ~item:c, c) :: acc)
+              candidates []
+            |> List.sort (fun (a, _) (b, _) -> compare b a)
+          in
+          List.iter
+            (fun (gain, c) ->
+              if !room > 0 && gain > 0.0 then begin
+                t.cells.(u).(s) <- t.cells.(u).(s) @ [ c ];
+                decr room
+              end)
+            scored
+        end
+      done
+    done
+  done;
+  t

@@ -1,0 +1,41 @@
+(** Extension C: Multi-View Display (Section 5).
+
+    Each (user, slot) cell holds up to [β] items: the first is the
+    default primary view (one per slot, no duplicates across slots —
+    constraints (11)–(14) of the extended ILP); the rest are group
+    views shared with friends. Co-display at a slot now means both
+    users have the item among their views there. *)
+
+type t
+
+val of_config : Config.t -> t
+(** Every cell holds exactly its primary view. *)
+
+val views : t -> user:int -> slot:int -> int list
+(** Items in a cell, primary first. *)
+
+val primary : t -> user:int -> slot:int -> int
+
+val total_utility : Instance.t -> t -> float
+(** The MVD objective: [Σ_u Σ_s Σ_{c ∈ views} (1-λ)·p(u,c) +
+    λ·Σ_{v | c ∈ views(v,s)} τ(u,v,c)]. *)
+
+val greedy_enrich : Instance.t -> beta:int -> Config.t -> t
+(** Starts from a plain configuration as the primary views and greedily
+    adds group views (up to [β] items per cell) while the marginal
+    utility is positive. Candidates for a cell are the items currently
+    viewed by the user's friends at the same slot — the group views
+    exist to join friends' discussions. *)
+
+val exact_ip :
+  ?options:Svgic_lp.Branch_bound.options ->
+  Instance.t ->
+  beta:int ->
+  (t * Svgic_lp.Branch_bound.result) option
+(** The pairwise instantiation of the extended ILP of Section 5
+    (constraints (11)–(14) with per-pair co-display instead of the
+    exponential maximal-subgroup variables): binary primary views
+    [x(u,c,s)] and view indicators [w(u,c,s)] with at most [β] views
+    per cell, solved by branch and bound. Exponentially expensive —
+    test oracle for tiny instances. [None] when no incumbent was found
+    within the options' budget. *)

@@ -1,0 +1,26 @@
+(** Best-response local search over SAVG k-configurations.
+
+    The paper invokes local search in two places: Extension E exchanges
+    sub-configurations to reduce subgroup changes, and Extension F
+    re-examines assignments after dynamic events. This module provides
+    the shared machinery as an optional post-pass on any configuration:
+    repeatedly give one (user, slot) cell its best item (respecting
+    no-duplication) until a fixed point. Each pass is O(n·k·m·d̄) for
+    average degree d̄; the objective never decreases. *)
+
+val improve : ?max_passes:int -> Instance.t -> Config.t -> Config.t
+(** Runs best-response passes (default at most 8) and returns the
+    improved configuration. The result's total utility is >= the
+    input's. *)
+
+val improve_user : Instance.t -> Config.t -> int -> Config.t
+(** Re-optimizes only one user's row against the frozen rest (the
+    dynamic-scenario primitive). *)
+
+val gap_estimate :
+  Instance.t -> Relaxation.t -> Config.t -> float
+(** [gap_estimate inst relax cfg] = utility(cfg) / upper-bound(relax):
+    a certificate of quality when the relaxation was solved exactly
+    (ratio 1 means provably optimal). With the Frank-Wolfe backend the
+    denominator is itself a lower bound on the LP optimum, so the ratio
+    can exceed 1. *)

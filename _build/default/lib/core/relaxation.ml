@@ -1,0 +1,66 @@
+type backend =
+  | Exact_simplex
+  | Frank_wolfe of { iterations : int; smoothing : float }
+  | Auto
+
+type t = { xbar : float array array; scaled_objective : float }
+
+let simplex_variable_budget = 1500
+
+let choose_backend inst =
+  let vars =
+    (Instance.n inst + Array.length (Instance.pairs inst)) * Instance.m inst
+  in
+  if vars <= simplex_variable_budget then Exact_simplex
+  else Frank_wolfe { iterations = 400; smoothing = 0.05 }
+
+let solve_simplex inst =
+  let problem, x_var = Lp_build.simp_lp inst in
+  match Svgic_lp.Simplex.solve problem with
+  | Svgic_lp.Simplex.Optimal { x; objective; _ } ->
+      let n = Instance.n inst and m = Instance.m inst in
+      let xbar = Array.init n (fun u -> Array.init m (fun c -> x.(x_var u c))) in
+      { xbar; scaled_objective = objective }
+  | Svgic_lp.Simplex.Infeasible ->
+      (* Cannot happen: the uniform point k/m is always feasible. *)
+      failwith "Relaxation.solve: LP_SIMP reported infeasible"
+  | Svgic_lp.Simplex.Unbounded ->
+      failwith "Relaxation.solve: LP_SIMP reported unbounded"
+
+let solve_fw ~iterations ~smoothing inst =
+  let problem = Lp_build.fw_problem inst in
+  let solution = Svgic_lp.Pairwise_fw.solve ~iterations ~smoothing problem in
+  { xbar = solution.x; scaled_objective = solution.objective }
+
+let solve ?(backend = Auto) inst =
+  let backend = match backend with Auto -> choose_backend inst | b -> b in
+  match backend with
+  | Exact_simplex -> solve_simplex inst
+  | Frank_wolfe { iterations; smoothing } -> solve_fw ~iterations ~smoothing inst
+  | Auto -> assert false
+
+let solve_without_transform inst =
+  let problem, maps = Lp_build.full_lp inst in
+  match Svgic_lp.Simplex.solve problem with
+  | Svgic_lp.Simplex.Optimal { x; objective; _ } ->
+      let n = Instance.n inst
+      and m = Instance.m inst
+      and k = Instance.k inst in
+      let xbar =
+        Array.init n (fun u ->
+            Array.init m (fun c ->
+                let acc = ref 0.0 in
+                for s = 0 to k - 1 do
+                  acc := !acc +. x.(maps.x_var u c s)
+                done;
+                !acc))
+      in
+      { xbar; scaled_objective = objective }
+  | Svgic_lp.Simplex.Infeasible ->
+      failwith "Relaxation.solve_without_transform: infeasible"
+  | Svgic_lp.Simplex.Unbounded ->
+      failwith "Relaxation.solve_without_transform: unbounded"
+
+let upper_bound inst r = Instance.objective_scale inst *. r.scaled_objective
+
+let factor inst r u c = r.xbar.(u).(c) /. float_of_int (Instance.k inst)

@@ -1,0 +1,34 @@
+(** Fractional relaxation solving — the "config phase" of AVG.
+
+    The result is the compact utility-factor matrix [xbar] (one value
+    per user and item, rows summing to [k]); the slot-indexed factors
+    of the paper are [x*(u,c,s) = xbar(u)(c) / k] (Observation 2). *)
+
+type backend =
+  | Exact_simplex  (** dense simplex on [LP_SIMP]; exact, small instances *)
+  | Frank_wolfe of { iterations : int; smoothing : float }
+      (** scalable approximate solver (Corollary 4.2 applies) *)
+  | Auto  (** simplex when the program is small, Frank–Wolfe otherwise *)
+
+type t = {
+  xbar : float array array;  (** [n x m] utility factors, rows sum to k *)
+  scaled_objective : float;  (** relaxation objective in scaled units *)
+}
+
+val solve : ?backend:backend -> Instance.t -> t
+(** Solves [LP_SIMP] (with the advanced LP transformation). Default
+    backend [Auto]. *)
+
+val solve_without_transform : Instance.t -> t
+(** Ablation path ("AVG–ALP" in Figure 9(b)): solves the full
+    slot-indexed [LP_SVGIC] with the simplex and aggregates
+    [xbar(u)(c) = Σ_s x(u,c,s)]. Exponentially more expensive; only
+    meaningful on small instances. *)
+
+val upper_bound : Instance.t -> t -> float
+(** The relaxation objective in original SAVG-utility units — an upper
+    bound on OPT when the backend was exact. *)
+
+val factor : Instance.t -> t -> int -> int -> float
+(** [factor inst r u c] = the per-slot utility factor
+    [xbar(u)(c) / k]. *)

@@ -1,0 +1,36 @@
+type event = { name : string }
+
+type plan = { instance : Instance.t; config : Config.t; events : event array }
+
+let organize rng ~graph ~events ~rounds ~capacity ~pref ~tau ~lambda =
+  let m = Array.length events in
+  let n = Svgic_graph.Graph.n graph in
+  if capacity * m < n + ((rounds - 1) * capacity) then
+    invalid_arg "Seo.organize: not enough event capacity for a feasible schedule";
+  let inst = Instance.create ~graph ~m ~k:rounds ~lambda ~pref ~tau in
+  let relax = Relaxation.solve inst in
+  let config = St.avg rng inst relax ~m_cap:capacity in
+  { instance = inst; config; events }
+
+let attendees plan ~round ~event =
+  let n = Instance.n plan.instance in
+  let out = ref [] in
+  for u = n - 1 downto 0 do
+    if Config.item plan.config ~user:u ~slot:round = event then out := u :: !out
+  done;
+  Array.of_list !out
+
+let schedule_of plan ~user =
+  Array.map (fun e -> plan.events.(e)) (Config.row plan.config user)
+
+let total_welfare plan = Config.total_utility plan.instance plan.config
+
+let max_event_load plan =
+  let k = Instance.k plan.instance in
+  let best = ref 0 in
+  for s = 0 to k - 1 do
+    Array.iter
+      (fun members -> best := max !best (Array.length members))
+      (Config.subgroups_at_slot plan.config plan.instance s)
+  done;
+  !best

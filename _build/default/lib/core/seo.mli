@@ -1,0 +1,41 @@
+(** Social Event Organization (SEO) as an application of SVGIC-ST
+    (Section 4.4, "Supporting Social Event Organization").
+
+    Events play the role of items, the [rounds] of a schedule play the
+    role of display slots (each attendee joins one event per round,
+    never the same event twice), and the event size limit is the
+    subgroup size constraint [M]. Attendee-event preferences and
+    pairwise companionship utilities map directly onto [p] and [τ]. *)
+
+type event = { name : string }
+
+type plan = {
+  instance : Instance.t;
+  config : Config.t;
+  events : event array;
+}
+
+val organize :
+  Svgic_util.Rng.t ->
+  graph:Svgic_graph.Graph.t ->
+  events:event array ->
+  rounds:int ->
+  capacity:int ->
+  pref:float array array ->
+  tau:(int -> int -> int -> float) ->
+  lambda:float ->
+  plan
+(** Solves the SEO instance with the SVGIC-ST extension of AVG
+    (capacity-capped CSF). Requires
+    [capacity * |events| >= n + (rounds-1)*capacity] so a feasible
+    schedule exists. *)
+
+val attendees : plan -> round:int -> event:int -> int array
+(** Who attends an event in a round. *)
+
+val schedule_of : plan -> user:int -> event array
+(** A user's per-round schedule. *)
+
+val total_welfare : plan -> float
+val max_event_load : plan -> int
+(** Largest attendance of any (event, round) — for capacity checks. *)

@@ -1,0 +1,147 @@
+let instance_to_string inst =
+  let buf = Buffer.create 4096 in
+  let n = Instance.n inst and m = Instance.m inst in
+  Buffer.add_string buf "svgic-instance 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "n %d m %d k %d lambda %.17g\n" n m (Instance.k inst)
+       (Instance.lambda inst));
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      if c > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%.17g" (Instance.pref inst u c))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  let edges = Svgic_graph.Graph.edges (Instance.graph inst) in
+  Buffer.add_string buf (Printf.sprintf "edges %d\n" (Array.length edges));
+  Array.iter
+    (fun (u, v) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d" u v);
+      for c = 0 to m - 1 do
+        Buffer.add_string buf (Printf.sprintf " %.17g" (Instance.tau inst u v c))
+      done;
+      Buffer.add_char buf '\n')
+    edges;
+  Buffer.contents buf
+
+let tokens_of_line line =
+  String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let instance_of_string text =
+  let lines = String.split_on_char '\n' text |> List.filter (( <> ) "") in
+  match lines with
+  | header :: dims :: rest when String.trim header = "svgic-instance 1" -> (
+      match tokens_of_line dims with
+      | [ "n"; n; "m"; m; "k"; k; "lambda"; lambda ] -> (
+          try
+            let n = int_of_string n
+            and m = int_of_string m
+            and k = int_of_string k
+            and lambda = float_of_string lambda in
+            let pref_lines, rest =
+              let rec split i acc = function
+                | line :: tl when i < n -> split (i + 1) (line :: acc) tl
+                | remaining -> (List.rev acc, remaining)
+              in
+              split 0 [] rest
+            in
+            if List.length pref_lines <> n then Error "missing preference rows"
+            else
+              let pref =
+                Array.of_list
+                  (List.map
+                     (fun line ->
+                       Array.of_list
+                         (List.map float_of_string (tokens_of_line line)))
+                     pref_lines)
+              in
+              match rest with
+              | count_line :: edge_lines -> (
+                  match tokens_of_line count_line with
+                  | [ "edges"; count ] ->
+                      let count = int_of_string count in
+                      if List.length edge_lines < count then
+                        Error "missing edge rows"
+                      else begin
+                        let table = Hashtbl.create (max 16 count) in
+                        let edges = ref [] in
+                        List.iteri
+                          (fun i line ->
+                            if i < count then
+                              match tokens_of_line line with
+                              | u :: v :: taus ->
+                                  let u = int_of_string u
+                                  and v = int_of_string v in
+                                  edges := (u, v) :: !edges;
+                                  Hashtbl.replace table (u, v)
+                                    (Array.of_list (List.map float_of_string taus))
+                              | _ -> failwith "bad edge line")
+                          edge_lines;
+                        let graph = Svgic_graph.Graph.of_edges ~n !edges in
+                        let tau u v c =
+                          match Hashtbl.find_opt table (u, v) with
+                          | Some row -> row.(c)
+                          | None -> 0.0
+                        in
+                        Ok (Instance.create ~graph ~m ~k ~lambda ~pref ~tau)
+                      end
+                  | _ -> Error "bad edges header")
+              | [] -> Error "missing edges section"
+          with
+          | Failure msg -> Error msg
+          | Invalid_argument msg -> Error msg)
+      | _ -> Error "bad dimensions line")
+  | _ -> Error "not a svgic-instance file"
+
+let config_to_string cfg inst =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "svgic-config 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Instance.n inst) (Instance.k inst));
+  for u = 0 to Instance.n inst - 1 do
+    Array.iteri
+      (fun s c ->
+        if s > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int c))
+      (Config.row cfg u);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let config_of_string inst text =
+  let lines = String.split_on_char '\n' text |> List.filter (( <> ) "") in
+  match lines with
+  | header :: dims :: rows when String.trim header = "svgic-config 1" -> (
+      try
+        match tokens_of_line dims with
+        | [ n; k ] ->
+            let n = int_of_string n and k = int_of_string k in
+            if n <> Instance.n inst || k <> Instance.k inst then
+              Error "dimension mismatch with instance"
+            else if List.length rows < n then Error "missing rows"
+            else
+              let matrix =
+                Array.of_list
+                  (List.filteri (fun i _ -> i < n) rows
+                  |> List.map (fun line ->
+                         Array.of_list
+                           (List.map int_of_string (tokens_of_line line))))
+              in
+              (match Config.validate inst matrix with
+              | Ok () -> Ok (Config.make inst matrix)
+              | Error msg -> Error msg)
+        | _ -> Error "bad dimensions line"
+      with Failure msg -> Error msg)
+  | _ -> Error "not a svgic-config file"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,22 @@
+(** Plain-text persistence for instances and configurations, so that
+    CLI runs and experiments can be saved, diffed and replayed.
+
+    Format (line-oriented, whitespace-separated):
+    {v
+      svgic-instance 1
+      n <n> m <m> k <k> lambda <float>
+      pref                      # n lines of m floats
+      ...
+      edges <count>             # then one line per directed edge:
+      <u> <v> <tau_0> ... <tau_{m-1}>
+    v}
+    Configurations: [svgic-config 1], [n k], then n lines of k items. *)
+
+val instance_to_string : Instance.t -> string
+val instance_of_string : string -> (Instance.t, string) result
+
+val config_to_string : Config.t -> Instance.t -> string
+val config_of_string : Instance.t -> string -> (Config.t, string) result
+
+val write_file : string -> string -> unit
+val read_file : string -> string

@@ -1,0 +1,55 @@
+module Graph = Svgic_graph.Graph
+
+let total_utility inst ~dtel cfg =
+  if dtel < 0.0 || dtel > 1.0 then invalid_arg "St.total_utility: dtel out of [0,1]";
+  let n = Instance.n inst and k = Instance.k inst in
+  let lambda = Instance.lambda inst in
+  (* slot_of.(u) maps item -> slot for user u. *)
+  let slot_of =
+    Array.init n (fun u ->
+        let table = Hashtbl.create k in
+        for s = 0 to k - 1 do
+          Hashtbl.replace table (Config.item cfg ~user:u ~slot:s) s
+        done;
+        table)
+  in
+  let pref_part = ref 0.0 in
+  for u = 0 to n - 1 do
+    for s = 0 to k - 1 do
+      pref_part := !pref_part +. Instance.pref inst u (Config.item cfg ~user:u ~slot:s)
+    done
+  done;
+  let social_part = ref 0.0 in
+  Array.iter
+    (fun (u, v) ->
+      for s = 0 to k - 1 do
+        let c = Config.item cfg ~user:u ~slot:s in
+        match Hashtbl.find_opt slot_of.(v) c with
+        | Some s' when s' = s -> social_part := !social_part +. Instance.tau inst u v c
+        | Some _ -> social_part := !social_part +. (dtel *. Instance.tau inst u v c)
+        | None -> ()
+      done)
+    (Graph.edges (Instance.graph inst));
+  ((1.0 -. lambda) *. !pref_part) +. (lambda *. !social_part)
+
+let violations inst ~m_cap cfg =
+  let k = Instance.k inst in
+  let excess = ref 0 and oversized = ref 0 in
+  for s = 0 to k - 1 do
+    Array.iter
+      (fun members ->
+        let size = Array.length members in
+        if size > m_cap then begin
+          excess := !excess + (size - m_cap);
+          incr oversized
+        end)
+      (Config.subgroups_at_slot cfg inst s)
+  done;
+  (!excess, !oversized)
+
+let feasible inst ~m_cap cfg = fst (violations inst ~m_cap cfg) = 0
+
+let avg ?advanced_sampling rng inst relax ~m_cap =
+  Algorithms.avg ?advanced_sampling ~size_cap:m_cap rng inst relax
+
+let avg_d ?r inst relax ~m_cap = Algorithms.avg_d ?r ~size_cap:m_cap inst relax

@@ -1,0 +1,39 @@
+(** SVGIC-ST: the extension with teleportation (indirect co-display,
+    Definition 4/5) and the subgroup size constraint [M]
+    (Section 3.2).
+
+    The LP relaxation of SVGIC-ST coincides with the compact SVGIC
+    relaxation (in both, at any optimum the per-pair social mass equals
+    [Σ_c w_e(c) · min(x_u^c, x_v^c)]), so the algorithms reuse
+    [Relaxation.solve]; the size constraint lives purely in the CSF
+    rounding (locking full (item, slot) subgroups), exactly as the
+    paper extends AVG. *)
+
+val total_utility : Instance.t -> dtel:float -> Config.t -> float
+(** The SVGIC-ST objective: direct co-display contributes [τ] in full,
+    indirect co-display (same item at different slots of the two
+    friends' VEs) contributes [dtel · τ]. With [dtel = 0] this equals
+    the plain SVGIC objective. *)
+
+val violations : Instance.t -> m_cap:int -> Config.t -> int * int
+(** [(excess_users, oversized_subgroups)] over all slots: total number
+    of users beyond the cap, and the number of (item, slot) subgroups
+    whose size exceeds [m_cap]. *)
+
+val feasible : Instance.t -> m_cap:int -> Config.t -> bool
+
+val avg :
+  ?advanced_sampling:bool ->
+  Svgic_util.Rng.t ->
+  Instance.t ->
+  Relaxation.t ->
+  m_cap:int ->
+  Config.t
+(** AVG extended for SVGIC-ST: CSF admits users in decreasing
+    utility-factor order and locks an (item, slot) pair once [m_cap]
+    users view it. The result never violates the size constraint
+    (provided [m · m_cap >= n + (k-1)·m_cap], which all experiment
+    settings satisfy). *)
+
+val avg_d : ?r:float -> Instance.t -> Relaxation.t -> m_cap:int -> Config.t
+(** Deterministic variant with the same CSF extension. *)

@@ -1,0 +1,1 @@
+lib/datagen/datasets.ml: Svgic_graph Svgic_util Utility_model

@@ -1,0 +1,1 @@
+lib/datagen/datasets.mli: Svgic Svgic_graph Svgic_util Utility_model

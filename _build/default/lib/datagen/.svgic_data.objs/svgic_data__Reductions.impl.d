@@ -1,0 +1,1 @@
+lib/datagen/reductions.ml: Array Hashtbl Svgic Svgic_graph

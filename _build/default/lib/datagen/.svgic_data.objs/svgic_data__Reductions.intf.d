@@ -1,0 +1,1 @@
+lib/datagen/reductions.mli: Svgic Svgic_graph

@@ -1,0 +1,1 @@
+lib/datagen/user_study.ml: Array Float List Svgic Svgic_graph Svgic_util Utility_model

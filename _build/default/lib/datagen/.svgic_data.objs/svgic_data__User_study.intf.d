@@ -1,0 +1,1 @@
+lib/datagen/user_study.mli: Svgic Svgic_util

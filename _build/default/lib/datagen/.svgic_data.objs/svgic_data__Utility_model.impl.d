@@ -1,0 +1,1 @@
+lib/datagen/utility_model.ml: Array Float Hashtbl Svgic Svgic_graph Svgic_util

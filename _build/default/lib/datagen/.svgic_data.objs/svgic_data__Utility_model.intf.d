@@ -1,0 +1,1 @@
+lib/datagen/utility_model.mli: Svgic Svgic_graph Svgic_util

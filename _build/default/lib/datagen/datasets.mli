@@ -1,0 +1,41 @@
+(** Synthetic stand-ins for the paper's three proprietary/large
+    datasets. Each preset pairs a graph topology with utility-model
+    parameters chosen to reproduce the structural properties the paper
+    attributes to the dataset (see DESIGN.md §2):
+
+    - [Timik]  — VR social world: dense preferential-attachment
+      friendships with weak community structure; a few globally
+      popular "VR POI" items (transportation hubs) that everyone likes
+      a little, so even PER produces some incidental co-display.
+    - [Epinions] — product-review trust network: sparse,
+      one-directional edges (low social utility overall); a small set
+      of universally liked products.
+    - [Yelp]   — location-based social network: strong communities;
+      highly diversified POI preferences (so PER co-displays almost
+      nothing and group consensus matters). *)
+
+type preset = Timik | Epinions | Yelp
+
+val name : preset -> string
+
+val graph : preset -> Svgic_util.Rng.t -> n:int -> Svgic_graph.Graph.t
+(** Just the social topology of a preset. *)
+
+val make :
+  ?model:Utility_model.kind ->
+  preset ->
+  Svgic_util.Rng.t ->
+  n:int ->
+  m:int ->
+  k:int ->
+  lambda:float ->
+  Svgic.Instance.t
+(** Full instance; the sampled shopping group is carved out of a
+    larger preset network by random-walk sampling (the paper's
+    small-dataset protocol). [model] defaults to [Piert]. *)
+
+val default_n : int
+(** 125 — the paper's default user-set size. *)
+
+val default_k : int
+(** 50 — the paper's default slot count (benches scale this down). *)

@@ -1,0 +1,262 @@
+module Graph = Svgic_graph.Graph
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1 gap instances                                             *)
+(* ------------------------------------------------------------------ *)
+
+let own_items ~n ~k i = Array.init k (fun j -> (j * n) + i)
+
+let theorem1_group_gap ~n ~k ~lambda =
+  let m = n * k in
+  let graph = Graph.of_edges ~n [] in
+  let pref = Array.make_matrix n m 0.0 in
+  for i = 0 to n - 1 do
+    Array.iter (fun c -> pref.(i).(c) <- 1.0) (own_items ~n ~k i)
+  done;
+  Instance.create ~graph ~m ~k ~lambda ~pref ~tau:(fun _ _ _ -> 0.0)
+
+let complete_graph n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let theorem1_personalized_gap ~n ~k ~lambda ~eps =
+  let m = n * k in
+  let graph = complete_graph n in
+  let pref = Array.make_matrix n m (1.0 -. eps) in
+  for i = 0 to n - 1 do
+    Array.iter (fun c -> pref.(i).(c) <- 1.0) (own_items ~n ~k i)
+  done;
+  Instance.create ~graph ~m ~k ~lambda ~pref ~tau:(fun _ _ _ -> 1.0)
+
+let lemma3_uniform ~n ~m ~k ~tau =
+  let graph = complete_graph n in
+  let pref = Array.make_matrix n m 0.0 in
+  Instance.create ~graph ~m ~k ~lambda:1.0 ~pref ~tau:(fun _ _ _ -> tau)
+
+(* ------------------------------------------------------------------ *)
+(* MAX-E3SAT gadget (Lemma 2)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type literal = { var : int; positive : bool }
+
+type formula = { nvar : int; clauses : (literal * literal * literal) array }
+
+let literals_of formula j =
+  let l1, l2, l3 = formula.clauses.(j) in
+  [| l1; l2; l3 |]
+
+(* Vertex layout: clause vertices u_j, then per clause six literal
+   vertices (v_{j,t} at even offsets, v'_{j,t} at odd), then variable
+   vertices w_i. *)
+let clause_vertex _formula j = j
+
+let lit_vertex formula j t ~primed =
+  formula.nvar |> ignore;
+  Array.length formula.clauses + (6 * j) + (2 * t) + if primed then 1 else 0
+
+let var_vertex formula i = 7 * Array.length formula.clauses + i
+
+(* Item layout: one item per literal occurrence (the c_{j,t} / c'_{j,t}
+   of the paper — only one of the two is ever used per literal, so a
+   single slot suffices), then c_i ("a_i is FALSE") and c'_i ("a_i is
+   TRUE") per variable. *)
+let lit_item formula j t =
+  formula.nvar |> ignore;
+  (3 * j) + t
+
+let var_item_false formula i = (3 * Array.length formula.clauses) + (2 * i)
+let var_item_true formula i = (3 * Array.length formula.clauses) + (2 * i) + 1
+
+let max_e3sat_instance formula =
+  let mcla = Array.length formula.clauses in
+  let n = (7 * mcla) + formula.nvar in
+  let m = (3 * mcla) + (2 * formula.nvar) in
+  let tau_table = Hashtbl.create (16 * mcla) in
+  let connect u v c =
+    let add a b =
+      let row =
+        match Hashtbl.find_opt tau_table (a, b) with
+        | Some row -> row
+        | None ->
+            let row = Array.make m 0.0 in
+            Hashtbl.replace tau_table (a, b) row;
+            row
+      in
+      row.(c) <- 1.0
+    in
+    add u v;
+    add v u
+  in
+  for j = 0 to mcla - 1 do
+    Array.iteri
+      (fun t lit ->
+        (* Clause vertex pairs with the TRUE-assignment vertex of the
+           literal, on the literal's private item. *)
+        let satisfying = lit_vertex formula j t ~primed:(not lit.positive) in
+        connect (clause_vertex formula j) satisfying (lit_item formula j t);
+        (* Variable vertex pairs with both literal vertices: with
+           v_{j,t} on c_i (a_i FALSE) and with v'_{j,t} on c'_i (TRUE). *)
+        connect (var_vertex formula lit.var)
+          (lit_vertex formula j t ~primed:false)
+          (var_item_false formula lit.var);
+        connect (var_vertex formula lit.var)
+          (lit_vertex formula j t ~primed:true)
+          (var_item_true formula lit.var))
+      (literals_of formula j)
+  done;
+  let edges = Hashtbl.fold (fun e _ acc -> e :: acc) tau_table [] in
+  let graph = Graph.of_edges ~n edges in
+  let pref = Array.make_matrix n m 0.0 in
+  let tau u v c =
+    match Hashtbl.find_opt tau_table (u, v) with
+    | Some row -> row.(c)
+    | None -> 0.0
+  in
+  Instance.create ~graph ~m ~k:1 ~lambda:1.0 ~pref ~tau
+
+let clause_satisfied formula assignment j =
+  Array.exists
+    (fun lit -> assignment.(lit.var) = lit.positive)
+    (literals_of formula j)
+
+let count_satisfied formula assignment =
+  let count = ref 0 in
+  for j = 0 to Array.length formula.clauses - 1 do
+    if clause_satisfied formula assignment j then incr count
+  done;
+  !count
+
+let max_e3sat_bound formula ~satisfied =
+  float_of_int ((2 * satisfied) + (6 * Array.length formula.clauses))
+
+let best_assignment formula =
+  if formula.nvar > 20 then invalid_arg "Reductions.best_assignment: too many variables";
+  let best = ref [||] and best_count = ref (-1) in
+  let total = 1 lsl formula.nvar in
+  for mask = 0 to total - 1 do
+    let assignment = Array.init formula.nvar (fun i -> mask land (1 lsl i) <> 0) in
+    let count = count_satisfied formula assignment in
+    if count > !best_count then begin
+      best_count := count;
+      best := assignment
+    end
+  done;
+  (!best, !best_count)
+
+let assignment_config formula inst assignment =
+  let mcla = Array.length formula.clauses in
+  let n = Instance.n inst in
+  let assign = Array.make_matrix n 1 0 in
+  for j = 0 to mcla - 1 do
+    let lits = literals_of formula j in
+    (* Clause vertex: the item of the first TRUE literal, if any. *)
+    let tj = ref (-1) in
+    Array.iteri
+      (fun t lit -> if !tj < 0 && assignment.(lit.var) = lit.positive then tj := t)
+      lits;
+    assign.(clause_vertex formula j).(0) <-
+      (if !tj >= 0 then lit_item formula j !tj else lit_item formula j 0);
+    Array.iteri
+      (fun t lit ->
+        let v = lit_vertex formula j t ~primed:false in
+        let v' = lit_vertex formula j t ~primed:true in
+        if assignment.(lit.var) then begin
+          (* a_i TRUE: v' joins w_i on c'_i; v either pairs with the
+             clause vertex (positive literal) or idles on its own. *)
+          assign.(v').(0) <- var_item_true formula lit.var;
+          assign.(v).(0) <-
+            (if lit.positive then lit_item formula j t
+             else var_item_false formula lit.var)
+        end
+        else begin
+          (* a_i FALSE: v joins w_i on c_i; v' pairs with the clause
+             vertex when the literal is negative. *)
+          assign.(v).(0) <- var_item_false formula lit.var;
+          assign.(v').(0) <-
+            (if not lit.positive then lit_item formula j t
+             else var_item_true formula lit.var)
+        end)
+      lits
+  done;
+  for i = 0 to formula.nvar - 1 do
+    assign.(var_vertex formula i).(0) <-
+      (if assignment.(i) then var_item_true formula i
+       else var_item_false formula i)
+  done;
+  Config.make inst assign
+
+(* ------------------------------------------------------------------ *)
+(* Max-K3P gadget                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let max_k3p_instance g =
+  let n = Graph.n g in
+  let pairs = Graph.pairs g in
+  (* Enumerate triangles u < v < w. *)
+  let triangles = ref [] in
+  Array.iter
+    (fun (u, v) ->
+      Array.iter
+        (fun w ->
+          if w > v && Array.exists (( = ) w) (Graph.neighbors_undirected g v)
+          then triangles := (u, v, w) :: !triangles)
+        (Graph.neighbors_undirected g u))
+    pairs;
+  let triangles = Array.of_list !triangles in
+  let m = max 1 (Array.length pairs + Array.length triangles) in
+  let tau_table = Hashtbl.create 64 in
+  let connect u v c =
+    let set a b =
+      let row =
+        match Hashtbl.find_opt tau_table (a, b) with
+        | Some row -> row
+        | None ->
+            let row = Array.make m 0.0 in
+            Hashtbl.replace tau_table (a, b) row;
+            row
+      in
+      row.(c) <- 0.5
+    in
+    set u v;
+    set v u
+  in
+  Array.iteri (fun e (u, v) -> connect u v e) pairs;
+  Array.iteri
+    (fun t (u, v, w) ->
+      let item = Array.length pairs + t in
+      connect u v item;
+      connect u w item;
+      connect v w item)
+    triangles;
+  let edges = Hashtbl.fold (fun e _ acc -> e :: acc) tau_table [] in
+  let graph = Graph.of_edges ~n edges in
+  let pref = Array.make_matrix n m 0.0 in
+  let tau u v c =
+    match Hashtbl.find_opt tau_table (u, v) with
+    | Some row -> row.(c)
+    | None -> 0.0
+  in
+  Instance.create ~graph ~m ~k:1 ~lambda:1.0 ~pref ~tau
+
+(* ------------------------------------------------------------------ *)
+(* Densest-k-Subgraph gadget (Theorem 3)                               *)
+(* ------------------------------------------------------------------ *)
+
+let dks_instance g ~khat =
+  let base_n = Graph.n g in
+  let padding = if base_n mod khat = 0 then 0 else khat - (base_n mod khat) in
+  let n = base_n + padding in
+  let m = n / khat in
+  let graph = Graph.of_edges ~n (Array.to_list (Graph.edges g)) in
+  let pref = Array.make_matrix n m 0.0 in
+  let tau u v c =
+    if c = 0 && u < base_n && v < base_n && Graph.has_edge g u v then 0.5 else 0.0
+  in
+  (Instance.create ~graph ~m ~k:1 ~lambda:1.0 ~pref ~tau, khat)

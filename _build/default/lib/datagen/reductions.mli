@@ -1,0 +1,70 @@
+(** Executable versions of the paper's theoretical constructions:
+    the Theorem 1 gap instances, the Lemma 3 bad instance for
+    independent rounding, and the hardness-reduction gadgets
+    (MAX-E3SAT → SVGIC of Lemma 2, Max-K3P → SVGIC, DkS → SVGIC-ST).
+    These are used by the test suite to check the constructions'
+    stated properties end-to-end. *)
+
+(** {1 Theorem 1 gap instances} *)
+
+val theorem1_group_gap : n:int -> k:int -> lambda:float -> Svgic.Instance.t
+(** Instance [I_G]: no edges; user [i] has preference 1 for exactly the
+    k items [{i, n+i, ..., (k-1)n+i}] (m = n·k) and 0 elsewhere. The
+    SVGIC optimum is n times the group-approach optimum. *)
+
+val theorem1_personalized_gap :
+  n:int -> k:int -> lambda:float -> eps:float -> Svgic.Instance.t
+(** Instance [I_P]: complete graph, τ ≡ 1; user [i] prefers her own k
+    items at 1 and everything else at 1-eps. The SVGIC optimum is
+    Θ(n) times the personalized-approach value. *)
+
+val lemma3_uniform : n:int -> m:int -> k:int -> tau:float -> Svgic.Instance.t
+(** All preferences 0, all social utilities [tau] on a complete graph:
+    independent rounding achieves only O(1/m) of the optimum here. *)
+
+(** {1 MAX-E3SAT gadget (Lemma 2)} *)
+
+type literal = { var : int; positive : bool }
+
+type formula = {
+  nvar : int;
+  clauses : (literal * literal * literal) array;
+}
+
+val max_e3sat_instance : formula -> Svgic.Instance.t
+(** The SVGIC instance of Lemma 2 (k = 1, λ = 1). If χ clauses of the
+    formula are satisfiable, the instance's optimum (in the paper's
+    λ=1 scaled convention, i.e. raw Σ τ) is [2·χ + 6·|clauses|]. *)
+
+val max_e3sat_bound : formula -> satisfied:int -> float
+(** [2·satisfied + 6·|clauses|], the objective the reduction promises;
+    note the instance objective as computed by [Config.total_utility]
+    carries the λ = 1 weight, i.e. equals this value exactly. *)
+
+val count_satisfied : formula -> bool array -> int
+(** Clauses satisfied by a truth assignment. *)
+
+val assignment_config :
+  formula -> Svgic.Instance.t -> bool array -> Svgic.Config.t
+(** The feasible SVGIC solution Lemma 2 constructs from a truth
+    assignment; its objective is exactly
+    [2·(count_satisfied) + 6·|clauses|]. *)
+
+val best_assignment : formula -> bool array * int
+(** Exhaustive optimum over assignments (for [nvar <= 20]). *)
+
+(** {1 Max-K3P gadget} *)
+
+val max_k3p_instance : Svgic_graph.Graph.t -> Svgic.Instance.t
+(** k = 1, λ = 1: an item per edge with τ = 0.5 each way, and an item
+    per triangle. The SVGIC optimum equals the maximum number of edges
+    coverable by vertex-disjoint edges and triangles. *)
+
+(** {1 Densest-k-Subgraph gadget (Theorem 3)} *)
+
+val dks_instance :
+  Svgic_graph.Graph.t -> khat:int -> Svgic.Instance.t * int
+(** The SVGIC-ST instance of Theorem 3 (k = 1, λ = 1, M = khat;
+    singleton pad vertices added so that khat divides n). Returns the
+    instance and the subgroup cap M. Its ST-optimal objective equals
+    the maximum number of edges induced by khat vertices. *)

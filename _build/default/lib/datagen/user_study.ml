@@ -1,0 +1,125 @@
+module Rng = Svgic_util.Rng
+module Stats = Svgic_util.Stats
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module Metrics = Svgic.Metrics
+
+type group = { instance : Instance.t; member_lambdas : float array }
+
+type cohort = { groups : group array }
+
+let draw_lambda rng =
+  (* Centred near the paper's observed mean 0.53, clipped to the
+     observed range [0.15, 0.85]. *)
+  let raw = Rng.gaussian rng ~mean:0.53 ~stddev:0.16 in
+  Float.min 0.85 (Float.max 0.15 raw)
+
+let make_cohort ?(participants = 44) ?(group_size = 6) ?(m = 40) ?(k = 8) rng =
+  assert (participants >= 2 && group_size >= 2);
+  let sizes =
+    let rec split remaining acc =
+      if remaining = 0 then List.rev acc
+      else if remaining <= group_size + 1 then List.rev (remaining :: acc)
+      else split (remaining - group_size) (group_size :: acc)
+    in
+    split participants []
+  in
+  let groups =
+    List.map
+      (fun size ->
+        let member_lambdas = Array.init size (fun _ -> draw_lambda rng) in
+        let lambda = Stats.mean member_lambdas in
+        (* A small shopping group is socially tight: dense ER circle. *)
+        let graph = Svgic_graph.Generate.erdos_renyi rng ~n:size ~p:0.65 in
+        let instance =
+          Utility_model.instance Utility_model.Piert rng graph ~m ~k ~lambda
+        in
+        { instance; member_lambdas })
+      sizes
+  in
+  { groups = Array.of_list groups }
+
+type method_outcome = {
+  method_name : string;
+  mean_utility : float;
+  mean_satisfaction : float;
+  utilities : float array;
+  satisfactions : float array;
+  alone_rate : float;
+  normalized_density : float;
+  intra_pct : float;
+  codisplay_rate : float;
+}
+
+let satisfaction_of_utility rng ~utility ~bound =
+  let ratio = if bound <= 0.0 then 1.0 else Float.min 1.0 (utility /. bound) in
+  let noiseless = 1.0 +. (4.0 *. (ratio ** 0.8)) in
+  let noisy = noiseless +. Rng.gaussian rng ~mean:0.0 ~stddev:0.35 in
+  Float.min 5.0 (Float.max 1.0 noisy)
+
+let run rng cohort methods =
+  List.map
+    (fun (method_name, solver) ->
+      let utilities = ref [] and satisfactions = ref [] in
+      let totals = ref [] in
+      let alone = ref [] and density = ref [] and intra = ref [] and codisp = ref [] in
+      Array.iter
+        (fun { instance; _ } ->
+          let cfg = solver instance in
+          totals := Config.total_utility instance cfg :: !totals;
+          alone := Metrics.alone_rate instance cfg :: !alone;
+          density := Metrics.normalized_density instance cfg :: !density;
+          intra := fst (Metrics.intra_inter_pct instance cfg) :: !intra;
+          codisp := Metrics.codisplay_rate instance cfg :: !codisp;
+          (* Anchor the Likert response on a per-group scale (the mean
+             selfish optimum of the group) so that satisfaction is
+             monotone in a participant's raw SAVG utility — the
+             relationship the study's correlation measures. *)
+          let n_members = Instance.n instance in
+          let bounds =
+            Array.init n_members (fun u ->
+                let utility = Config.user_utility instance cfg u in
+                let hap = Metrics.happiness instance cfg u in
+                if hap <= 0.0 then utility else utility /. hap)
+          in
+          let group_bound = Float.max 1e-9 (Stats.mean bounds) in
+          for u = 0 to n_members - 1 do
+            let utility = Config.user_utility instance cfg u in
+            utilities := utility :: !utilities;
+            satisfactions :=
+              satisfaction_of_utility rng ~utility ~bound:group_bound
+              :: !satisfactions
+          done)
+        cohort.groups;
+      let to_array l = Array.of_list (List.rev l) in
+      let utilities = to_array !utilities in
+      let satisfactions = to_array !satisfactions in
+      {
+        method_name;
+        mean_utility = Stats.mean (to_array !totals);
+        mean_satisfaction = Stats.mean satisfactions;
+        utilities;
+        satisfactions;
+        alone_rate = Stats.mean (to_array !alone);
+        normalized_density = Stats.mean (to_array !density);
+        intra_pct = Stats.mean (to_array !intra);
+        codisplay_rate = Stats.mean (to_array !codisp);
+      })
+    methods
+
+let all_lambdas cohort =
+  Array.concat
+    (Array.to_list (Array.map (fun g -> g.member_lambdas) cohort.groups))
+
+let correlation outcome =
+  ( Stats.spearman outcome.utilities outcome.satisfactions,
+    Stats.pearson outcome.utilities outcome.satisfactions )
+
+let pooled_correlation outcomes =
+  let utilities =
+    Array.concat (List.map (fun o -> o.utilities) outcomes)
+  in
+  let satisfactions =
+    Array.concat (List.map (fun o -> o.satisfactions) outcomes)
+  in
+  (Stats.spearman utilities satisfactions, Stats.pearson utilities satisfactions)

@@ -1,0 +1,126 @@
+module Rng = Svgic_util.Rng
+module Graph = Svgic_graph.Graph
+
+type kind = Piert | Agree | Gree
+
+let kind_name = function Piert -> "PIERT" | Agree -> "AGREE" | Gree -> "GREE"
+
+type params = {
+  topics : int;
+  user_concentration : float;
+  item_concentration : float;
+  popularity_alpha : float;
+  influence_mean : float;
+  uniform_boost : float;
+  sharpness : float;
+}
+
+let default_params =
+  {
+    topics = 8;
+    user_concentration = 0.6;
+    item_concentration = 0.4;
+    popularity_alpha = 1.5;
+    influence_mean = 0.25;
+    uniform_boost = 0.0;
+    sharpness = 2.5;
+  }
+
+type t = {
+  kind : kind;
+  graph : Graph.t;
+  m : int;
+  pref_table : float array array;
+  affinity : float array array; (* n x m topic affinity, per-user normalized *)
+  influence : (int * int, float) Hashtbl.t;
+  triple_noise : (int * int, float array) Hashtbl.t; (* GREE only *)
+  influence_mean : float;
+}
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let generate ?(params = default_params) kind rng graph ~m =
+  let n = Graph.n graph in
+  let user_topics =
+    Array.init n (fun _ -> Rng.dirichlet rng ~alpha:params.user_concentration params.topics)
+  in
+  let item_topics =
+    Array.init m (fun _ -> Rng.dirichlet rng ~alpha:params.item_concentration params.topics)
+  in
+  (* Popularity: heavy-tailed, normalized into (0, 1]. *)
+  let raw_pop = Array.init m (fun _ -> Rng.pareto rng ~alpha:params.popularity_alpha ~xmin:1.0) in
+  let max_pop = Array.fold_left Float.max 1.0 raw_pop in
+  let popularity = Array.map (fun q -> 0.25 +. (0.75 *. q /. max_pop)) raw_pop in
+  (* Topic affinity, normalized per user so every user has a clear
+     favorite near her popularity ceiling. *)
+  let affinity =
+    Array.init n (fun u ->
+        let raw = Array.init m (fun c -> dot user_topics.(u) item_topics.(c)) in
+        let peak = Array.fold_left Float.max 1e-12 raw in
+        Array.map (fun a -> (a /. peak) ** params.sharpness) raw)
+  in
+  let pref_table =
+    Array.init n (fun u ->
+        Array.init m (fun c ->
+            let base = popularity.(c) *. affinity.(u).(c) in
+            let boosted = base +. (params.uniform_boost *. popularity.(c)) in
+            Float.min 1.0 boosted))
+  in
+  let influence = Hashtbl.create (max 16 (Graph.num_edges graph)) in
+  Array.iter
+    (fun (u, v) ->
+      let strength =
+        match kind with
+        | Agree -> params.influence_mean
+        | Piert | Gree ->
+            Float.min 1.0 (Rng.exponential rng ~rate:(1.0 /. params.influence_mean))
+      in
+      Hashtbl.replace influence (u, v) strength)
+    (Graph.edges graph);
+  let triple_noise = Hashtbl.create 16 in
+  if kind = Gree then
+    Array.iter
+      (fun (u, v) ->
+        (* Free per-(edge, item) modulation: flattens the item
+           dependence that PIERT/AGREE derive from topics. *)
+        Hashtbl.replace triple_noise (u, v)
+          (Array.init m (fun _ -> 0.25 +. Rng.float rng 0.75)))
+      (Graph.edges graph);
+  {
+    kind;
+    graph;
+    m;
+    pref_table;
+    affinity;
+    influence;
+    triple_noise;
+    influence_mean = params.influence_mean;
+  }
+
+let pref t = t.pref_table
+
+let tau t u v c =
+  match Hashtbl.find_opt t.influence (u, v) with
+  | None -> 0.0
+  | Some strength -> (
+      match t.kind with
+      | Piert | Agree ->
+          (* Discussion potential requires joint interest: a pair only
+             gains social utility on items both endpoints care about
+             (the latent-topic models of the paper learn τ from joint
+             engagement). *)
+          strength *. Float.min t.affinity.(u).(c) t.affinity.(v).(c)
+      | Gree ->
+          let noise = Hashtbl.find t.triple_noise (u, v) in
+          strength *. noise.(c)
+          *. (0.3 +. (0.7 *. Float.min t.affinity.(u).(c) t.affinity.(v).(c))))
+
+let instance ?params kind rng graph ~m ~k ~lambda =
+  let model = generate ?params kind rng graph ~m in
+  Svgic.Instance.create ~graph ~m ~k ~lambda ~pref:(pref model)
+    ~tau:(tau model)

@@ -1,0 +1,60 @@
+(** Surrogates for the preference/social-utility learning models the
+    paper uses as input generators (Section 6.3): PIERT (joint latent
+    topics + per-pair influence), AGREE (uniform pairwise influence)
+    and GREE (free per-triple weights).
+
+    All three share a latent-topic backbone: users and items carry
+    Dirichlet topic mixtures, items carry a popularity/quality weight,
+    and a user's preference for an item is her (popularity-weighted,
+    per-user-normalized) topic affinity. The models differ in how the
+    social utility [τ(u,v,c)] is produced — exactly the axis the
+    paper's Figure 7 varies. *)
+
+type kind = Piert | Agree | Gree
+
+val kind_name : kind -> string
+
+type params = {
+  topics : int;  (** latent dimension (default 8) *)
+  user_concentration : float;
+      (** Dirichlet α for user mixtures; lower = more specialised users *)
+  item_concentration : float;  (** Dirichlet α for item mixtures *)
+  popularity_alpha : float;
+      (** Pareto tail exponent of item popularity; lower = a few
+          blockbuster items *)
+  influence_mean : float;  (** mean pairwise influence strength *)
+  uniform_boost : float;
+      (** extra item-quality mass given equally to every user's
+          preference — models "universally liked" items *)
+  sharpness : float;
+      (** exponent applied to the normalized topic affinity; > 1
+          concentrates each user's interest on her few top items the
+          way a huge real store (m = 10000 in the paper) does *)
+}
+
+val default_params : params
+
+type t
+(** A sampled model: holds user/item embeddings, item popularity, and
+    per-edge influence. *)
+
+val generate :
+  ?params:params -> kind -> Svgic_util.Rng.t -> Svgic_graph.Graph.t -> m:int -> t
+
+val pref : t -> float array array
+(** [n x m] preference utilities in [0, 1]. The matrix is owned by the
+    model. *)
+
+val tau : t -> int -> int -> int -> float
+(** Social utility of a directed edge for an item; 0 off-graph. *)
+
+val instance :
+  ?params:params ->
+  kind ->
+  Svgic_util.Rng.t ->
+  Svgic_graph.Graph.t ->
+  m:int ->
+  k:int ->
+  lambda:float ->
+  Svgic.Instance.t
+(** Convenience: samples a model and materializes an SVGIC instance. *)

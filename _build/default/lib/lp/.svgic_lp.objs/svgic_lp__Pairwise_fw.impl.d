@@ -1,0 +1,1 @@
+lib/lp/pairwise_fw.ml: Array Float Svgic_util

@@ -1,0 +1,1 @@
+lib/lp/pairwise_fw.mli:

@@ -1,0 +1,45 @@
+(** Frank–Wolfe solver for the pairwise-concave relaxation shape shared
+    by [LP_SIMP] (the compact SVGIC relaxation, Section 4.4 of the
+    paper).
+
+    The program solved is
+    {v
+      max  sum_u <linear_u, x_u> + sum_{(u,v,w)} sum_c w_c * min(x_u_c, x_v_c)
+      s.t. x_u in [0,1]^m,  sum_c x_u_c = k          for every user u
+    v}
+    which is exactly [LP_SIMP] after substituting out the auxiliary
+    [y] variables (at any optimum [y = min]). The feasible region is a
+    product of capped simplices, so the linear maximization oracle is a
+    per-user top-k selection — this is what makes the solver scale to
+    the paper's large configurations where a dense simplex tableau
+    would not.
+
+    The [min] terms are smoothed with a soft-min of temperature
+    [smoothing] to make the objective differentiable; the reported
+    solution is the iterate with the best *exact* (unsmoothed)
+    objective. The result is a β-approximate fractional solution, which
+    Corollary 4.2 of the paper turns into a (4·β)-approximation for the
+    rounded configuration. *)
+
+type problem = {
+  n : int;  (** users *)
+  m : int;  (** items *)
+  k : int;  (** slots; requires [k <= m] *)
+  linear : float array array;  (** [n x m] scaled preference utilities *)
+  pairs : (int * int * float array) array;
+      (** undirected pairs [(u, v, w)] with per-item combined social
+          weight [w] (length [m]) *)
+}
+
+type solution = {
+  x : float array array;  (** [n x m] fractional utility factors *)
+  objective : float;  (** exact (unsmoothed) objective of [x] *)
+  iterations : int;
+}
+
+val objective : problem -> float array array -> float
+(** Exact objective (with true [min]) of a feasible point. *)
+
+val solve : ?iterations:int -> ?smoothing:float -> problem -> solution
+(** [solve p] runs [iterations] (default 400) Frank–Wolfe steps with
+    soft-min temperature [smoothing] (default 0.05). *)

@@ -1,0 +1,118 @@
+type cmp = Le | Ge | Eq
+
+type row = { terms : (int * float) list; cmp : cmp; rhs : float }
+
+type t = {
+  mutable objs : float array;
+  mutable uppers : float option array;
+  mutable names : string array;
+  mutable nv : int;
+  mutable row_list : row list; (* reversed insertion order *)
+  mutable nr : int;
+}
+
+let create () =
+  { objs = [||]; uppers = [||]; names = [||]; nv = 0; row_list = []; nr = 0 }
+
+let grow t =
+  let cap = Array.length t.objs in
+  if t.nv >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let objs = Array.make ncap 0.0 in
+    let uppers = Array.make ncap None in
+    let names = Array.make ncap "" in
+    Array.blit t.objs 0 objs 0 t.nv;
+    Array.blit t.uppers 0 uppers 0 t.nv;
+    Array.blit t.names 0 names 0 t.nv;
+    t.objs <- objs;
+    t.uppers <- uppers;
+    t.names <- names
+  end
+
+let add_var t ?upper ~obj name =
+  grow t;
+  let idx = t.nv in
+  t.objs.(idx) <- obj;
+  t.uppers.(idx) <- upper;
+  t.names.(idx) <- name;
+  t.nv <- t.nv + 1;
+  idx
+
+let add_row t terms cmp rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nv then invalid_arg "Problem.add_row: unknown variable")
+    terms;
+  t.row_list <- { terms; cmp; rhs } :: t.row_list;
+  t.nr <- t.nr + 1
+
+let clone t =
+  {
+    objs = Array.copy t.objs;
+    uppers = Array.copy t.uppers;
+    names = Array.copy t.names;
+    nv = t.nv;
+    row_list = t.row_list;
+    nr = t.nr;
+  }
+
+let set_upper t v upper =
+  if v < 0 || v >= t.nv then invalid_arg "Problem.set_upper: unknown variable";
+  t.uppers.(v) <- upper
+
+let num_vars t = t.nv
+let num_rows t = t.nr
+let objective t = Array.sub t.objs 0 t.nv
+let upper_bound t i = t.uppers.(i)
+let var_name t i = t.names.(i)
+let rows t = Array.of_list (List.rev t.row_list)
+
+let eval_objective t x =
+  let acc = ref 0.0 in
+  for i = 0 to t.nv - 1 do
+    acc := !acc +. (t.objs.(i) *. x.(i))
+  done;
+  !acc
+
+let row_value row x =
+  List.fold_left (fun acc (v, coeff) -> acc +. (coeff *. x.(v))) 0.0 row.terms
+
+let check_feasible ?(eps = 1e-6) t x =
+  let bounds_ok = ref true in
+  for i = 0 to t.nv - 1 do
+    if x.(i) < -.eps then bounds_ok := false;
+    (match t.uppers.(i) with
+    | Some u when x.(i) > u +. eps -> bounds_ok := false
+    | Some _ | None -> ())
+  done;
+  !bounds_ok
+  && List.for_all
+       (fun row ->
+         let v = row_value row x in
+         match row.cmp with
+         | Le -> v <= row.rhs +. eps
+         | Ge -> v >= row.rhs -. eps
+         | Eq -> Float.abs (v -. row.rhs) <= eps)
+       t.row_list
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>max ";
+  for i = 0 to t.nv - 1 do
+    if t.objs.(i) <> 0.0 then
+      Format.fprintf ppf "%+g %s " t.objs.(i) t.names.(i)
+  done;
+  Format.fprintf ppf "@,subject to:@,";
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (v, coeff) -> Format.fprintf ppf "%+g %s " coeff t.names.(v))
+        row.terms;
+      let op = match row.cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf ppf "%s %g@," op row.rhs)
+    (List.rev t.row_list);
+  for i = 0 to t.nv - 1 do
+    match t.uppers.(i) with
+    | Some u -> Format.fprintf ppf "0 <= %s <= %g@," t.names.(i) u
+    | None -> ()
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** Linear-program description shared by the simplex solver and the
+    branch-and-bound ILP solver.
+
+    Conventions: all variables are non-negative, each may carry an
+    optional finite upper bound, and the objective is always
+    *maximized*. Constraint rows are sparse lists of
+    (variable, coefficient) terms. *)
+
+type cmp = Le | Ge | Eq
+
+type row = { terms : (int * float) list; cmp : cmp; rhs : float }
+
+type t
+
+val create : unit -> t
+
+val add_var : t -> ?upper:float -> obj:float -> string -> int
+(** [add_var t ?upper ~obj name] registers a variable and returns its
+    index. [name] is used only for debugging output. *)
+
+val add_row : t -> (int * float) list -> cmp -> float -> unit
+(** Adds a constraint row. Raises [Invalid_argument] if a term
+    references an unknown variable. *)
+
+val clone : t -> t
+(** Independent copy; used by branch-and-bound to add node-local
+    fixing rows without disturbing the base program. *)
+
+val set_upper : t -> int -> float option -> unit
+(** Replaces a variable's upper bound (fixing a binary to 0 is
+    [set_upper t v (Some 0.)]). *)
+
+val num_vars : t -> int
+val num_rows : t -> int
+val objective : t -> float array
+(** Objective coefficient per variable (copy). *)
+
+val upper_bound : t -> int -> float option
+val var_name : t -> int -> string
+val rows : t -> row array
+(** All rows (copy of the internal order). *)
+
+val eval_objective : t -> float array -> float
+(** Objective value of a point (no feasibility check). *)
+
+val check_feasible : ?eps:float -> t -> float array -> bool
+(** Verifies bounds and rows within tolerance [eps] (default 1e-6). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump, for debugging small programs. *)

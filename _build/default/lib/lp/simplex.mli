@@ -1,0 +1,24 @@
+(** Dense two-phase primal simplex.
+
+    This is the repository's stand-in for the commercial LP solver
+    (Gurobi / CPLEX) used by the paper. It solves exactly the programs
+    built by [Problem]: maximization, non-negative variables with
+    optional upper bounds, [<= / >= / =] rows. Upper bounds are
+    compiled to explicit rows, which keeps the implementation simple at
+    the cost of tableau size — adequate for the instance sizes the
+    exact paths of this repository handle (the large-scale relaxations
+    go through [Pairwise_fw] instead). *)
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+and solution = { x : float array; objective : float; pivots : int }
+
+val solve : ?max_pivots:int -> Problem.t -> status
+(** [solve p] runs the two-phase simplex. [max_pivots] (default
+    [200_000]) bounds total pivot operations; exceeding it raises
+    [Failure] — in practice it indicates a modelling bug, not a hard
+    instance. Degeneracy is handled by switching to Bland's rule after
+    a stall. *)

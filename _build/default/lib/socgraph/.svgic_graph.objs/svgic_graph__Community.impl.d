@@ -1,0 +1,1 @@
+lib/socgraph/community.ml: Array Graph Hashtbl List Option Svgic_util

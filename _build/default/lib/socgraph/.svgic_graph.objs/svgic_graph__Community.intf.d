@@ -1,0 +1,1 @@
+lib/socgraph/community.mli: Graph Svgic_util

@@ -1,0 +1,1 @@
+lib/socgraph/generate.ml: Array Graph Hashtbl List Svgic_util

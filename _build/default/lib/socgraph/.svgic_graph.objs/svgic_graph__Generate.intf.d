@@ -1,0 +1,1 @@
+lib/socgraph/generate.mli: Graph Svgic_util

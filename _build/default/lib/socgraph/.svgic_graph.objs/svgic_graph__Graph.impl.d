@@ -1,0 +1,1 @@
+lib/socgraph/graph.ml: Array Hashtbl List Queue Svgic_util

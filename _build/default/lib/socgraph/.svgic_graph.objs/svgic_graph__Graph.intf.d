@@ -1,0 +1,1 @@
+lib/socgraph/graph.mli:

@@ -1,0 +1,164 @@
+module Rng = Svgic_util.Rng
+
+let compact_labels labels =
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun l ->
+      match Hashtbl.find_opt mapping l with
+      | Some c -> c
+      | None ->
+          let c = !next in
+          Hashtbl.replace mapping l c;
+          incr next;
+          c)
+    labels
+
+let groups_of_labels labels =
+  let labels = compact_labels labels in
+  let count = Array.fold_left (fun acc l -> max acc (l + 1)) 0 labels in
+  let buckets = Array.make count [] in
+  Array.iteri (fun v l -> buckets.(l) <- v :: buckets.(l)) labels;
+  Array.map (fun l -> Array.of_list (List.sort compare l)) buckets
+
+let label_propagation ?(max_rounds = 50) rng g =
+  let size = Graph.n g in
+  let labels = Array.init size (fun i -> i) in
+  let order = Array.init size (fun i -> i) in
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed && !round < max_rounds do
+    changed := false;
+    incr round;
+    Rng.shuffle rng order;
+    Array.iter
+      (fun v ->
+        let nbrs = Graph.neighbors_undirected g v in
+        if Array.length nbrs > 0 then begin
+          (* Most frequent neighbor label; ties broken randomly. *)
+          let counts = Hashtbl.create 8 in
+          Array.iter
+            (fun u ->
+              let l = labels.(u) in
+              Hashtbl.replace counts l
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+            nbrs;
+          let best_count =
+            Hashtbl.fold (fun _ c acc -> max c acc) counts 0
+          in
+          let candidates =
+            Hashtbl.fold
+              (fun l c acc -> if c = best_count then l :: acc else acc)
+              counts []
+          in
+          let pick = Rng.pick rng (Array.of_list (List.sort compare candidates)) in
+          if pick <> labels.(v) then begin
+            labels.(v) <- pick;
+            changed := true
+          end
+        end)
+      order
+  done;
+  compact_labels labels
+
+let modularity g labels =
+  let m2 = float_of_int (2 * Array.length (Graph.pairs g)) in
+  if m2 = 0.0 then 0.0
+  else begin
+    let size = Graph.n g in
+    let q = ref 0.0 in
+    (* Q = sum_c [ e_c / m - (d_c / 2m)^2 ] over undirected pairs. *)
+    let count = Array.fold_left (fun acc l -> max acc (l + 1)) 0 labels in
+    let internal = Array.make count 0.0 in
+    let degree_sum = Array.make count 0.0 in
+    Array.iter
+      (fun (u, v) ->
+        if labels.(u) = labels.(v) then
+          internal.(labels.(u)) <- internal.(labels.(u)) +. 1.0)
+      (Graph.pairs g);
+    for v = 0 to size - 1 do
+      degree_sum.(labels.(v)) <-
+        degree_sum.(labels.(v)) +. float_of_int (Graph.degree_undirected g v)
+    done;
+    for c = 0 to count - 1 do
+      q :=
+        !q
+        +. (internal.(c) /. (m2 /. 2.0))
+        -. ((degree_sum.(c) /. m2) ** 2.0)
+    done;
+    !q
+  end
+
+let greedy_modularity g =
+  let size = Graph.n g in
+  let labels = Array.init size (fun i -> i) in
+  if Array.length (Graph.pairs g) = 0 then compact_labels labels
+  else begin
+    let current = ref (modularity g labels) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      (* Candidate merges: community pairs connected by an edge. *)
+      let seen = Hashtbl.create 64 in
+      let best_gain = ref 1e-12 and best_pair = ref None in
+      Array.iter
+        (fun (u, v) ->
+          let a = labels.(u) and b = labels.(v) in
+          if a <> b then begin
+            let key = (min a b, max a b) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              let trial = Array.map (fun l -> if l = b then a else l) labels in
+              let q = modularity g trial in
+              if q -. !current > !best_gain then begin
+                best_gain := q -. !current;
+                best_pair := Some (a, b)
+              end
+            end
+          end)
+        (Graph.pairs g);
+      match !best_pair with
+      | Some (a, b) ->
+          Array.iteri (fun v l -> if l = b then labels.(v) <- a) labels;
+          current := !current +. !best_gain;
+          improved := true
+      | None -> ()
+    done;
+    compact_labels labels
+  end
+
+let balanced_partition rng g ~parts =
+  let size = Graph.n g in
+  assert (parts >= 1 && parts <= size);
+  let capacity = (size + parts - 1) / parts in
+  let assignment = Array.make size (-1) in
+  let fill = Array.make parts 0 in
+  let order = Array.init size (fun i -> i) in
+  Rng.shuffle rng order;
+  (* Decreasing degree, with the shuffle as a deterministic-in-seed
+     tie-break. *)
+  Array.sort
+    (fun a b ->
+      compare (Graph.degree_undirected g b) (Graph.degree_undirected g a))
+    order;
+  Array.iter
+    (fun v ->
+      let friend_count = Array.make parts 0 in
+      Array.iter
+        (fun u ->
+          if assignment.(u) >= 0 then
+            friend_count.(assignment.(u)) <- friend_count.(assignment.(u)) + 1)
+        (Graph.neighbors_undirected g v);
+      let best = ref (-1) in
+      for p = 0 to parts - 1 do
+        if
+          fill.(p) < capacity
+          && (!best < 0
+             || friend_count.(p) > friend_count.(!best)
+             || (friend_count.(p) = friend_count.(!best) && fill.(p) < fill.(!best)))
+        then best := p
+      done;
+      assignment.(v) <- !best;
+      fill.(!best) <- fill.(!best) + 1)
+    order;
+  assignment

@@ -1,0 +1,33 @@
+(** Community detection and partitioning.
+
+    Used by the subgroup-style baselines: SDP pre-partitions the
+    shopping group by friendship (community structure), and the
+    SVGIC-ST experiments pre-partition into balanced subgroups of size
+    at most [M] ("-P" variants of Figures 13–15). *)
+
+val label_propagation :
+  ?max_rounds:int -> Svgic_util.Rng.t -> Graph.t -> int array
+(** Asynchronous label propagation; returns a community label per
+    vertex (labels are arbitrary ints, compacted to [0..c-1]). *)
+
+val greedy_modularity : Graph.t -> int array
+(** Agglomerative modularity maximization (CNM-style, on the
+    undirected pair graph): repeatedly merges the community pair with
+    the best modularity gain until no merge improves. Deterministic. *)
+
+val modularity : Graph.t -> int array -> float
+(** Newman modularity of a labelling on the undirected pair graph. *)
+
+val balanced_partition :
+  Svgic_util.Rng.t -> Graph.t -> parts:int -> int array
+(** Splits vertices into [parts] groups whose sizes differ by at most
+    one, greedily placing each vertex (in decreasing-degree order) into
+    the non-full group containing most of its already-placed friends.
+    This is the size-capped pre-partitioning used by the "-P" baselines
+    of the SVGIC-ST experiments. *)
+
+val groups_of_labels : int array -> int array array
+(** Members per community, indexed by compact label. *)
+
+val compact_labels : int array -> int array
+(** Renumbers arbitrary labels to [0 .. c-1] preserving identity. *)

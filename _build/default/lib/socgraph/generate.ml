@@ -1,0 +1,121 @@
+module Rng = Svgic_util.Rng
+
+let directed_edges ~reciprocal rng undirected =
+  (* Reciprocal friendships keep both directions; otherwise keep a
+     random single direction per pair. *)
+  List.concat_map
+    (fun (u, v) ->
+      if reciprocal then [ (u, v); (v, u) ]
+      else if Rng.bool rng then [ (u, v) ]
+      else [ (v, u) ])
+    undirected
+
+let erdos_renyi ?(reciprocal = true) rng ~n ~p =
+  assert (p >= 0.0 && p <= 1.0);
+  let undirected = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then undirected := (u, v) :: !undirected
+    done
+  done;
+  Graph.of_edges ~n (directed_edges ~reciprocal rng !undirected)
+
+let barabasi_albert ?(reciprocal = true) rng ~n ~attach =
+  assert (n > attach && attach >= 1);
+  (* Repeated-endpoint list implements degree-proportional sampling. *)
+  let endpoints = ref [] in
+  let undirected = ref [] in
+  (* Seed clique over the first attach+1 vertices. *)
+  for u = 0 to attach do
+    for v = u + 1 to attach do
+      undirected := (u, v) :: !undirected;
+      endpoints := u :: v :: !endpoints
+    done
+  done;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  for u = attach + 1 to n - 1 do
+    let chosen = Hashtbl.create attach in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < attach && !attempts < 50 * attach do
+      incr attempts;
+      let target = Rng.pick rng !endpoint_array in
+      if target <> u then Hashtbl.replace chosen target ()
+    done;
+    let new_endpoints = ref [] in
+    Hashtbl.iter
+      (fun v () ->
+        undirected := (u, v) :: !undirected;
+        new_endpoints := u :: v :: !new_endpoints)
+      chosen;
+    endpoint_array :=
+      Array.append !endpoint_array (Array.of_list !new_endpoints)
+  done;
+  Graph.of_edges ~n (directed_edges ~reciprocal rng !undirected)
+
+let watts_strogatz ?(reciprocal = true) rng ~n ~neighbors ~beta =
+  assert (2 * neighbors < n && neighbors >= 1);
+  assert (beta >= 0.0 && beta <= 1.0);
+  let pair_set = Hashtbl.create (n * neighbors) in
+  let add u v =
+    if u <> v then Hashtbl.replace pair_set (min u v, max u v) ()
+  in
+  for u = 0 to n - 1 do
+    for offset = 1 to neighbors do
+      let v = (u + offset) mod n in
+      if Rng.bernoulli rng beta then begin
+        (* Rewire to a uniform non-self target. *)
+        let rec fresh () =
+          let w = Rng.int rng n in
+          if w = u then fresh () else w
+        in
+        add u (fresh ())
+      end
+      else add u v
+    done
+  done;
+  let undirected = Hashtbl.fold (fun p () acc -> p :: acc) pair_set [] in
+  Graph.of_edges ~n (directed_edges ~reciprocal rng undirected)
+
+let planted_partition ?(reciprocal = true) rng ~n ~communities ~p_in ~p_out =
+  assert (communities >= 1 && communities <= n);
+  let assignment = Array.init n (fun i -> i mod communities) in
+  Rng.shuffle rng assignment;
+  let undirected = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let p = if assignment.(u) = assignment.(v) then p_in else p_out in
+      if Rng.bernoulli rng p then undirected := (u, v) :: !undirected
+    done
+  done;
+  (Graph.of_edges ~n (directed_edges ~reciprocal rng !undirected), assignment)
+
+let random_walk_sample rng g ~size =
+  let total = Graph.n g in
+  assert (size <= total);
+  let visited = Hashtbl.create (2 * size) in
+  let collected = ref [] in
+  let visit v =
+    if not (Hashtbl.mem visited v) then begin
+      Hashtbl.replace visited v ();
+      collected := v :: !collected
+    end
+  in
+  let start = Rng.int rng total in
+  visit start;
+  let current = ref start in
+  let steps = ref 0 in
+  let max_steps = 200 * size in
+  while Hashtbl.length visited < size && !steps < max_steps do
+    incr steps;
+    let nbrs = Graph.neighbors_undirected g !current in
+    if Array.length nbrs = 0 || Rng.bernoulli rng 0.15 then
+      current := start (* restart *)
+    else current := Rng.pick rng nbrs;
+    visit !current
+  done;
+  (* Stalled walk (disconnected graph): top up uniformly. *)
+  while Hashtbl.length visited < size do
+    visit (Rng.int rng total)
+  done;
+  Array.of_list (List.sort compare !collected)
+  |> fun arr -> Array.sub arr 0 size

@@ -1,0 +1,49 @@
+(** Random social-network generators.
+
+    All generators are deterministic given the RNG state. By default
+    friendships are reciprocal (both directed edges are present), which
+    matches how the paper treats friend pairs; pass
+    [~reciprocal:false] to get one-directional "trust" edges as in an
+    Epinions-style network. *)
+
+val erdos_renyi :
+  ?reciprocal:bool -> Svgic_util.Rng.t -> n:int -> p:float -> Graph.t
+(** Each unordered pair is a friendship independently with probability
+    [p]. *)
+
+val barabasi_albert :
+  ?reciprocal:bool -> Svgic_util.Rng.t -> n:int -> attach:int -> Graph.t
+(** Preferential attachment: each new vertex attaches to [attach]
+    existing vertices with probability proportional to degree.
+    Produces the heavy-tailed degree distributions of real social
+    networks. Requires [n > attach >= 1]. *)
+
+val watts_strogatz :
+  ?reciprocal:bool ->
+  Svgic_util.Rng.t ->
+  n:int ->
+  neighbors:int ->
+  beta:float ->
+  Graph.t
+(** Ring lattice with [neighbors] links per side, each rewired with
+    probability [beta]; small-world clustering. [neighbors] must
+    satisfy [2*neighbors < n]. *)
+
+val planted_partition :
+  ?reciprocal:bool ->
+  Svgic_util.Rng.t ->
+  n:int ->
+  communities:int ->
+  p_in:float ->
+  p_out:float ->
+  Graph.t * int array
+(** Vertices are split as evenly as possible into [communities]
+    blocks; within-block pairs connect with probability [p_in],
+    cross-block pairs with [p_out]. Returns the graph and the block
+    assignment. *)
+
+val random_walk_sample : Svgic_util.Rng.t -> Graph.t -> size:int -> int array
+(** Samples [size] distinct vertices by a restarting random walk
+    (restart probability 0.15), the scheme the paper cites for carving
+    small test sets out of large networks. Falls back to uniform
+    vertices if the walk stalls (e.g., isolated start). *)

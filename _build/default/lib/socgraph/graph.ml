@@ -1,0 +1,126 @@
+type t = {
+  size : int;
+  out_adj : int array array;
+  in_adj : int array array;
+  und_adj : int array array;
+  edge_set : (int * int, unit) Hashtbl.t;
+  all_edges : (int * int) array;
+  all_pairs : (int * int) array;
+}
+
+let of_edges ~n edge_list =
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range")
+    edge_list;
+  let edge_set = Hashtbl.create (max 16 (2 * List.length edge_list)) in
+  List.iter
+    (fun (u, v) ->
+      if u <> v && not (Hashtbl.mem edge_set (u, v)) then
+        Hashtbl.add edge_set (u, v) ())
+    edge_list;
+  let all_edges =
+    Hashtbl.fold (fun e () acc -> e :: acc) edge_set []
+    |> List.sort compare |> Array.of_list
+  in
+  let out_lists = Array.make n [] and in_lists = Array.make n [] in
+  let pair_set = Hashtbl.create (Array.length all_edges) in
+  Array.iter
+    (fun (u, v) ->
+      out_lists.(u) <- v :: out_lists.(u);
+      in_lists.(v) <- u :: in_lists.(v);
+      let key = (min u v, max u v) in
+      if not (Hashtbl.mem pair_set key) then Hashtbl.add pair_set key ())
+    all_edges;
+  let all_pairs =
+    Hashtbl.fold (fun p () acc -> p :: acc) pair_set []
+    |> List.sort compare |> Array.of_list
+  in
+  let und_lists = Array.make n [] in
+  Array.iter
+    (fun (u, v) ->
+      und_lists.(u) <- v :: und_lists.(u);
+      und_lists.(v) <- u :: und_lists.(v))
+    all_pairs;
+  let sorted_array l = Array.of_list (List.sort_uniq compare l) in
+  {
+    size = n;
+    out_adj = Array.map sorted_array out_lists;
+    in_adj = Array.map sorted_array in_lists;
+    und_adj = Array.map sorted_array und_lists;
+    edge_set;
+    all_edges;
+    all_pairs;
+  }
+
+let n g = g.size
+let num_edges g = Array.length g.all_edges
+let out_neighbors g u = g.out_adj.(u)
+let in_neighbors g u = g.in_adj.(u)
+let has_edge g u v = Hashtbl.mem g.edge_set (u, v)
+let edges g = Array.copy g.all_edges
+let pairs g = Array.copy g.all_pairs
+let neighbors_undirected g u = g.und_adj.(u)
+let degree_undirected g u = Array.length g.und_adj.(u)
+
+let density g =
+  if g.size < 2 then 0.0
+  else
+    let max_pairs = float_of_int (g.size * (g.size - 1)) /. 2.0 in
+    float_of_int (Array.length g.all_pairs) /. max_pairs
+
+let induced_pair_count g vs =
+  let inside = Hashtbl.create (Array.length vs) in
+  Array.iter (fun v -> Hashtbl.replace inside v ()) vs;
+  Array.fold_left
+    (fun acc (u, v) ->
+      if Hashtbl.mem inside u && Hashtbl.mem inside v then acc + 1 else acc)
+    0 g.all_pairs
+
+let induced_density g vs =
+  let sz = Array.length vs in
+  if sz <= 1 then 1.0
+  else
+    let max_pairs = float_of_int (sz * (sz - 1)) /. 2.0 in
+    float_of_int (induced_pair_count g vs) /. max_pairs
+
+let ego g ~center ~hops =
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist center 0;
+  let queue = Queue.create () in
+  Queue.push center queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let d = Hashtbl.find dist u in
+    if d < hops then
+      Array.iter
+        (fun v ->
+          if not (Hashtbl.mem dist v) then begin
+            Hashtbl.replace dist v (d + 1);
+            Queue.push v queue
+          end)
+        g.und_adj.(u)
+  done;
+  Hashtbl.fold (fun v _ acc -> v :: acc) dist []
+  |> List.sort compare |> Array.of_list
+
+let subgraph g vs =
+  let mapping = Array.copy vs in
+  let index = Hashtbl.create (Array.length vs) in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) mapping;
+  let edge_list =
+    Array.fold_left
+      (fun acc (u, v) ->
+        match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+        | Some iu, Some iv -> (iu, iv) :: acc
+        | (Some _ | None), _ -> acc)
+      [] g.all_edges
+  in
+  (of_edges ~n:(Array.length vs) edge_list, mapping)
+
+let connected_components g =
+  let uf = Svgic_util.Union_find.create g.size in
+  Array.iter (fun (u, v) -> ignore (Svgic_util.Union_find.union uf u v)) g.all_pairs;
+  let groups = Svgic_util.Union_find.groups uf in
+  Array.of_list (List.filter (fun l -> l <> []) (Array.to_list groups))

@@ -1,0 +1,55 @@
+(** Directed social network over vertices [0 .. n-1].
+
+    SVGIC's social utility is defined on directed edges ([τ(u,v,c)] may
+    differ from [τ(v,u,c)]), while co-display and subgroup metrics act
+    on unordered friend pairs; this module exposes both views. *)
+
+type t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Builds a graph from directed edges. Self-loops and duplicates are
+    dropped. Raises [Invalid_argument] on out-of-range endpoints. *)
+
+val n : t -> int
+val num_edges : t -> int
+(** Directed edge count. *)
+
+val out_neighbors : t -> int -> int array
+val in_neighbors : t -> int -> int array
+val has_edge : t -> int -> int -> bool
+
+val edges : t -> (int * int) array
+(** All directed edges, lexicographic order. *)
+
+val pairs : t -> (int * int) array
+(** Unordered pairs [(u, v)] with [u < v] such that at least one of the
+    two directed edges exists. These are the "friend pairs" of the
+    paper's subgroup metrics. *)
+
+val neighbors_undirected : t -> int -> int array
+(** Union of in- and out-neighborhoods. *)
+
+val degree_undirected : t -> int -> int
+
+val density : t -> float
+(** Undirected pair density: [|pairs| / (n·(n-1)/2)]; 0 when n < 2. *)
+
+val induced_pair_count : t -> int array -> int
+(** Number of friend pairs with both endpoints in the given vertex
+    set. *)
+
+val induced_density : t -> int array -> float
+(** Pair density of the induced subgraph (1.0 for singleton sets, by
+    the convention used in the paper's normalized-density metric). *)
+
+val ego : t -> center:int -> hops:int -> int array
+(** Vertices within [hops] undirected steps of [center], including the
+    center, sorted. *)
+
+val subgraph : t -> int array -> t * int array
+(** [subgraph g vs] returns the induced subgraph on [vs] with vertices
+    renumbered [0 .. length vs - 1], plus the mapping from new index to
+    original vertex. *)
+
+val connected_components : t -> int list array
+(** Undirected connected components (list of members per component). *)

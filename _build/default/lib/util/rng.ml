@@ -1,0 +1,108 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x5f3c; seed lxor 0x9e3779b9 |]
+
+let split st =
+  let a = Random.State.bits st in
+  let b = Random.State.bits st in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int st bound =
+  assert (bound > 0);
+  Random.State.int st bound
+
+let float st bound = Random.State.float st bound
+let uniform st = Random.State.float st 1.0
+let bool st = Random.State.bool st
+let bernoulli st p = Random.State.float st 1.0 < p
+
+let gaussian st ~mean ~stddev =
+  (* Box–Muller; guard against log 0. *)
+  let u1 = max (Random.State.float st 1.0) 1e-300 in
+  let u2 = Random.State.float st 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let exponential st ~rate =
+  assert (rate > 0.0);
+  let u = max (Random.State.float st 1.0) 1e-300 in
+  -.log u /. rate
+
+let pareto st ~alpha ~xmin =
+  assert (alpha > 0.0 && xmin > 0.0);
+  let u = max (1.0 -. Random.State.float st 1.0) 1e-300 in
+  xmin /. (u ** (1.0 /. alpha))
+
+let pick st arr =
+  assert (Array.length arr > 0);
+  arr.(Random.State.int st (Array.length arr))
+
+let pick_weighted st w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  let target = Random.State.float st total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle st arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement st count bound =
+  assert (count >= 0 && count <= bound);
+  if count * 3 >= bound then begin
+    (* Dense case: shuffle a full index array and take a prefix. *)
+    let all = Array.init bound (fun i -> i) in
+    shuffle st all;
+    Array.sub all 0 count
+  end
+  else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * count) in
+    let out = Array.make count 0 in
+    let filled = ref 0 in
+    while !filled < count do
+      let candidate = Random.State.int st bound in
+      if not (Hashtbl.mem seen candidate) then begin
+        Hashtbl.add seen candidate ();
+        out.(!filled) <- candidate;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let dirichlet st ~alpha dim =
+  assert (dim > 0 && alpha > 0.0);
+  (* Gamma(alpha) via Marsaglia–Tsang for alpha >= 1, boosted for
+     alpha < 1 with the standard power-of-uniform trick. *)
+  let rec gamma_ge_one a =
+    let d = a -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let x = gaussian st ~mean:0.0 ~stddev:1.0 in
+    let v = (1.0 +. (c *. x)) ** 3.0 in
+    if v <= 0.0 then gamma_ge_one a
+    else
+      let u = max (uniform st) 1e-300 in
+      if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+      else gamma_ge_one a
+  in
+  let gamma a =
+    if a >= 1.0 then gamma_ge_one a
+    else
+      let g = gamma_ge_one (a +. 1.0) in
+      let u = max (uniform st) 1e-300 in
+      g *. (u ** (1.0 /. a))
+  in
+  let raw = Array.init dim (fun _ -> gamma alpha) in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.map (fun v -> v /. total) raw

@@ -1,0 +1,56 @@
+(** Seeded random-number helpers.
+
+    Every randomized component in this repository threads an explicit
+    [Random.State.t] so that experiments are reproducible from a single
+    integer seed. *)
+
+type t = Random.State.t
+
+val create : int -> t
+(** [create seed] returns a fresh deterministic state. *)
+
+val split : t -> t
+(** [split st] derives an independent child state from [st], advancing
+    [st]. Used to give sub-components their own streams. *)
+
+val int : t -> int -> int
+(** [int st bound] draws uniformly from [0, bound). [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float st bound] draws uniformly from [0, bound). *)
+
+val uniform : t -> float
+(** [uniform st] draws uniformly from [0, 1). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli st p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val exponential : t -> rate:float -> float
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** Heavy-tailed deviate with tail exponent [alpha], minimum [xmin]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_weighted : t -> float array -> int
+(** [pick_weighted st w] draws index [i] with probability proportional
+    to [w.(i)]. All weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement st count bound] returns [count]
+    distinct integers drawn uniformly from [0, bound), in random
+    order. Requires [count <= bound]. *)
+
+val dirichlet : t -> alpha:float -> int -> float array
+(** Symmetric Dirichlet sample of the given dimension; entries are
+    positive and sum to 1. *)

@@ -1,0 +1,120 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let mu = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. mu) *. (x -. mu))) 0.0 xs in
+    acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let q = Float.min 1.0 (Float.max 0.0 q) in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+let cdf xs ~points =
+  let n = Array.length xs in
+  if n = 0 then Array.map (fun _ -> 0.0) points
+  else
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let count_le p =
+      (* Binary search for the number of elements <= p. *)
+      let rec loop lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if sorted.(mid) <= p then loop (mid + 1) hi else loop lo mid
+      in
+      loop 0 n
+    in
+    Array.map (fun p -> float_of_int (count_le p) /. float_of_int n) points
+
+let histogram xs ~lo ~hi ~bins =
+  assert (bins > 0 && hi > lo);
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let idx = int_of_float ((x -. lo) /. width) in
+      let idx = max 0 (min (bins - 1) idx) in
+      counts.(idx) <- counts.(idx) + 1)
+    xs;
+  counts
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n = 0 then 0.0
+  else
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)
+
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let out = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    (* Find the extent of the tie block starting at !i. *)
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j + 2) /. 2.0 in
+    for k = !i to !j do
+      out.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  out
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let t_test_correlation ~r ~n =
+  if n <= 2 then 1.0
+  else
+    let r = Float.min 0.999999 (Float.max (-0.999999) r) in
+    let t = r *. sqrt (float_of_int (n - 2) /. (1.0 -. (r *. r))) in
+    (* Normal tail approximation of the t distribution, adequate for
+       reporting purposes at n >= 10. *)
+    let z = Float.abs t in
+    let phi_tail =
+      (* Abramowitz–Stegun 26.2.17 approximation of the upper tail. *)
+      let p = 0.2316419 in
+      let b1 = 0.319381530
+      and b2 = -0.356563782
+      and b3 = 1.781477937
+      and b4 = -1.821255978
+      and b5 = 1.330274429 in
+      let u = 1.0 /. (1.0 +. (p *. z)) in
+      let poly =
+        u *. (b1 +. (u *. (b2 +. (u *. (b3 +. (u *. (b4 +. (u *. b5))))))))
+      in
+      let pdf = exp (-.(z *. z) /. 2.0) /. sqrt (2.0 *. Float.pi) in
+      pdf *. poly
+    in
+    Float.min 1.0 (2.0 *. phi_tail)

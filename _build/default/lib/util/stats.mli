@@ -1,0 +1,40 @@
+(** Descriptive statistics and correlation measures used by the
+    evaluation harness (regret-ratio CDFs, user-study correlations). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays of length < 2. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [0, 1]; linear interpolation between
+    order statistics. Raises [Invalid_argument] on the empty array. *)
+
+val median : float array -> float
+
+val cdf : float array -> points:float array -> float array
+(** [cdf xs ~points] returns, for each point [p], the empirical
+    fraction of values [<= p]. *)
+
+val histogram : float array -> lo:float -> hi:float -> bins:int -> int array
+(** Counts per equal-width bin over [lo, hi]; values outside the range
+    are clamped into the first/last bin. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side is constant.
+    Raises [Invalid_argument] on length mismatch. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson on average ranks, so ties are
+    handled). *)
+
+val ranks : float array -> float array
+(** Average ranks (1-based) with ties sharing their mean rank. *)
+
+val t_test_correlation : r:float -> n:int -> float
+(** Approximate two-sided p-value that a correlation [r] over [n]
+    samples is zero, via the t-statistic and a normal tail
+    approximation. Used only for reporting in the user-study bench. *)

@@ -1,0 +1,10 @@
+(** Wall-clock timing for the experiment harness. *)
+
+type t
+
+val start : unit -> t
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)

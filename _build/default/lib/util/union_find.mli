@@ -1,0 +1,22 @@
+(** Disjoint-set forest with path compression and union by rank.
+    Used by the graph library (connected components, triangle/edge
+    packing in the hardness gadgets). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merges the two sets; returns [false] if they were already one. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint sets remaining. *)
+
+val groups : t -> int list array
+(** Members of each set, indexed by representative; non-representative
+    indices hold the empty list. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Hashtbl Svgic Svgic_graph Svgic_util

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Float Gen Helpers List Printf QCheck QCheck_alcotest Result Svgic Svgic_data Svgic_util Test

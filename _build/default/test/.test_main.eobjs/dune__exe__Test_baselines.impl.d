@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Hashtbl Helpers List Option Printf Svgic Svgic_graph Svgic_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Helpers List Printf String Svgic Svgic_graph Svgic_lp Svgic_util

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Float List Printf Svgic Svgic_data Svgic_graph Svgic_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Helpers List Printf Svgic Svgic_graph Svgic_util

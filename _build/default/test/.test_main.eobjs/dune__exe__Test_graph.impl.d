@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Svgic_graph Svgic_util Test

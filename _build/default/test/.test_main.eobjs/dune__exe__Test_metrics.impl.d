@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Helpers Svgic Svgic_graph Svgic_util

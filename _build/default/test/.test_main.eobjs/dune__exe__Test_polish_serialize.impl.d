@@ -1,0 +1,1 @@
+test/test_polish_serialize.ml: Alcotest Array Filename Fun Helpers List Printf Svgic Svgic_graph Svgic_util Sys

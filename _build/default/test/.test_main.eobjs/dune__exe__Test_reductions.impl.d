@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array List Svgic Svgic_data Svgic_graph Svgic_util

@@ -1,0 +1,1 @@
+test/test_st.ml: Alcotest Helpers Printf Svgic Svgic_graph Svgic_util

@@ -1,0 +1,162 @@
+(* Tests for the baseline recommenders and the exact solvers. *)
+
+module Rng = Svgic_util.Rng
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module Baselines = Svgic.Baselines
+module Example = Svgic.Example_paper
+
+let test_personalized_is_topk () =
+  let inst = Example.instance () in
+  let cfg = Baselines.personalized inst in
+  (* Alice's top-3: c5 (1.0), c2 (0.85), c1 (0.8). *)
+  Alcotest.(check (array int)) "Alice row"
+    [| Example.sp_camera; Example.dslr; Example.tripod |]
+    (Config.row cfg Example.alice);
+  (* Dave's top-3: c4 (1.0), c5 (0.95), c3 (0.3). *)
+  Alcotest.(check (array int)) "Dave row"
+    [| Example.memory_card; Example.sp_camera; Example.psd |]
+    (Config.row cfg Example.dave)
+
+let test_personalized_optimal_at_lambda_zero () =
+  let rng = Rng.create 200 in
+  let inst = Helpers.random_instance ~lambda:0.0 rng ~n:4 ~m:5 ~k:2 in
+  let per = Baselines.personalized inst in
+  let exhaustive = Baselines.exhaustive inst in
+  Alcotest.(check (float 1e-9)) "PER optimal when lambda = 0"
+    (Config.total_utility inst exhaustive)
+    (Config.total_utility inst per)
+
+let test_group_bundle_identical_rows () =
+  let inst = Example.instance () in
+  let cfg = Baselines.group inst in
+  let first = Config.row cfg 0 in
+  for u = 1 to 3 do
+    Alcotest.(check (array int)) "identical rows" first (Config.row cfg u)
+  done
+
+let test_group_bundle_scores () =
+  (* Aggregate scores (Example 5's discussion, paper-scaled): c5 = 3.35,
+     c1 = 2.6, and a tie c2 = c4 = 2.4 for the third place; the paper's
+     Table 9 shows c2, but either resolution is optimal (the totals
+     coincide at 8.35, checked in test_core). *)
+  let inst = Example.instance () in
+  let bundle = Baselines.group_for_users ~fairness:0.0 inst [| 0; 1; 2; 3 |] in
+  let sorted = Array.to_list bundle |> List.sort compare in
+  Alcotest.(check bool) "bundle = {c5, c1} + (c2 | c4)" true
+    (sorted = [ Example.tripod; Example.dslr; Example.sp_camera ]
+    || sorted = [ Example.tripod; Example.memory_card; Example.sp_camera ])
+
+let test_fairness_changes_bundle () =
+  (* A fairness weight must be able to change the selection: construct
+     an instance where the aggregate favourite is hated by one user. *)
+  let g = Svgic_graph.Graph.of_edges ~n:3 [] in
+  let pref = [| [| 1.0; 0.6 |]; [| 1.0; 0.6 |]; [| 0.0; 0.6 |] |] in
+  let inst =
+    Instance.create ~graph:g ~m:2 ~k:1 ~lambda:0.5 ~pref ~tau:(fun _ _ _ -> 0.0)
+  in
+  let plain = Baselines.group_for_users ~fairness:0.0 inst [| 0; 1; 2 |] in
+  let fair = Baselines.group_for_users ~fairness:0.9 inst [| 0; 1; 2 |] in
+  Alcotest.(check (array int)) "aggregate picks item 0" [| 0 |] plain;
+  Alcotest.(check (array int)) "fair picks item 1" [| 1 |] fair
+
+let test_subgroup_by_preference_clusters () =
+  let rng = Rng.create 201 in
+  let inst = Example.instance () in
+  let labels = Baselines.preference_clusters ~clusters:2 rng inst in
+  Alcotest.(check int) "labels per user" 4 (Array.length labels);
+  (* Alice and Bob share tastes (c1, c2 high), Charlie and Dave share
+     (c3, c4 high): k-means should find that split. *)
+  Alcotest.(check int) "A with B" labels.(Example.alice) labels.(Example.bob);
+  Alcotest.(check int) "C with D" labels.(Example.charlie) labels.(Example.dave);
+  Alcotest.(check bool) "two clusters" true
+    (labels.(Example.alice) <> labels.(Example.charlie))
+
+let test_grf_matches_paper_value () =
+  let rng = Rng.create 202 in
+  let inst = Example.instance () in
+  let cfg = Baselines.subgroup_by_preference ~clusters:2 rng inst in
+  Alcotest.(check (float 1e-9)) "GRF = 8.7" Example.subgroup_preference_value
+    (Helpers.paper_value inst cfg)
+
+let test_exhaustive_agrees_with_ip () =
+  let rng = Rng.create 203 in
+  for _ = 1 to 3 do
+    let inst = Helpers.random_instance rng ~n:3 ~m:4 ~k:2 in
+    let brute = Baselines.exhaustive inst in
+    let cfg, result = Baselines.exact_ip inst in
+    Alcotest.(check bool) "IP proved" true result.proved_optimal;
+    match cfg with
+    | Some cfg ->
+        Alcotest.(check (float 1e-5)) "same optimum"
+          (Config.total_utility inst brute)
+          (Config.total_utility inst cfg)
+    | None -> Alcotest.fail "no incumbent"
+  done
+
+let test_exhaustive_guard () =
+  let rng = Rng.create 204 in
+  let inst = Helpers.random_instance rng ~n:8 ~m:8 ~k:4 in
+  Alcotest.check_raises "guard trips"
+    (Invalid_argument "Baselines.exhaustive: search space too large") (fun () ->
+      ignore (Baselines.exhaustive inst))
+
+let test_ip_dominates_heuristics () =
+  let rng = Rng.create 205 in
+  let inst = Helpers.random_instance rng ~n:4 ~m:4 ~k:2 in
+  let cfg, _ = Baselines.exact_ip inst in
+  let ip_value =
+    match cfg with
+    | Some cfg -> Config.total_utility inst cfg
+    | None -> Alcotest.fail "no incumbent"
+  in
+  List.iter
+    (fun (name, cfg) ->
+      let v = Config.total_utility inst cfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "IP %.4f >= %s %.4f" ip_value name v)
+        true
+        (ip_value >= v -. 1e-6))
+    [
+      ("PER", Baselines.personalized inst);
+      ("FMG", Baselines.group inst);
+      ("SDP", Baselines.subgroup_by_friendship (Rng.create 1) inst);
+      ("GRF", Baselines.subgroup_by_preference (Rng.create 1) inst);
+    ]
+
+let test_prepartition_structure () =
+  let rng = Rng.create 206 in
+  let inst = Helpers.random_instance rng ~n:9 ~m:6 ~k:2 in
+  let cfg =
+    Baselines.prepartition rng inst ~max_size:3 ~solver:(fun sub ->
+        Baselines.group ~fairness:0.0 sub)
+  in
+  (match Config.validate inst (Config.assignment cfg) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid: %s" msg);
+  (* Every user got a full bundle; users in the same part share rows.
+     A part has at most 3 users, so each row is shared by <= 3. *)
+  let row_counts = Hashtbl.create 8 in
+  for u = 0 to 8 do
+    let key = Array.to_list (Config.row cfg u) in
+    Hashtbl.replace row_counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt row_counts key))
+  done;
+  Hashtbl.iter
+    (fun _ count -> Alcotest.(check bool) "part size <= 3" true (count <= 3))
+    row_counts
+
+let suite =
+  [
+    Alcotest.test_case "personalized = top-k" `Quick test_personalized_is_topk;
+    Alcotest.test_case "personalized optimal at λ=0" `Quick test_personalized_optimal_at_lambda_zero;
+    Alcotest.test_case "group identical rows" `Quick test_group_bundle_identical_rows;
+    Alcotest.test_case "group bundle scores" `Quick test_group_bundle_scores;
+    Alcotest.test_case "fairness changes bundle" `Quick test_fairness_changes_bundle;
+    Alcotest.test_case "preference clusters" `Quick test_subgroup_by_preference_clusters;
+    Alcotest.test_case "GRF paper value" `Quick test_grf_matches_paper_value;
+    Alcotest.test_case "exhaustive vs IP" `Slow test_exhaustive_agrees_with_ip;
+    Alcotest.test_case "exhaustive guard" `Quick test_exhaustive_guard;
+    Alcotest.test_case "IP dominates heuristics" `Slow test_ip_dominates_heuristics;
+    Alcotest.test_case "prepartition structure" `Quick test_prepartition_structure;
+  ]

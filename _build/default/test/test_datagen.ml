@@ -1,0 +1,166 @@
+(* Tests for the dataset surrogates and the user-study pipeline. *)
+
+module Rng = Svgic_util.Rng
+module Graph = Svgic_graph.Graph
+module Instance = Svgic.Instance
+module Utility_model = Svgic_data.Utility_model
+module Datasets = Svgic_data.Datasets
+module User_study = Svgic_data.User_study
+
+let test_model_ranges () =
+  let rng = Rng.create 700 in
+  let g = Svgic_graph.Generate.erdos_renyi rng ~n:12 ~p:0.3 in
+  List.iter
+    (fun kind ->
+      let model = Utility_model.generate kind rng g ~m:15 in
+      Array.iter
+        (fun row ->
+          Array.iter
+            (fun p ->
+              Alcotest.(check bool) "pref in [0,1]" true (p >= 0.0 && p <= 1.0))
+            row)
+        (Utility_model.pref model);
+      Array.iter
+        (fun (u, v) ->
+          for c = 0 to 14 do
+            let t = Utility_model.tau model u v c in
+            Alcotest.(check bool) "tau >= 0" true (t >= 0.0);
+            Alcotest.(check bool) "tau bounded" true (t <= 1.0)
+          done)
+        (Graph.edges g);
+      (* Off-edge τ is zero. *)
+      let found_non_edge = ref false in
+      for u = 0 to 11 do
+        for v = 0 to 11 do
+          if u <> v && (not (Graph.has_edge g u v)) && not !found_non_edge then begin
+            found_non_edge := true;
+            Alcotest.(check (float 1e-12)) "off-edge tau" 0.0
+              (Utility_model.tau model u v 0)
+          end
+        done
+      done)
+    [ Utility_model.Piert; Utility_model.Agree; Utility_model.Gree ]
+
+let test_each_user_has_a_favorite () =
+  (* The per-user normalization guarantees a clear favorite item. *)
+  let rng = Rng.create 701 in
+  let g = Svgic_graph.Generate.erdos_renyi rng ~n:8 ~p:0.3 in
+  let model = Utility_model.generate Utility_model.Piert rng g ~m:20 in
+  Array.iter
+    (fun row ->
+      let best = Array.fold_left Float.max 0.0 row in
+      Alcotest.(check bool) "favorite is substantial" true (best >= 0.25))
+    (Utility_model.pref model)
+
+let test_agree_influence_uniform () =
+  (* AGREE: τ(u,v,c)/affinity-part must be constant across edges; test
+     via an instance where two edges share an item with equal
+     affinities is brittle, so instead check the model invariant
+     indirectly: for a fixed item, τ ratios across edges equal affinity
+     ratios. Simplest observable: AGREE never exceeds the constant
+     influence mean. *)
+  let rng = Rng.create 702 in
+  let g = Svgic_graph.Generate.erdos_renyi rng ~n:10 ~p:0.4 in
+  let params = { Utility_model.default_params with influence_mean = 0.2 } in
+  let model = Utility_model.generate ~params Utility_model.Agree rng g ~m:10 in
+  Array.iter
+    (fun (u, v) ->
+      for c = 0 to 9 do
+        Alcotest.(check bool) "bounded by influence" true
+          (Utility_model.tau model u v c <= 0.2 +. 1e-9)
+      done)
+    (Graph.edges g)
+
+let test_dataset_shapes () =
+  let rng = Rng.create 703 in
+  List.iter
+    (fun preset ->
+      let inst = Datasets.make preset rng ~n:20 ~m:30 ~k:4 ~lambda:0.5 in
+      Alcotest.(check int) (Datasets.name preset ^ " n") 20 (Instance.n inst);
+      Alcotest.(check int) (Datasets.name preset ^ " m") 30 (Instance.m inst);
+      Alcotest.(check int) (Datasets.name preset ^ " k") 4 (Instance.k inst))
+    [ Datasets.Timik; Datasets.Epinions; Datasets.Yelp ]
+
+let test_epinions_sparser_than_timik () =
+  let rng = Rng.create 704 in
+  let timik = Datasets.graph Datasets.Timik rng ~n:40 in
+  let epinions = Datasets.graph Datasets.Epinions rng ~n:40 in
+  Alcotest.(check bool)
+    (Printf.sprintf "epinions %.3f < timik %.3f" (Graph.density epinions)
+       (Graph.density timik))
+    true
+    (Graph.density epinions < Graph.density timik)
+
+let test_epinions_directed () =
+  let rng = Rng.create 705 in
+  let g = Datasets.graph Datasets.Epinions rng ~n:40 in
+  (* One-directional trust edges: strictly fewer directed edges than
+     2 × pairs. *)
+  Alcotest.(check bool) "not fully reciprocal" true
+    (Graph.num_edges g < 2 * Array.length (Graph.pairs g))
+
+let test_cohort_lambdas () =
+  let rng = Rng.create 706 in
+  let cohort = User_study.make_cohort rng in
+  let lambdas = User_study.all_lambdas cohort in
+  Alcotest.(check int) "44 participants" 44 (Array.length lambdas);
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "lambda in observed range" true (l >= 0.15 && l <= 0.85))
+    lambdas;
+  let mean = Svgic_util.Stats.mean lambdas in
+  Alcotest.(check bool) "mean near 0.53" true (Float.abs (mean -. 0.53) < 0.1)
+
+let test_user_study_pipeline () =
+  let rng = Rng.create 707 in
+  let cohort = User_study.make_cohort ~participants:18 ~group_size:6 ~m:15 ~k:4 rng in
+  let methods =
+    [
+      ( "AVG",
+        fun inst ->
+          let relax = Svgic.Relaxation.solve inst in
+          Svgic.Algorithms.avg (Rng.create 1) inst relax );
+      ("PER", Svgic.Baselines.personalized);
+    ]
+  in
+  let outcomes = User_study.run rng cohort methods in
+  Alcotest.(check int) "two outcomes" 2 (List.length outcomes);
+  List.iter
+    (fun (o : User_study.method_outcome) ->
+      Alcotest.(check int) "per-participant rows" 18 (Array.length o.utilities);
+      Array.iter
+        (fun s -> Alcotest.(check bool) "likert range" true (s >= 1.0 && s <= 5.0))
+        o.satisfactions;
+      let spearman, pearson = User_study.correlation o in
+      Alcotest.(check bool) "correlations bounded" true
+        (Float.abs spearman <= 1.0 && Float.abs pearson <= 1.0))
+    outcomes;
+  (* AVG should beat PER on mean utility (it optimizes the objective
+     the satisfaction is derived from). *)
+  match outcomes with
+  | [ avg; per ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "AVG %.3f >= PER %.3f" avg.mean_utility per.mean_utility)
+        true
+        (avg.mean_utility >= per.mean_utility -. 1e-6)
+  | _ -> Alcotest.fail "unexpected outcome count"
+
+let test_satisfaction_monotone_in_expectation () =
+  let rng = Rng.create 708 in
+  let low = Array.init 200 (fun _ -> User_study.satisfaction_of_utility rng ~utility:0.2 ~bound:1.0) in
+  let high = Array.init 200 (fun _ -> User_study.satisfaction_of_utility rng ~utility:0.9 ~bound:1.0) in
+  Alcotest.(check bool) "higher utility, higher satisfaction" true
+    (Svgic_util.Stats.mean high > Svgic_util.Stats.mean low +. 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "model ranges" `Quick test_model_ranges;
+    Alcotest.test_case "favorites exist" `Quick test_each_user_has_a_favorite;
+    Alcotest.test_case "AGREE uniform influence" `Quick test_agree_influence_uniform;
+    Alcotest.test_case "dataset shapes" `Quick test_dataset_shapes;
+    Alcotest.test_case "epinions sparser" `Quick test_epinions_sparser_than_timik;
+    Alcotest.test_case "epinions directed" `Quick test_epinions_directed;
+    Alcotest.test_case "cohort lambdas" `Quick test_cohort_lambdas;
+    Alcotest.test_case "user-study pipeline" `Quick test_user_study_pipeline;
+    Alcotest.test_case "satisfaction monotone" `Quick test_satisfaction_monotone_in_expectation;
+  ]

@@ -1,0 +1,18 @@
+(* Test entry point: one alcotest run collecting every suite. *)
+
+let () =
+  Alcotest.run "svgic"
+    [
+      ("util", Test_util.suite);
+      ("lp", Test_lp.suite);
+      ("graph", Test_graph.suite);
+      ("core", Test_core.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("baselines", Test_baselines.suite);
+      ("metrics", Test_metrics.suite);
+      ("st", Test_st.suite);
+      ("extensions", Test_extensions.suite);
+      ("polish+serialize", Test_polish_serialize.suite);
+      ("reductions", Test_reductions.suite);
+      ("datagen", Test_datagen.suite);
+    ]

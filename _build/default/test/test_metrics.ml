@@ -1,0 +1,103 @@
+(* Tests for the Section 6.1 evaluation metrics. *)
+
+module Rng = Svgic_util.Rng
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module Metrics = Svgic.Metrics
+module Baselines = Svgic.Baselines
+module Example = Svgic.Example_paper
+
+let group_cfg inst = Baselines.group ~fairness:0.0 inst
+let per_cfg inst = Baselines.personalized inst
+
+let test_group_config_extremes () =
+  let inst = Example.instance () in
+  let cfg = group_cfg inst in
+  let intra, inter = Metrics.intra_inter_pct inst cfg in
+  Alcotest.(check (float 1e-9)) "intra = 1" 1.0 intra;
+  Alcotest.(check (float 1e-9)) "inter = 0" 0.0 inter;
+  Alcotest.(check (float 1e-9)) "codisplay = 1" 1.0 (Metrics.codisplay_rate inst cfg);
+  Alcotest.(check (float 1e-9)) "alone = 0" 0.0 (Metrics.alone_rate inst cfg);
+  (* The single subgroup is the whole network: normalized density 1. *)
+  Alcotest.(check (float 1e-9)) "density = 1" 1.0 (Metrics.normalized_density inst cfg)
+
+let test_personalized_config_extremes () =
+  let inst = Example.instance () in
+  let cfg = per_cfg inst in
+  (* On the example, PER's rows share no (item, slot) cell across
+     friends (checked in the paper's Table 9). *)
+  let intra, inter = Metrics.intra_inter_pct inst cfg in
+  Alcotest.(check (float 1e-9)) "intra = 0" 0.0 intra;
+  Alcotest.(check (float 1e-9)) "inter = 1" 1.0 inter;
+  Alcotest.(check (float 1e-9)) "codisplay = 0" 0.0 (Metrics.codisplay_rate inst cfg);
+  Alcotest.(check (float 1e-9)) "alone = 1" 1.0 (Metrics.alone_rate inst cfg)
+
+let test_split_percentages () =
+  let inst = Example.instance () in
+  let cfg = Example.optimal_config inst in
+  let pref_part, social_part = Metrics.utility_split inst cfg in
+  Alcotest.(check (float 1e-9)) "personal utility" 4.0 pref_part;
+  Alcotest.(check (float 1e-9)) "social utility" 1.175 social_part
+
+let test_regret_bounds_and_ordering () =
+  let inst = Example.instance () in
+  let optimal = Example.optimal_config inst in
+  let regrets = Metrics.regret_ratios inst optimal in
+  Array.iter
+    (fun r -> Alcotest.(check bool) "in [0,1]" true (r >= 0.0 && r <= 1.0))
+    regrets;
+  (* The optimal configuration should leave less average regret than
+     the personalized one (PER forgoes all social utility). *)
+  let per_regrets = Metrics.regret_ratios inst (per_cfg inst) in
+  Alcotest.(check bool) "optimal less regret on average" true
+    (Svgic_util.Stats.mean regrets < Svgic_util.Stats.mean per_regrets)
+
+let test_happiness_of_selfish_dictator () =
+  (* A user whose selfish optimum is realized has happiness 1. Build an
+     instance with one isolated user: her top-k items give hap = 1. *)
+  let g = Svgic_graph.Graph.of_edges ~n:1 [] in
+  let pref = [| [| 0.9; 0.5; 0.1 |] |] in
+  let inst =
+    Instance.create ~graph:g ~m:3 ~k:2 ~lambda:0.5 ~pref ~tau:(fun _ _ _ -> 0.0)
+  in
+  let cfg = Baselines.personalized inst in
+  Alcotest.(check (float 1e-9)) "happiness 1" 1.0 (Metrics.happiness inst cfg 0);
+  Alcotest.(check (float 1e-9)) "regret 0" 0.0 (Metrics.regret_ratios inst cfg).(0)
+
+let test_regret_cdf_monotone () =
+  let inst = Example.instance () in
+  let cfg = per_cfg inst in
+  let points = [| 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 |] in
+  let cdf = Metrics.regret_cdf inst cfg ~points in
+  for i = 0 to Array.length cdf - 2 do
+    Alcotest.(check bool) "monotone" true (cdf.(i) <= cdf.(i + 1))
+  done;
+  Alcotest.(check (float 1e-9)) "cdf at 1 is 1" 1.0 cdf.(Array.length cdf - 1)
+
+let test_normalized_density_singletons () =
+  let inst = Example.instance () in
+  let cfg = per_cfg inst in
+  (* All-singleton partitions have zero density. *)
+  Alcotest.(check (float 1e-9)) "density 0" 0.0 (Metrics.normalized_density inst cfg)
+
+let test_intra_inter_sum_to_one () =
+  let rng = Rng.create 300 in
+  for _ = 1 to 5 do
+    let inst = Helpers.random_instance rng ~n:6 ~m:6 ~k:2 in
+    let relax = Svgic.Relaxation.solve ~backend:Svgic.Relaxation.Exact_simplex inst in
+    let cfg = Svgic.Algorithms.avg rng inst relax in
+    let intra, inter = Metrics.intra_inter_pct inst cfg in
+    Alcotest.(check (float 1e-9)) "sums to one" 1.0 (intra +. inter)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "group-config extremes" `Quick test_group_config_extremes;
+    Alcotest.test_case "personalized extremes" `Quick test_personalized_config_extremes;
+    Alcotest.test_case "utility split values" `Quick test_split_percentages;
+    Alcotest.test_case "regret bounds" `Quick test_regret_bounds_and_ordering;
+    Alcotest.test_case "selfish happiness" `Quick test_happiness_of_selfish_dictator;
+    Alcotest.test_case "regret CDF" `Quick test_regret_cdf_monotone;
+    Alcotest.test_case "density with singletons" `Quick test_normalized_density_singletons;
+    Alcotest.test_case "intra+inter = 1" `Quick test_intra_inter_sum_to_one;
+  ]

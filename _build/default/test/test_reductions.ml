@@ -1,0 +1,138 @@
+(* Tests for the executable hardness constructions. *)
+
+module Rng = Svgic_util.Rng
+module Graph = Svgic_graph.Graph
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module Reductions = Svgic_data.Reductions
+
+let lit var positive = Reductions.{ var; positive }
+
+(* (a1 ∨ ¬a3 ∨ a4) ∧ (¬a2 ∨ a3 ∨ ¬a4) — the paper's Figure 2 formula. *)
+let figure2_formula =
+  Reductions.
+    {
+      nvar = 4;
+      clauses =
+        [|
+          (lit 0 true, lit 2 false, lit 3 true);
+          (lit 1 false, lit 2 true, lit 3 false);
+        |];
+    }
+
+let test_count_satisfied () =
+  let formula = figure2_formula in
+  Alcotest.(check int) "all true: clause 1 by a1, clause 2 by a3" 2
+    (Reductions.count_satisfied formula [| true; true; true; true |]);
+  Alcotest.(check int) "all false" 2
+    (Reductions.count_satisfied formula [| false; false; false; false |])
+
+let test_best_assignment () =
+  let formula = figure2_formula in
+  let _, best = Reductions.best_assignment formula in
+  Alcotest.(check int) "satisfiable" 2 best
+
+let test_e3sat_instance_shape () =
+  let formula = figure2_formula in
+  let inst = Reductions.max_e3sat_instance formula in
+  Alcotest.(check int) "n = 7*mcla + nvar" (7 * 2 + 4) (Instance.n inst);
+  Alcotest.(check int) "m = 3*mcla + 2*nvar" (3 * 2 + 2 * 4) (Instance.m inst);
+  Alcotest.(check int) "k = 1" 1 (Instance.k inst);
+  (* 3 clause edges + 6 variable edges per clause = 9·mcla pairs. *)
+  Alcotest.(check int) "9*mcla friend pairs" (9 * 2)
+    (Array.length (Instance.pairs inst))
+
+let test_e3sat_assignment_value () =
+  let formula = figure2_formula in
+  let inst = Reductions.max_e3sat_instance formula in
+  let assignment, satisfied = Reductions.best_assignment formula in
+  let cfg = Reductions.assignment_config formula inst assignment in
+  Alcotest.(check (float 1e-9)) "objective = 2χ + 6·mcla"
+    (Reductions.max_e3sat_bound formula ~satisfied)
+    (Config.total_utility inst cfg);
+  (* Also for a deliberately bad assignment the bound formula holds
+     with its own χ. *)
+  let bad = [| false; true; false; true |] in
+  let cfg_bad = Reductions.assignment_config formula inst bad in
+  Alcotest.(check bool) "bad assignment no better" true
+    (Config.total_utility inst cfg_bad <= Config.total_utility inst cfg +. 1e-9);
+  Alcotest.(check (float 1e-9)) "bad value matches its χ"
+    (Reductions.max_e3sat_bound formula
+       ~satisfied:(Reductions.count_satisfied formula bad))
+    (Config.total_utility inst cfg_bad)
+
+let test_e3sat_qcheck_random_formulas () =
+  let rng = Rng.create 600 in
+  for _trial = 1 to 10 do
+    let nvar = 3 + Rng.int rng 3 in
+    let mcla = 1 + Rng.int rng 3 in
+    let random_lit () = lit (Rng.int rng nvar) (Rng.bool rng) in
+    (* Three distinct variables per clause, as E3SAT requires. *)
+    let random_clause () =
+      let vars = Rng.sample_without_replacement rng 3 nvar in
+      ( lit vars.(0) (Rng.bool rng),
+        lit vars.(1) (Rng.bool rng),
+        lit vars.(2) (Rng.bool rng) )
+    in
+    ignore (random_lit ());
+    let formula =
+      Reductions.{ nvar; clauses = Array.init mcla (fun _ -> random_clause ()) }
+    in
+    let inst = Reductions.max_e3sat_instance formula in
+    let assignment, satisfied = Reductions.best_assignment formula in
+    let cfg = Reductions.assignment_config formula inst assignment in
+    Alcotest.(check (float 1e-9)) "value formula"
+      (Reductions.max_e3sat_bound formula ~satisfied)
+      (Config.total_utility inst cfg)
+  done
+
+let test_max_k3p_triangle () =
+  (* A single triangle: the best packing covers its 3 edges. *)
+  let g = Graph.of_edges ~n:3 [ (0, 1); (1, 0); (1, 2); (2, 1); (0, 2); (2, 0) ] in
+  let inst = Reductions.max_k3p_instance g in
+  (* Items: 3 edges + 1 triangle. *)
+  Alcotest.(check int) "items" 4 (Instance.m inst);
+  let best = Svgic.Baselines.exhaustive inst in
+  Alcotest.(check (float 1e-9)) "packing value 3" 3.0
+    (Config.total_utility inst best)
+
+let test_max_k3p_path () =
+  (* A path of 3 edges 0-1-2-3: best packing is two disjoint edges. *)
+  let g =
+    Graph.of_edges ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 1); (2, 3); (3, 2) ]
+  in
+  let inst = Reductions.max_k3p_instance g in
+  let best = Svgic.Baselines.exhaustive inst in
+  Alcotest.(check (float 1e-9)) "packing value 2" 2.0
+    (Config.total_utility inst best)
+
+let test_dks_gadget () =
+  (* A 4-clique plus a pendant: the densest 3 vertices induce 3 edges. *)
+  let clique =
+    [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+    |> List.concat_map (fun (u, v) -> [ (u, v); (v, u) ])
+  in
+  let g = Graph.of_edges ~n:5 (clique @ [ (3, 4); (4, 3) ]) in
+  let inst, m_cap = Reductions.dks_instance g ~khat:3 in
+  Alcotest.(check int) "cap = khat" 3 m_cap;
+  Alcotest.(check int) "padded to multiple" 6 (Instance.n inst);
+  Alcotest.(check int) "m = n/khat" 2 (Instance.m inst);
+  (* Co-display item 0 to the triangle {0,1,2}: ST objective = 3. *)
+  let assign = [| [| 0 |]; [| 0 |]; [| 0 |]; [| 1 |]; [| 1 |]; [| 1 |] |] in
+  let cfg = Config.make inst assign in
+  Alcotest.(check (float 1e-9)) "densest subgraph value" 3.0
+    (Config.total_utility inst cfg);
+  Alcotest.(check bool) "feasible under cap" true
+    (Svgic.St.feasible inst ~m_cap cfg)
+
+let suite =
+  [
+    Alcotest.test_case "count satisfied" `Quick test_count_satisfied;
+    Alcotest.test_case "best assignment" `Quick test_best_assignment;
+    Alcotest.test_case "E3SAT instance shape" `Quick test_e3sat_instance_shape;
+    Alcotest.test_case "E3SAT assignment value" `Quick test_e3sat_assignment_value;
+    Alcotest.test_case "E3SAT random formulas" `Quick test_e3sat_qcheck_random_formulas;
+    Alcotest.test_case "Max-K3P triangle" `Quick test_max_k3p_triangle;
+    Alcotest.test_case "Max-K3P path" `Quick test_max_k3p_path;
+    Alcotest.test_case "DkS gadget" `Quick test_dks_gadget;
+  ]

@@ -1,0 +1,128 @@
+(* Tests for SVGIC-ST: indirect co-display, teleportation discount,
+   and the subgroup size constraint. *)
+
+module Rng = Svgic_util.Rng
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module St = Svgic.St
+module Example = Svgic.Example_paper
+
+let solve inst = Svgic.Relaxation.solve ~backend:Svgic.Relaxation.Exact_simplex inst
+
+let test_dtel_zero_matches_plain () =
+  let inst = Example.instance () in
+  let cfg = Example.optimal_config inst in
+  Alcotest.(check (float 1e-9)) "dtel = 0"
+    (Config.total_utility inst cfg)
+    (St.total_utility inst ~dtel:0.0 cfg)
+
+let test_indirect_codisplay_counted () =
+  (* Alice sees the DSLR at slot 3 while Bob sees it at slot 1 in the
+     paper's optimal configuration: τ(A,B,c2) + τ(B,A,c2) = 0.1 should
+     appear, discounted, in the ST objective. *)
+  let inst = Example.instance () in
+  let cfg = Example.optimal_config inst in
+  let plain = St.total_utility inst ~dtel:0.0 cfg in
+  let with_tel = St.total_utility inst ~dtel:1.0 cfg in
+  Alcotest.(check bool) "teleportation adds utility" true (with_tel > plain);
+  (* Monotone in dtel. *)
+  let mid = St.total_utility inst ~dtel:0.5 cfg in
+  Alcotest.(check bool) "monotone" true (plain <= mid && mid <= with_tel);
+  (* Linear in dtel: mid is the average of the two extremes. *)
+  Alcotest.(check (float 1e-9)) "linear" ((plain +. with_tel) /. 2.0) mid
+
+let test_indirect_exact_value () =
+  (* Two users, two items, two slots, one edge; p = 0. A configuration
+     where both see item 0 at different slots earns exactly
+     dtel·(τ(0,1,0)+τ(1,0,0))·λ. *)
+  let g = Svgic_graph.Graph.of_edges ~n:2 [ (0, 1); (1, 0) ] in
+  let pref = [| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  let inst =
+    Instance.create ~graph:g ~m:2 ~k:2 ~lambda:0.5 ~pref ~tau:(fun _ _ c ->
+        if c = 0 then 0.8 else 0.0)
+  in
+  let cfg = Config.make inst [| [| 0; 1 |]; [| 1; 0 |] |] in
+  Alcotest.(check (float 1e-9)) "indirect only" (0.5 *. 0.5 *. 1.6)
+    (St.total_utility inst ~dtel:0.5 cfg);
+  let aligned = Config.make inst [| [| 0; 1 |]; [| 0; 1 |] |] in
+  Alcotest.(check (float 1e-9)) "direct full" (0.5 *. 1.6)
+    (St.total_utility inst ~dtel:0.5 aligned)
+
+let test_violations_counting () =
+  let inst = Example.instance () in
+  let cfg = Svgic.Baselines.group ~fairness:0.0 inst in
+  (* Whole group of 4 at every slot; cap 3 -> 1 excess user and 1
+     oversized subgroup per slot. *)
+  let excess, oversized = St.violations inst ~m_cap:3 cfg in
+  Alcotest.(check int) "excess users" 3 excess;
+  Alcotest.(check int) "oversized subgroups" 3 oversized;
+  Alcotest.(check bool) "infeasible" false (St.feasible inst ~m_cap:3 cfg);
+  Alcotest.(check bool) "feasible at 4" true (St.feasible inst ~m_cap:4 cfg)
+
+let test_avg_st_never_violates () =
+  let rng = Rng.create 400 in
+  for _ = 1 to 6 do
+    let n = 5 + Rng.int rng 4 in
+    let m = 8 + Rng.int rng 4 in
+    let k = 1 + Rng.int rng 2 in
+    let m_cap = 2 + Rng.int rng 2 in
+    let inst = Helpers.random_instance rng ~n ~m ~k in
+    let relax = solve inst in
+    let cfg = St.avg rng inst relax ~m_cap in
+    Alcotest.(check bool) "feasible" true (St.feasible inst ~m_cap cfg);
+    match Config.validate inst (Config.assignment cfg) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "invalid: %s" msg
+  done
+
+let test_avg_d_st_never_violates () =
+  let rng = Rng.create 401 in
+  for _ = 1 to 4 do
+    let inst = Helpers.random_instance rng ~n:6 ~m:9 ~k:2 in
+    let relax = solve inst in
+    let cfg = St.avg_d inst relax ~m_cap:2 in
+    Alcotest.(check bool) "feasible" true (St.feasible inst ~m_cap:2 cfg);
+    match Config.validate inst (Config.assignment cfg) with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "invalid: %s" msg
+  done
+
+let test_cap_one_degenerates_to_personal () =
+  (* With M = 1 nobody shares a subgroup: the result is a fully
+     personalized display (no direct co-display at all). *)
+  let rng = Rng.create 402 in
+  let inst = Helpers.random_instance rng ~n:4 ~m:8 ~k:2 in
+  let relax = solve inst in
+  let cfg = St.avg rng inst relax ~m_cap:1 in
+  Alcotest.(check (float 1e-9)) "no co-display" 0.0
+    (Svgic.Metrics.codisplay_rate inst cfg)
+
+let test_prepartition_reduces_violations () =
+  (* The "-P" wrapper should reduce (not necessarily eliminate) the
+     size-cap violations of the group approach. *)
+  let rng = Rng.create 403 in
+  let inst = Helpers.random_instance rng ~n:9 ~m:8 ~k:2 in
+  let m_cap = 3 in
+  let plain = Svgic.Baselines.group ~fairness:0.0 inst in
+  let pre =
+    Svgic.Baselines.prepartition rng inst ~max_size:m_cap ~solver:(fun sub ->
+        Svgic.Baselines.group ~fairness:0.0 sub)
+  in
+  let excess_plain, _ = St.violations inst ~m_cap plain in
+  let excess_pre, _ = St.violations inst ~m_cap pre in
+  Alcotest.(check bool)
+    (Printf.sprintf "prepartition %d <= plain %d" excess_pre excess_plain)
+    true (excess_pre <= excess_plain);
+  Alcotest.(check bool) "plain violates" true (excess_plain > 0)
+
+let suite =
+  [
+    Alcotest.test_case "dtel=0 equals plain" `Quick test_dtel_zero_matches_plain;
+    Alcotest.test_case "indirect co-display counted" `Quick test_indirect_codisplay_counted;
+    Alcotest.test_case "indirect exact value" `Quick test_indirect_exact_value;
+    Alcotest.test_case "violation counting" `Quick test_violations_counting;
+    Alcotest.test_case "AVG-ST feasibility" `Quick test_avg_st_never_violates;
+    Alcotest.test_case "AVG-D-ST feasibility" `Quick test_avg_d_st_never_violates;
+    Alcotest.test_case "cap 1 = personalized" `Quick test_cap_one_degenerates_to_personal;
+    Alcotest.test_case "prepartition reduces violations" `Quick test_prepartition_reduces_violations;
+  ]
