@@ -1,13 +1,364 @@
-(* Bechamel micro-benchmarks of the algorithmic kernels: LP build,
-   simplex solve, one Frank-Wolfe sweep, CSF rounding, AVG-D, and
-   objective evaluation. Not a paper figure — these watch for
-   performance regressions in the hot paths behind Figures 3/8/9. *)
+(* Kernel benchmarks for the hot paths behind Figures 3/8/9.
+
+   Two layers:
+
+   1. Before/after kernel timings for the incremental structures
+      introduced by the perf work — weighted focal-pair sampling
+      (naive rescan vs Fenwick tree), AVG-D candidate selection
+      (full-cache rescan vs per-slot champions, plus end-to-end
+      AVG-D), and the
+      Pool fan-out of AVG best-of-N. Results are printed and written
+      machine-readably to BENCH_kernels.json (schema in DESIGN.md
+      §"Performance architecture") so the perf trajectory is tracked
+      across PRs.
+
+   2. The original bechamel micro-benchmarks of the algorithmic
+      kernels: LP build, simplex solve, one Frank-Wolfe sweep, CSF
+      rounding, AVG-D, and objective evaluation.
+
+   Setting SVGIC_BENCH_SMOKE=1 shrinks every size and skips the
+   bechamel layer — used by CI to keep the harness from rotting
+   without burning minutes. *)
 
 open Bechamel
 open Toolkit
 
 module Rng = Svgic_util.Rng
+module Fenwick = Svgic_util.Fenwick
+module Pool = Svgic_util.Pool
+module Select = Svgic_util.Select
+module Timer = Svgic_util.Timer
 module Datasets = Svgic_data.Datasets
+
+let smoke () =
+  match Sys.getenv_opt "SVGIC_BENCH_SMOKE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* ---------------- timing + result records ------------------------- *)
+
+type record = {
+  kernel : string;
+  variant : string;
+  size : int; (* m·k for sampler/AVG-D kernels; repeats for the pool *)
+  ns_per_op : float;
+}
+
+(* Best-of-[rounds] wall clock over [ops] iterations of [f]; the
+   minimum is the standard noise-robust estimator for single-threaded
+   kernels (the pool rows use a single round: they measure wall-clock
+   speedup, not a noise floor). *)
+let time_kernel ?(rounds = 3) ~ops f =
+  let best = ref infinity in
+  for _ = 1 to rounds do
+    let t = Timer.start () in
+    for _ = 1 to ops do
+      f ()
+    done;
+    let dt = Timer.elapsed_s t in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9 /. float_of_int ops
+
+(* Times a before/after pair under comparable load: every round
+   measures both sides back to back, alternating which goes first, and
+   each side keeps its best round. Two sequential best-of blocks are
+   vulnerable to background-load shifts between the blocks, which at
+   the small AVG-D shapes dwarfs the effect being measured. *)
+let time_pair ?(rounds = 5) ~ops f g =
+  let measure h =
+    let t = Timer.start () in
+    for _ = 1 to ops do
+      h ()
+    done;
+    Timer.elapsed_s t
+  in
+  let best_f = ref infinity and best_g = ref infinity in
+  for r = 1 to rounds do
+    let df, dg =
+      if r land 1 = 1 then
+        let df = measure f in
+        (df, measure g)
+      else
+        let dg = measure g in
+        (measure f, dg)
+    in
+    if df < !best_f then best_f := df;
+    if dg < !best_g then best_g := dg
+  done;
+  let scale = 1e9 /. float_of_int ops in
+  (!best_f *. scale, !best_g *. scale)
+
+(* ---------------- weighted-sampling kernel ------------------------ *)
+
+(* Mirrors one avg_advanced iteration's sampling cost. Naive (seed
+   code): Select.sum over the full weight array + the O(n) scan of
+   Rng.pick_weighted. Fenwick: O(log n) total + draw + one refresh
+   [set], matching the refresh-on-draw discipline of the rewritten
+   loop. *)
+let weighted_draw_records ~sizes =
+  List.concat_map
+    (fun size ->
+      let rng = Rng.create (9000 + size) in
+      let w =
+        Array.init size (fun _ -> if Rng.bernoulli rng 0.3 then Rng.uniform rng else 0.0)
+      in
+      if Select.sum w <= 0.0 then w.(0) <- 1.0;
+      let draw_rng = Rng.create 42 in
+      let naive_ops = max 50 (2_000_000 / size) in
+      let naive =
+        time_kernel ~ops:naive_ops (fun () ->
+            let total = Select.sum w in
+            ignore total;
+            ignore (Rng.pick_weighted draw_rng w))
+      in
+      let t = Fenwick.of_array w in
+      let fen_rng = Rng.create 42 in
+      let fenwick =
+        time_kernel ~ops:100_000 (fun () ->
+            ignore (Fenwick.total t);
+            let idx = Fenwick.sample fen_rng t in
+            Fenwick.set t idx (Fenwick.get t idx))
+      in
+      [
+        { kernel = "weighted_draw"; variant = "naive"; size; ns_per_op = naive };
+        { kernel = "weighted_draw"; variant = "fenwick"; size; ns_per_op = fenwick };
+      ])
+    sizes
+
+(* ---------------- AVG-D candidate-selection kernel ---------------- *)
+
+(* Isolated selection cost of one AVG-D iteration after an assignment
+   at slot [s]. Both variants pay the same m same-slot score refreshes
+   (recomputation AVG-D performs either way); the seed discipline then
+   rescans the whole m·k cache for the argmax, while the champion
+   discipline folds the slot champion during the refresh and finishes
+   with a k-way compare of the per-slot champions. Scores are kept in
+   a flat float array for both sides (the seed actually scans a
+   [candidate option array], so the naive side here is conservative). *)
+let avg_d_select_records ~sizes =
+  List.concat_map
+    (fun requested ->
+      let k = 8 in
+      let m = max 1 (requested / k) in
+      let size = m * k in
+      let rng = Rng.create (7000 + size) in
+      let fresh_score () =
+        if Rng.bernoulli rng 0.9 then Rng.uniform rng else neg_infinity
+      in
+      let score = Array.init size (fun _ -> fresh_score ()) in
+      let rounds = 32 in
+      let fresh =
+        Array.init rounds (fun _ -> Array.init m (fun _ -> fresh_score ()))
+      in
+      let round = ref 0 in
+      let ops = max 50 (2_000_000 / size) in
+      let naive =
+        time_kernel ~ops (fun () ->
+            let r = !round in
+            round := (r + 1) mod rounds;
+            let s = r mod k in
+            let vals = fresh.(r) in
+            for c = 0 to m - 1 do
+              score.((c * k) + s) <- vals.(c)
+            done;
+            let best = ref (-1) and best_score = ref neg_infinity in
+            for idx = 0 to size - 1 do
+              let sc = score.(idx) in
+              if sc > !best_score then begin
+                best := idx;
+                best_score := sc
+              end
+            done;
+            ignore !best)
+      in
+      let champ = Array.make k (-1) in
+      let rescan s =
+        let best = ref (-1) in
+        for c = 0 to m - 1 do
+          let idx = (c * k) + s in
+          if
+            score.(idx) > neg_infinity
+            && (!best < 0 || score.(idx) > score.(!best))
+          then best := idx
+        done;
+        champ.(s) <- !best
+      in
+      for s = 0 to k - 1 do
+        rescan s
+      done;
+      round := 0;
+      let champion =
+        time_kernel ~ops:100_000 (fun () ->
+            let r = !round in
+            round := (r + 1) mod rounds;
+            let s = r mod k in
+            let vals = fresh.(r) in
+            let best = ref (-1) in
+            for c = 0 to m - 1 do
+              let idx = (c * k) + s in
+              let v = vals.(c) in
+              score.(idx) <- v;
+              if v > neg_infinity && (!best < 0 || v > score.(!best)) then
+                best := idx
+            done;
+            champ.(s) <- !best;
+            let pick = ref (-1) in
+            for s' = 0 to k - 1 do
+              let idx = champ.(s') in
+              if
+                idx >= 0
+                && (!pick < 0 || score.(idx) > score.(!pick))
+              then pick := idx
+            done;
+            ignore !pick)
+      in
+      [
+        { kernel = "avg_d_select"; variant = "naive"; size; ns_per_op = naive };
+        {
+          kernel = "avg_d_select";
+          variant = "champion";
+          size;
+          ns_per_op = champion;
+        };
+      ])
+    sizes
+
+(* ---------------- AVG-D end-to-end -------------------------------- *)
+
+let avg_d_end_to_end_records ~shapes =
+  List.concat_map
+    (fun (n, m, k) ->
+      let rng = Rng.create (1700 + n + m + k) in
+      let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
+      let relax = Svgic.Relaxation.solve inst in
+      (* Aggregate several calls per round: a single rounding run is
+         tens of microseconds at the small shapes, far below timer and
+         scheduler noise. *)
+      let ops = max 2 (2_000_000 / (n * m * k)) in
+      let reference, champion =
+        time_pair ~rounds:5 ~ops
+          (fun () -> ignore (Svgic.Algorithms.avg_d_reference inst relax))
+          (fun () -> ignore (Svgic.Algorithms.avg_d inst relax))
+      in
+      let size = m * k in
+      [
+        { kernel = "avg_d_full"; variant = "naive"; size; ns_per_op = reference };
+        {
+          kernel = "avg_d_full";
+          variant = "champion";
+          size;
+          ns_per_op = champion;
+        };
+      ])
+    shapes
+
+(* ---------------- Pool fan-out ------------------------------------ *)
+
+let pool_records ~repeats ~shape:(n, m, k) =
+  let rng = Rng.create 4242 in
+  let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
+  let relax = Svgic.Relaxation.solve inst in
+  let run domains () =
+    ignore
+      (Svgic.Algorithms.avg_best_of ~domains ~repeats (Rng.create 77) inst relax)
+  in
+  let serial, parallel =
+    time_pair ~rounds:3 ~ops:2 (run 1) (run (Pool.available_domains ()))
+  in
+  [
+    { kernel = "pool_best_of"; variant = "serial"; size = repeats; ns_per_op = serial };
+    {
+      kernel = "pool_best_of";
+      variant = "parallel";
+      size = repeats;
+      ns_per_op = parallel;
+    };
+  ]
+
+(* ---------------- reporting --------------------------------------- *)
+
+let speedups records =
+  (* For every (kernel, size) with exactly a before and an after
+     variant, before/after ratio. The first variant listed per kernel
+     is the "before" side. *)
+  let before_of = function
+    | "fenwick" -> Some "naive"
+    | "champion" -> Some "naive"
+    | "parallel" -> Some "serial"
+    | _ -> None
+  in
+  List.filter_map
+    (fun r ->
+      match before_of r.variant with
+      | None -> None
+      | Some before -> (
+          match
+            List.find_opt
+              (fun b -> b.kernel = r.kernel && b.size = r.size && b.variant = before)
+              records
+          with
+          | Some b when r.ns_per_op > 0.0 ->
+              Some (r.kernel, r.size, b.ns_per_op /. r.ns_per_op)
+          | Some _ | None -> None))
+    records
+
+let json_escape s =
+  (* Kernel/variant names are plain ASCII identifiers; quote/backslash
+     escaping is all that is needed. *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~smoke records =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"svgic.bench.kernels/v1\",\n";
+  out "  \"generated_by\": \"dune exec bench/main.exe -- kernels\",\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"available_domains\": %d,\n" (Pool.available_domains ());
+  out "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      out "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"size\": %d, \"ns_per_op\": %.1f}%s\n"
+        (json_escape r.kernel) (json_escape r.variant) r.size r.ns_per_op
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  out "  ],\n";
+  let ratios = speedups records in
+  out "  \"speedups\": [\n";
+  List.iteri
+    (fun i (kernel, size, ratio) ->
+      out "    {\"kernel\": \"%s\", \"size\": %d, \"speedup\": %.2f}%s\n"
+        (json_escape kernel) size ratio
+        (if i = List.length ratios - 1 then "" else ","))
+    ratios;
+  out "  ]\n";
+  out "}\n";
+  close_out oc
+
+let print_records records =
+  Printf.printf "%-14s %-10s %10s %16s\n" "kernel" "variant" "size" "ns/op";
+  Printf.printf "%s\n" (String.make 54 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %-10s %10d %16.1f\n" r.kernel r.variant r.size
+        r.ns_per_op)
+    records;
+  print_newline ();
+  List.iter
+    (fun (kernel, size, ratio) ->
+      Printf.printf "speedup %-14s size %-8d %8.2fx\n" kernel size ratio)
+    (speedups records);
+  print_newline ()
+
+(* ---------------- bechamel layer (unchanged) ---------------------- *)
 
 let make_instance () =
   let rng = Rng.create 1700 in
@@ -56,8 +407,7 @@ let benchmark () =
   in
   (Analyze.merge ols instances results, raw_results)
 
-let run () =
-  Bench_common.heading "kernels" "Bechamel kernel micro-benchmarks";
+let run_bechamel () =
   let results, _ = benchmark () in
   Hashtbl.iter
     (fun _measure table ->
@@ -68,3 +418,29 @@ let run () =
           | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
         table)
     results
+
+(* ---------------- entry point ------------------------------------- *)
+
+let run () =
+  Bench_common.heading "kernels" "kernel before/after benchmarks";
+  let smoke = smoke () in
+  let sampler_sizes = if smoke then [ 64; 256 ] else [ 256; 1024; 4096; 16384 ] in
+  let avg_d_shapes =
+    if smoke then [ (8, 8, 2) ] else [ (16, 12, 2); (20, 64, 4); (24, 128, 8) ]
+  in
+  let pool_shape = if smoke then (8, 8, 2) else (20, 24, 4) in
+  let pool_repeats = if smoke then 2 else 8 in
+  let records =
+    weighted_draw_records ~sizes:sampler_sizes
+    @ avg_d_select_records ~sizes:sampler_sizes
+    @ avg_d_end_to_end_records ~shapes:avg_d_shapes
+    @ pool_records ~repeats:pool_repeats ~shape:pool_shape
+  in
+  print_records records;
+  let path = "BENCH_kernels.json" in
+  write_json ~path ~smoke records;
+  Printf.printf "wrote %s\n" path;
+  if not smoke then begin
+    Bench_common.heading "kernels" "Bechamel kernel micro-benchmarks";
+    run_bechamel ()
+  end

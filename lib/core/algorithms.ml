@@ -1,4 +1,6 @@
 module Rng = Svgic_util.Rng
+module Fenwick = Svgic_util.Fenwick
+module Pool = Svgic_util.Pool
 
 (* ------------------------------------------------------------------ *)
 (* AVG: randomized rounding                                            *)
@@ -7,50 +9,67 @@ module Rng = Svgic_util.Rng
 let avg_advanced ?size_cap rng inst relax =
   let m = Instance.m inst and k = Instance.k inst in
   let state = Csf.create ?size_cap inst relax in
-  (* Cached advanced-sampling weights x̄*(c,s). Caches are only ever
-     stale-high (assignments can't raise a maximum), so a cached weight
-     is refreshed when its pair is drawn; a refresh to zero simply
-     voids the draw. *)
-  let weights = Array.make (m * k) 0.0 in
-  for c = 0 to m - 1 do
-    let top = Float.max 0.0 (Csf.max_eligible_factor state ~item:c ~slot:0) in
-    for s = 0 to k - 1 do
-      weights.((c * k) + s) <- top
-    done
-  done;
+  (* Cached advanced-sampling weights x̄*(c,s), kept in a Fenwick tree
+     so one draw costs O(log(m·k)) instead of a full rescan. Caches are
+     only ever stale-high (assignments can't raise a maximum), so a
+     cached weight is refreshed when its pair is drawn; a refresh to
+     zero simply voids the draw. *)
+  let weights = Fenwick.create (m * k) in
+  let tops =
+    Array.init m (fun c ->
+        (* Before any assignment the maximum eligible factor is
+           slot-independent; compute it once per item. *)
+        Float.max 0.0 (Csf.max_eligible_factor state ~item:c ~slot:0))
+  in
+  Fenwick.refill weights (fun idx -> tops.(idx / k));
   let refresh idx =
     let c = idx / k and s = idx mod k in
     let fresh = Float.max 0.0 (Csf.max_eligible_factor state ~item:c ~slot:s) in
-    weights.(idx) <- fresh;
+    Fenwick.set weights idx fresh;
     fresh
   in
+  (* Weights only decrease, so at most m·k draws in a row can land on
+     stale cells before every cell has been refreshed; past that (or
+     when the tree total hits zero) rebuild the tree exactly. The
+     rebuild also clears the roundoff the incremental tree updates
+     accumulate, so a residual epsilon total can't spin the loop. *)
+  let stale_budget = 2 * m * k in
+  let stale_draws = ref 0 in
   let finished = ref false in
   while not !finished do
     if Csf.complete state then finished := true
     else begin
-      let total = Svgic_util.Select.sum weights in
-      if total <= 0.0 then begin
-        (* Either every cached weight is genuinely zero (only
-           zero-factor cells remain) or all are stale; refresh once and
-           fall back to greedy completion if nothing reappears. *)
+      let total = Fenwick.total weights in
+      if total <= 0.0 || !stale_draws > stale_budget then begin
+        stale_draws := 0;
         let any = ref false in
-        for idx = 0 to (m * k) - 1 do
-          if refresh idx > 0.0 then any := true
-        done;
+        Fenwick.refill weights (fun idx ->
+            let c = idx / k and s = idx mod k in
+            let fresh =
+              Float.max 0.0 (Csf.max_eligible_factor state ~item:c ~slot:s)
+            in
+            if fresh > 0.0 then any := true;
+            fresh);
         if not !any then begin
+          (* Only zero-factor cells remain; complete greedily. *)
           Csf.greedy_complete state;
           finished := true
         end
       end
       else begin
-        let idx = Rng.pick_weighted rng weights in
+        let idx = Fenwick.sample rng weights in
         let fresh = refresh idx in
         if fresh > 0.0 then begin
           let c = idx / k and s = idx mod k in
           let alpha = Rng.float rng fresh in
           let assigned = Csf.apply state ~item:c ~slot:s ~alpha in
-          if assigned <> [] then ignore (refresh idx)
+          if assigned <> [] then begin
+            stale_draws := 0;
+            ignore (refresh idx)
+          end
+          else incr stale_draws
         end
+        else incr stale_draws
       end
     end
   done;
@@ -87,17 +106,25 @@ let avg ?(advanced_sampling = true) ?size_cap rng inst relax =
   else if advanced_sampling then avg_advanced ?size_cap rng inst relax
   else avg_plain ?size_cap rng inst relax
 
-let avg_best_of ?advanced_sampling ?size_cap ~repeats rng inst relax =
+let avg_best_of ?advanced_sampling ?size_cap ?domains ~repeats rng inst relax =
   assert (repeats >= 1);
-  let best = ref None in
-  for _ = 1 to repeats do
-    let cfg = avg ?advanced_sampling ?size_cap rng inst relax in
-    let value = Config.total_utility inst cfg in
-    match !best with
-    | Some (_, best_value) when best_value >= value -> ()
-    | Some _ | None -> best := Some (cfg, value)
+  (* Each repeat gets its own stream split off the root serially, so
+     the per-repeat configurations — and hence the by-index reduction —
+     are identical for every worker count. *)
+  let streams = Array.init repeats (fun _ -> Rng.split rng) in
+  (* Force the instance's shared lazy tables before fanning out:
+     Lazy.force is not domain-safe. *)
+  ignore (Instance.scaled_pref inst);
+  let scored =
+    Pool.parallel_map ?domains repeats (fun i ->
+        let cfg = avg ?advanced_sampling ?size_cap streams.(i) inst relax in
+        (cfg, Config.total_utility inst cfg))
+  in
+  let best = ref 0 in
+  for i = 1 to repeats - 1 do
+    if snd scored.(i) > snd scored.(!best) then best := i
   done;
-  match !best with Some (cfg, _) -> cfg | None -> assert false
+  fst scored.(!best)
 
 (* ------------------------------------------------------------------ *)
 (* AVG-D: derandomized rounding                                        *)
@@ -111,6 +138,27 @@ let avg_best_of ?advanced_sampling ?size_cap ~repeats rng inst relax =
    candidates of an iteration and therefore dropped from the argmax. *)
 type candidate = { score : float; alpha : float }
 
+(* Per-worker mutable workspace of [evaluate_pair], so the initial
+   m·k sweep can fan out across domains without sharing scratch.
+   [slot_free] caches per-user slot emptiness for one slot: the
+   same-slot invalidation sweep evaluates every item of a single slot
+   against a frozen state, so the lookups (including the per-edge
+   neighbor checks, the hottest loads of the evaluation) are filled
+   once per sweep instead of once per item. *)
+type scratch = {
+  in_star : bool array;
+  star_members : int list ref;
+  slot_free : bool array;
+}
+
+let make_scratch n =
+  {
+    in_star = Array.make n false;
+    star_members = ref [];
+    slot_free = Array.make n false;
+  }
+
+
 type avg_d_ctx = {
   state : Csf.t;
   p' : float array array;
@@ -119,8 +167,6 @@ type avg_d_ctx = {
   wedge : float array; (* per pair: Σ_c w_e(c)·min factors — per-slot LP mass *)
   pair_w : float array array; (* per pair, per item *)
   adj : (int * int) array array; (* u -> (neighbor, pair index) *)
-  in_star : bool array;
-  star_members : int list ref;
 }
 
 let make_ctx ?size_cap ~r inst relax =
@@ -163,106 +209,270 @@ let make_ctx ?size_cap ~r inst relax =
     wedge;
     pair_w;
     adj = Array.map Array.of_list adj_lists;
-    in_star = Array.make n false;
-    star_members = ref [];
   }
 
-(* Evaluates the best threshold for a focal pair. O(n + degree sum of
-   eligible users). *)
-let evaluate_pair ctx ~item ~slot =
-  let facts = Csf.factors ctx.state in
-  let order = Csf.sorted_users ctx.state item in
-  let best = ref None in
-  let alg = ref 0.0 and removed = ref 0.0 in
-  let record alpha =
-    let score = !alg -. (ctx.r *. !removed) in
-    match !best with
-    | Some { score = s; _ } when s >= score -> ()
-    | Some _ | None -> best := Some { score; alpha }
-  in
-  let add u =
-    ctx.in_star.(u) <- true;
-    ctx.star_members := u :: !(ctx.star_members);
-    alg := !alg +. ctx.p'.(u).(item);
-    removed := !removed +. ctx.pcell.(u);
-    Array.iter
-      (fun (v, e) ->
-        if Csf.slot_empty ctx.state ~user:v ~slot then
-          if ctx.in_star.(v) then alg := !alg +. ctx.pair_w.(e).(item)
-          else removed := !removed +. ctx.wedge.(e))
-      ctx.adj.(u)
-  in
-  let pending = ref nan in
-  Array.iter
-    (fun u ->
-      if Csf.eligible ctx.state ~user:u ~item ~slot then begin
-        let f = facts.(u).(item) in
-        (* Record the previous threshold once a strictly smaller factor
-           appears (ties must enter the subgroup together). *)
-        if (not (Float.is_nan !pending)) && f < !pending then record !pending;
-        add u;
-        pending := f
-      end)
-    order;
-  if not (Float.is_nan !pending) then record !pending;
-  (* Reset scratch state. *)
-  List.iter (fun u -> ctx.in_star.(u) <- false) !(ctx.star_members);
-  ctx.star_members := [];
-  !best
+let prepare_slot ctx scratch ~slot =
+  Csf.fill_slot_empty ctx.state ~slot scratch.slot_free
 
-let avg_d ?(r = 0.25) ?size_cap inst relax =
+(* Evaluates the best threshold for a focal pair. O(n + degree sum of
+   eligible users). Only [scratch] is mutated; [scratch.slot_free] must
+   hold [slot]'s emptiness flags (see [prepare_slot]). A locked pair
+   has no eligible user, so it short-circuits without the user scan. *)
+let evaluate_pair_prepared ctx scratch ~item ~slot =
+  if Csf.locked ctx.state ~item ~slot then None
+  else begin
+    let facts = Csf.factors ctx.state in
+    let order = Csf.sorted_users ctx.state item in
+    let slot_free = scratch.slot_free in
+    let best = ref None in
+    let alg = ref 0.0 and removed = ref 0.0 in
+    let record alpha =
+      let score = !alg -. (ctx.r *. !removed) in
+      match !best with
+      | Some { score = s; _ } when s >= score -> ()
+      | Some _ | None -> best := Some { score; alpha }
+    in
+    let add u =
+      scratch.in_star.(u) <- true;
+      scratch.star_members := u :: !(scratch.star_members);
+      alg := !alg +. ctx.p'.(u).(item);
+      removed := !removed +. ctx.pcell.(u);
+      Array.iter
+        (fun (v, e) ->
+          if slot_free.(v) then
+            if scratch.in_star.(v) then alg := !alg +. ctx.pair_w.(e).(item)
+            else removed := !removed +. ctx.wedge.(e))
+        ctx.adj.(u)
+    in
+    let pending = ref nan in
+    Array.iter
+      (fun u ->
+        if slot_free.(u) && not (Csf.item_used ctx.state ~user:u ~item) then begin
+          let f = facts.(u).(item) in
+          (* Record the previous threshold once a strictly smaller
+             factor appears (ties must enter the subgroup together). *)
+          if (not (Float.is_nan !pending)) && f < !pending then record !pending;
+          add u;
+          pending := f
+        end)
+      order;
+    if not (Float.is_nan !pending) then record !pending;
+    (* Reset scratch state. *)
+    List.iter (fun u -> scratch.in_star.(u) <- false) !(scratch.star_members);
+    scratch.star_members := [];
+    !best
+  end
+
+let evaluate_pair ctx scratch ~item ~slot =
+  prepare_slot ctx scratch ~slot;
+  evaluate_pair_prepared ctx scratch ~item ~slot
+
+(* Seed implementation: full m·k cache scan per iteration. Kept as the
+   oracle for the heap-based fast path (tests assert identical output)
+   and as the "before" side of the candidate-selection benchmark. *)
+let avg_d_reference ?(r = 0.25) ?size_cap inst relax =
   if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
   else
-  let m = Instance.m inst and k = Instance.k inst in
-  let ctx = make_ctx ?size_cap ~r inst relax in
-  let cache = Array.make (m * k) None in
-  let recompute idx =
-    cache.(idx) <- evaluate_pair ctx ~item:(idx / k) ~slot:(idx mod k)
-  in
-  for idx = 0 to (m * k) - 1 do
-    recompute idx
-  done;
-  let finished = ref false in
-  while not !finished do
-    if Csf.complete ctx.state then finished := true
-    else begin
-      let best_idx = ref (-1) and best_score = ref neg_infinity in
-      for idx = 0 to (m * k) - 1 do
-        match cache.(idx) with
-        | Some { score; _ } when score > !best_score ->
-            best_idx := idx;
-            best_score := score
-        | Some _ | None -> ()
-      done;
-      if !best_idx < 0 then begin
-        (* No candidate has an eligible user — only possible through a
-           size-cap lockout; complete greedily. *)
-        Csf.greedy_complete ctx.state;
-        finished := true
-      end
+    let m = Instance.m inst and k = Instance.k inst in
+    let ctx = make_ctx ?size_cap ~r inst relax in
+    let scratch = make_scratch (Instance.n inst) in
+    let cache = Array.make (m * k) None in
+    let recompute idx =
+      cache.(idx) <- evaluate_pair ctx scratch ~item:(idx / k) ~slot:(idx mod k)
+    in
+    for idx = 0 to (m * k) - 1 do
+      recompute idx
+    done;
+    let finished = ref false in
+    while not !finished do
+      if Csf.complete ctx.state then finished := true
       else begin
-        let idx = !best_idx in
-        let c = idx / k and s = idx mod k in
-        match cache.(idx) with
-        | None -> assert false
-        | Some { alpha; _ } ->
-            let assigned = Csf.apply ctx.state ~item:c ~slot:s ~alpha in
-            if assigned = [] then recompute idx
-            else begin
-              (* Invalidate exactly the pairs whose eligibility or
-                 future-mass terms changed: same slot (any item), same
-                 item (any slot). *)
-              for c' = 0 to m - 1 do
-                recompute ((c' * k) + s)
-              done;
-              for s' = 0 to k - 1 do
-                recompute ((c * k) + s')
-              done
-            end
+        let best_idx = ref (-1) and best_score = ref neg_infinity in
+        for idx = 0 to (m * k) - 1 do
+          match cache.(idx) with
+          | Some { score; _ } when score > !best_score ->
+              best_idx := idx;
+              best_score := score
+          | Some _ | None -> ()
+        done;
+        if !best_idx < 0 then begin
+          (* No candidate has an eligible user — only possible through a
+             size-cap lockout; complete greedily. *)
+          Csf.greedy_complete ctx.state;
+          finished := true
+        end
+        else begin
+          let idx = !best_idx in
+          let c = idx / k and s = idx mod k in
+          match cache.(idx) with
+          | None -> assert false
+          | Some { alpha; _ } ->
+              let assigned = Csf.apply ctx.state ~item:c ~slot:s ~alpha in
+              if assigned = [] then recompute idx
+              else begin
+                (* Invalidate exactly the pairs whose eligibility or
+                   future-mass terms changed: same slot (any item), same
+                   item (any slot). *)
+                for c' = 0 to m - 1 do
+                  recompute ((c' * k) + s)
+                done;
+                for s' = 0 to k - 1 do
+                  recompute ((c * k) + s')
+                done
+              end
+        end
       end
-    end
-  done;
-  Csf.to_config ctx.state
+    done;
+    Csf.to_config ctx.state
+
+(* Fast path: the same derandomized iteration, but (a) the initial m·k
+   candidate sweep fans out across domains (read-only state, private
+   scratch per worker), and (b) the per-iteration argmax keeps one
+   champion per slot instead of rescanning the whole m·k cache.
+
+   Champion maintenance is fused into the dirty-candidate
+   recomputation an assignment already performs: the same-slot sweep
+   recomputes every candidate of that slot, so its champion is refolded
+   during the sweep for free; the same-item recomputes touch other
+   slots' champions, where a per-slot guard — an upper bound on every
+   non-champion score, only raised between rescans — lets a recomputed
+   champion that stays strictly above the guard keep its seat without
+   an O(m) rescan. Rescans therefore only happen when a sitting
+   champion's fresh score no longer strictly dominates the guard (ties
+   included, so the lowest-index tie-break of the reference scan is
+   preserved exactly). The final argmax is a k-way compare of the
+   champions. *)
+let avg_d ?(r = 0.25) ?size_cap ?domains inst relax =
+  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  else
+    let n = Instance.n inst in
+    let m = Instance.m inst
+    and k = Instance.k inst in
+    let ctx = make_ctx ?size_cap ~r inst relax in
+    (* Force the per-state lazy user ordering before fanning out. *)
+    ignore (Csf.sorted_users ctx.state 0);
+    let cache =
+      Pool.parallel_map_local ?domains (m * k)
+        ~local:(fun () -> make_scratch n)
+        (fun scratch idx ->
+          evaluate_pair ctx scratch ~item:(idx / k) ~slot:(idx mod k))
+    in
+    (* Flat score mirror of [cache] (-inf = no candidate), so champion
+       folds and rescans touch one unboxed float array instead of
+       chasing options. *)
+    let score =
+      Array.map
+        (function Some { score; _ } -> score | None -> neg_infinity)
+        cache
+    in
+    (* champ.(s): cache index of the slot maximum (lowest index on
+       ties), -1 when the slot has no candidate. guard.(s): upper bound
+       on every non-champion score of the slot; it may drift high
+       between rescans but never under-estimates, so
+       [score.(champ.(s)) > guard.(s)] proves the champion's seat. *)
+    let champ = Array.make k (-1) in
+    let guard = Array.make k neg_infinity in
+    let fold_entry s idx =
+      let sc = score.(idx) in
+      if sc > neg_infinity then begin
+        let b = champ.(s) in
+        if b < 0 then champ.(s) <- idx
+        else if sc > score.(b) || (sc = score.(b) && idx < b) then begin
+          champ.(s) <- idx;
+          guard.(s) <- Float.max guard.(s) score.(b)
+        end
+        else guard.(s) <- Float.max guard.(s) sc
+      end
+    in
+    let rescan_slot s =
+      champ.(s) <- -1;
+      guard.(s) <- neg_infinity;
+      for c = 0 to m - 1 do
+        fold_entry s ((c * k) + s)
+      done
+    in
+    for s = 0 to k - 1 do
+      rescan_slot s
+    done;
+    let scratch = make_scratch n in
+    let recompute_raw idx =
+      cache.(idx) <- evaluate_pair ctx scratch ~item:(idx / k) ~slot:(idx mod k);
+      score.(idx) <-
+        (match cache.(idx) with
+        | Some { score; _ } -> score
+        | None -> neg_infinity)
+    in
+    let recompute idx =
+      recompute_raw idx;
+      let s = idx mod k in
+      if champ.(s) = idx then begin
+        (* The sitting champion changed. Its fresh score still wins the
+           slot if it strictly beats the guard; otherwise (including
+           ties, which must resolve to the lowest index) re-establish
+           the slot maximum from the cache. *)
+        if not (score.(idx) > guard.(s)) then rescan_slot s
+      end
+      else fold_entry s idx
+    in
+    let pick_best () =
+      let best = ref (-1) in
+      for s = 0 to k - 1 do
+        let idx = champ.(s) in
+        if
+          idx >= 0
+          && (!best < 0
+             || score.(idx) > score.(!best)
+             || (score.(idx) = score.(!best) && idx < !best))
+        then best := idx
+      done;
+      !best
+    in
+    let finished = ref false in
+    while not !finished do
+      if Csf.complete ctx.state then finished := true
+      else begin
+        let best_idx = pick_best () in
+        if best_idx < 0 then begin
+          (* No candidate has an eligible user — only possible through
+             a size-cap lockout; complete greedily. *)
+          Csf.greedy_complete ctx.state;
+          finished := true
+        end
+        else begin
+          let idx = best_idx in
+          let c = idx / k and s = idx mod k in
+          match cache.(idx) with
+          | None -> assert false
+          | Some { alpha; _ } ->
+              let assigned = Csf.apply ctx.state ~item:c ~slot:s ~alpha in
+              if assigned = [] then recompute idx
+              else begin
+                (* Invalidate exactly the pairs whose eligibility or
+                   future-mass terms changed: same slot (any item),
+                   same item (any slot). The same-slot sweep touches
+                   every candidate of slot [s], so its champion is
+                   refolded inline instead of by a separate rescan. *)
+                champ.(s) <- -1;
+                guard.(s) <- neg_infinity;
+                prepare_slot ctx scratch ~slot:s;
+                for c' = 0 to m - 1 do
+                  let idx' = (c' * k) + s in
+                  cache.(idx') <-
+                    evaluate_pair_prepared ctx scratch ~item:c' ~slot:s;
+                  score.(idx') <-
+                    (match cache.(idx') with
+                    | Some { score; _ } -> score
+                    | None -> neg_infinity);
+                  fold_entry s idx'
+                done;
+                for s' = 0 to k - 1 do
+                  if s' <> s then recompute ((c * k) + s')
+                done
+              end
+        end
+      end
+    done;
+    Csf.to_config ctx.state
 
 (* ------------------------------------------------------------------ *)
 (* Independent rounding (Algorithm 1, kept as a counter-example)       *)

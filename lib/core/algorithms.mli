@@ -32,20 +32,46 @@ val avg :
 val avg_best_of :
   ?advanced_sampling:bool ->
   ?size_cap:int ->
+  ?domains:int ->
   repeats:int ->
   Svgic_util.Rng.t ->
   Instance.t ->
   Relaxation.t ->
   Config.t
 (** Corollary 4.1: repeats AVG and keeps the configuration with the
-    best total SAVG utility. *)
+    best total SAVG utility. The repeats fan out over
+    [Svgic_util.Pool] ([domains] defaults to the recommended domain
+    count; [1] forces the serial path): each repeat draws from its own
+    [Rng.split] stream derived serially from [rng], and the winner is
+    reduced by (utility, lowest repeat index), so the result is
+    identical for every [domains] value given the same root state. *)
 
 val avg_d :
-  ?r:float -> ?size_cap:int -> Instance.t -> Relaxation.t -> Config.t
+  ?r:float ->
+  ?size_cap:int ->
+  ?domains:int ->
+  Instance.t ->
+  Relaxation.t ->
+  Config.t
 (** Deterministic AVG. Each iteration evaluates every candidate
     [(c, s, α = x*(u,c,s))] and applies the CSF step maximizing
     [ALG(S_tar) + r·OPT_LP(S_fut)]; [r] defaults to the
-    guarantee-preserving 1/4 (Section 6.7 studies other values). *)
+    guarantee-preserving 1/4 (Section 6.7 studies other values).
+
+    The initial m·k candidate sweep fans out over [Svgic_util.Pool]
+    ([domains] as in [avg_best_of]), and the per-iteration argmax
+    tracks one champion per slot (maintained during the dirty
+    same-item/same-slot recomputation sweep, with a lazy O(m) slot
+    rescan only when a sitting champion is recomputed) instead of a
+    full m·k cache rescan. Output is bit-identical to
+    [avg_d_reference] for every [domains] value. *)
+
+val avg_d_reference :
+  ?r:float -> ?size_cap:int -> Instance.t -> Relaxation.t -> Config.t
+(** The seed implementation of [avg_d] (serial, full m·k candidate
+    rescan per iteration). Kept as the determinism oracle for tests and
+    the "before" side of the candidate-selection benchmark; prefer
+    [avg_d]. *)
 
 val independent_rounding :
   Svgic_util.Rng.t -> Instance.t -> Relaxation.t -> int array array

@@ -50,6 +50,12 @@ let remaining t = t.empty_cells
 let complete t = t.empty_cells = 0
 
 let slot_empty t ~user ~slot = t.assign.(user).(slot) = -1
+let item_used t ~user ~item = t.used.(user).(item)
+
+let fill_slot_empty t ~slot out =
+  for u = 0 to Array.length t.assign - 1 do
+    out.(u) <- t.assign.(u).(slot) = -1
+  done
 
 let eligible t ~user ~item ~slot =
   t.assign.(user).(slot) = -1

@@ -58,7 +58,11 @@ let pivot t ~row ~col =
   for i = 0 to t.nrows - 1 do
     if i <> row then begin
       let factor = t.body.(i).(col) in
-      if Float.abs factor > 0.0 then begin
+      (* Rows with a negligible entry in the pivot column are already
+         eliminated up to the tolerance used everywhere else; skipping
+         them avoids O(ncols) work per near-zero row on dense
+         tableaus. *)
+      if Float.abs factor > eps then begin
         let irow = t.body.(i) in
         for j = 0 to t.ncols do
           irow.(j) <- irow.(j) -. (factor *. prow.(j))
@@ -67,7 +71,7 @@ let pivot t ~row ~col =
     end
   done;
   let factor = t.obj.(col) in
-  if Float.abs factor > 0.0 then
+  if Float.abs factor > eps then
     for j = 0 to t.ncols do
       t.obj.(j) <- t.obj.(j) -. (factor *. prow.(j))
     done;

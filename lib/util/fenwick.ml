@@ -1,0 +1,100 @@
+(* Classic 1-based Fenwick layout: [tree.(j)] holds the sum of entries
+   [j - lowbit j .. j - 1] (0-based), so prefix sums and point updates
+   touch O(log n) nodes. [data] keeps the exact per-entry values so
+   [get]/[set] need no tree queries and [refill] can rebuild exactly. *)
+
+type t = {
+  tree : float array; (* length n + 1; tree.(0) unused *)
+  data : float array;
+  n : int;
+  mutable top_bit : int; (* highest power of two <= n, for [find] *)
+}
+
+let top_bit_of n =
+  let b = ref 1 in
+  while !b * 2 <= n do
+    b := !b * 2
+  done;
+  !b
+
+let create n =
+  assert (n >= 0);
+  {
+    tree = Array.make (n + 1) 0.0;
+    data = Array.make (max n 1) 0.0;
+    n;
+    top_bit = (if n = 0 then 0 else top_bit_of n);
+  }
+
+let length t = t.n
+
+let get t i = t.data.(i)
+
+let add t i d =
+  t.data.(i) <- t.data.(i) +. d;
+  let j = ref (i + 1) in
+  while !j <= t.n do
+    t.tree.(!j) <- t.tree.(!j) +. d;
+    j := !j + (!j land - !j)
+  done
+
+let set t i v = add t i (v -. t.data.(i))
+
+let refill t f =
+  for i = 0 to t.n - 1 do
+    t.data.(i) <- f i;
+    t.tree.(i + 1) <- t.data.(i)
+  done;
+  (* O(n) exact build: push each node's sum into its parent. *)
+  for j = 1 to t.n do
+    let parent = j + (j land -j) in
+    if parent <= t.n then t.tree.(parent) <- t.tree.(parent) +. t.tree.(j)
+  done
+
+let of_array arr =
+  let t = create (Array.length arr) in
+  refill t (fun i -> arr.(i));
+  t
+
+let prefix t i =
+  let acc = ref 0.0 in
+  let j = ref i in
+  while !j > 0 do
+    acc := !acc +. t.tree.(!j);
+    j := !j - (!j land - !j)
+  done;
+  !acc
+
+let total t = prefix t t.n
+
+(* Clamp used when roundoff pushes a search past the mass: the last
+   strictly-positive entry, scanning back from [from]. *)
+let last_positive_from t from =
+  let i = ref (min from (t.n - 1)) in
+  while !i > 0 && t.data.(!i) <= 0.0 do
+    decr i
+  done;
+  !i
+
+let find t target =
+  assert (t.n > 0);
+  let pos = ref 0 in
+  let rem = ref target in
+  let mask = ref t.top_bit in
+  while !mask > 0 do
+    let next = !pos + !mask in
+    if next <= t.n && t.tree.(next) <= !rem then begin
+      rem := !rem -. t.tree.(next);
+      pos := next
+    end;
+    mask := !mask / 2
+  done;
+  (* [!pos] = largest j with prefix j <= target, so entry [!pos] is the
+     first whose cumulative sum exceeds target. Tree-node roundoff can
+     land on an exhausted (zero) entry or run past the end; clamp. *)
+  if !pos >= t.n || t.data.(!pos) <= 0.0 then last_positive_from t !pos else !pos
+
+let sample rng t =
+  let sum = total t in
+  assert (sum > 0.0);
+  find t (Rng.float rng sum)

@@ -1,0 +1,53 @@
+(** Binary-indexed tree (Fenwick tree) over non-negative floats, used
+    as the incremental weight structure behind AVG's advanced focal-pair
+    sampling: point updates and weighted draws in O(log n) instead of
+    the O(n) full-array rescan per CSF iteration.
+
+    Entries are expected to be non-negative; [find]/[sample] are
+    unspecified for negative weights. Point updates accumulate float
+    deltas into the internal tree, so node sums can drift from the
+    exact entry sums by roundoff; [refill] rebuilds the tree exactly
+    from scratch and is the cheap way to resynchronize after many
+    updates (hot loops use it as a periodic safety net). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a tree over [n] entries, all [0.0]. *)
+
+val of_array : float array -> t
+(** Tree initialized from the given entries (copied). *)
+
+val length : t -> int
+
+val get : t -> int -> float
+(** Current value of one entry (exact — kept alongside the tree). *)
+
+val set : t -> int -> float -> unit
+(** [set t i v] overwrites entry [i] with [v]; O(log n). *)
+
+val add : t -> int -> float -> unit
+(** [add t i d] adds [d] to entry [i]; O(log n). *)
+
+val refill : t -> (int -> float) -> unit
+(** [refill t f] overwrites every entry [i] with [f i] and rebuilds the
+    tree exactly (no accumulated roundoff); O(n). *)
+
+val prefix : t -> int -> float
+(** [prefix t i] is the sum of entries [0 .. i-1]; O(log n). *)
+
+val total : t -> float
+(** Sum of all entries; O(log n). *)
+
+val find : t -> float -> int
+(** [find t target] returns the smallest index [i] with
+    [prefix t (i+1) > target] — the index a left-to-right cumulative
+    scan selects for [target] in [0, total). A [target] at or beyond
+    [total] (float roundoff at the boundary) is clamped to the last
+    strictly-positive entry, mirroring the clamped fallback of
+    [Rng.weighted_index]; O(log n). *)
+
+val sample : Rng.t -> t -> int
+(** [sample rng t] draws an index with probability proportional to its
+    entry, consuming one [Rng.float] of the stream exactly like
+    [Rng.pick_weighted]. The total must be positive. *)

@@ -1,0 +1,77 @@
+(* Chunked fork/join fan-out over raw OCaml 5 domains. Each call
+   partitions [0, n) into one contiguous block per worker, spawns
+   [workers - 1] domains and runs the first block on the calling
+   domain. No domain pool is kept alive between calls: spawn cost is
+   tens of microseconds, negligible against the LP-rounding workloads
+   this fans out, and short-lived domains keep the substrate free of
+   shutdown/ordering concerns.
+
+   Determinism contract: results are delivered by index ([parallel_map]
+   fills slot [i] with [f i]) regardless of worker count, so any
+   by-index reduction is identical to the serial run. Callers must not
+   rely on evaluation *order* across indices, and shared lazies must be
+   forced before fanning out (Lazy.force is not domain-safe). *)
+
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+let resolve_workers ?domains n =
+  let requested = match domains with Some d -> d | None -> available_domains () in
+  (* Serial degradation: a single-core box (recommended count 1), an
+     explicit [~domains:1], or a trivial range all bypass spawning. *)
+  max 1 (min requested n)
+
+(* Runs [body lo hi] over a partition of [0, n) with [workers] blocks.
+   Block w covers [w*n/workers, (w+1)*n/workers). *)
+let run_blocks ~workers n body =
+  if n > 0 then begin
+    if workers <= 1 then body 0 n
+    else begin
+      let bound w = w * n / workers in
+      let spawned =
+        Array.init (workers - 1) (fun i ->
+            let w = i + 1 in
+            let lo = bound w and hi = bound (w + 1) in
+            Domain.spawn (fun () -> body lo hi))
+      in
+      body 0 (bound 1);
+      (* Join everything before surfacing a worker exception so no
+         domain outlives the call. *)
+      let failure = ref None in
+      Array.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> ()
+          | exception e -> if !failure = None then failure := Some e)
+        spawned;
+      match !failure with None -> () | Some e -> raise e
+    end
+  end
+
+let parallel_for ?domains n f =
+  let workers = resolve_workers ?domains n in
+  run_blocks ~workers n (fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_map_local ?domains n ~local f =
+  if n = 0 then [||]
+  else begin
+    let workers = resolve_workers ?domains n in
+    if workers <= 1 then
+      (* Serial fast path: no option staging, one scratch, one array. *)
+      let l = local () in
+      Array.init n (f l)
+    else begin
+      let out = Array.make n None in
+      run_blocks ~workers n (fun lo hi ->
+          let l = local () in
+          for i = lo to hi - 1 do
+            out.(i) <- Some (f l i)
+          done);
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+  end
+
+let parallel_map ?domains n f =
+  parallel_map_local ?domains n ~local:(fun () -> ()) (fun () i -> f i)

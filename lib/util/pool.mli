@@ -1,0 +1,37 @@
+(** Chunked multicore fan-out over raw OCaml 5 [Domain.spawn] — the
+    substrate behind AVG's best-of-N repeats and AVG-D's initial
+    candidate sweep.
+
+    Semantics:
+    - [0, n) is split into one contiguous block per worker; block 0
+      runs on the calling domain, the rest on freshly spawned domains
+      that are joined before the call returns.
+    - Determinism: [parallel_map] fills slot [i] with [f i], so the
+      result array — and any by-index reduction over it — is identical
+      for every worker count, including the serial fallback.
+    - Serial fallback: when [Domain.recommended_domain_count () = 1]
+      (or [~domains:1], or [n <= 1]) the body runs in the calling
+      domain with no spawns at all.
+    - Exceptions raised by a worker are re-raised after all workers
+      have been joined.
+
+    Callers are responsible for domain safety of [f]: shared state must
+    be read-only during the fan-out and shared lazies forced
+    beforehand. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count], floored at 1. *)
+
+val parallel_for : ?domains:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f i] for every [i] in [0, n), fanned out
+    over [min domains n] workers ([domains] defaults to
+    [available_domains ()]). *)
+
+val parallel_map : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_map n f] is [| f 0; …; f (n-1) |]. *)
+
+val parallel_map_local :
+  ?domains:int -> int -> local:(unit -> 'l) -> ('l -> int -> 'a) -> 'a array
+(** [parallel_map_local n ~local f] is [parallel_map] where each worker
+    first builds private scratch [l = local ()] and maps [f l i] — the
+    way to give every domain its own mutable workspace. *)

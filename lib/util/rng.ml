@@ -36,18 +36,25 @@ let pick st arr =
   assert (Array.length arr > 0);
   arr.(Random.State.int st (Array.length arr))
 
-let pick_weighted st w =
-  let total = Array.fold_left ( +. ) 0.0 w in
-  assert (total > 0.0);
-  let target = Random.State.float st total in
+let weighted_index w target =
   let n = Array.length w in
+  assert (n > 0);
+  (* Roundoff can leave [target] at or past the accumulated sum of all
+     positive cells; the fallback must then be the last
+     strictly-positive weight, never a zero-weight tail cell. *)
+  let rec clamp i = if i <= 0 || w.(i) > 0.0 then i else clamp (i - 1) in
   let rec scan i acc =
-    if i >= n - 1 then n - 1
+    if i >= n then clamp (n - 1)
     else
       let acc = acc +. w.(i) in
       if target < acc then i else scan (i + 1) acc
   in
   scan 0 0.0
+
+let pick_weighted st w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  weighted_index w (Random.State.float st total)
 
 let shuffle st arr =
   for i = Array.length arr - 1 downto 1 do

@@ -39,9 +39,20 @@ val pareto : t -> alpha:float -> xmin:float -> float
 val pick : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
 
+val weighted_index : float array -> float -> int
+(** [weighted_index w target] is the index a left-to-right cumulative
+    scan of [w] selects for [target]: the smallest [i] with
+    [w.(0) +. … +. w.(i) > target]. A [target] at or beyond the total
+    (float roundoff at the boundary) is clamped to the last
+    strictly-positive weight rather than falling through to a possibly
+    zero-weight final cell. Deterministic core of [pick_weighted],
+    exposed so alternative samplers (e.g. [Fenwick.sample]) can be
+    checked against it draw-for-draw. *)
+
 val pick_weighted : t -> float array -> int
 (** [pick_weighted st w] draws index [i] with probability proportional
-    to [w.(i)]. All weights must be non-negative with a positive sum. *)
+    to [w.(i)]. All weights must be non-negative with a positive sum.
+    Consumes exactly one [float] draw from the stream. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)

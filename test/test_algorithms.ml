@@ -264,6 +264,65 @@ let test_determinism_of_avg_d () =
   Alcotest.(check bool) "same assignment" true
     (Config.assignment a = Config.assignment b)
 
+(* The champion-tracking avg_d must reproduce the seed implementation
+   bit-for-bit: same assignments and same utility, with and without a
+   size cap, for any worker count of the initial sweep. *)
+let test_avg_d_fast_path_matches_reference () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n:6 ~m:7 ~k:2 in
+      let relax = solve inst in
+      List.iter
+        (fun size_cap ->
+          let reference = Algorithms.avg_d_reference ?size_cap inst relax in
+          List.iter
+            (fun domains ->
+              let fast = Algorithms.avg_d ?size_cap ~domains inst relax in
+              let label =
+                Printf.sprintf "seed %d cap %s domains %d" seed
+                  (match size_cap with None -> "-" | Some c -> string_of_int c)
+                  domains
+              in
+              Alcotest.(check bool)
+                (label ^ ": identical assignments")
+                true
+                (Config.assignment fast = Config.assignment reference);
+              Alcotest.(check (float 0.0))
+                (label ^ ": identical utility")
+                (Config.total_utility inst reference)
+                (Config.total_utility inst fast))
+            [ 1; 3 ])
+        [ None; Some 2; Some 3 ])
+    [ 201; 202; 203 ]
+
+(* Pooled best-of-N must reduce deterministically: same root seed ⇒
+   same winner for every worker count, including the serial path. *)
+let test_avg_best_of_pool_deterministic () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_instance rng ~n:6 ~m:6 ~k:2 in
+      let relax = solve inst in
+      let run domains =
+        let root = Rng.create (seed * 31) in
+        Algorithms.avg_best_of ~domains ~repeats:7 root inst relax
+      in
+      let serial = run 1 in
+      List.iter
+        (fun domains ->
+          let pooled = run domains in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "seed %d domains %d: same utility" seed domains)
+            (Config.total_utility inst serial)
+            (Config.total_utility inst pooled);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d domains %d: same assignment" seed domains)
+            true
+            (Config.assignment pooled = Config.assignment serial))
+        [ 2; 4 ])
+    [ 301; 302 ]
+
 let test_lambda_zero_matches_personalized_optimum () =
   (* λ = 0 reduces SVGIC to top-k personalization (Section 3.1). *)
   let rng = Rng.create 109 in
@@ -385,6 +444,9 @@ let suite =
     Alcotest.test_case "no-ALP ablation" `Quick test_avg_without_transform_same_quality;
     Alcotest.test_case "AVG-D r extremes" `Quick test_avg_d_r_extremes;
     Alcotest.test_case "AVG-D deterministic" `Quick test_determinism_of_avg_d;
+    Alcotest.test_case "AVG-D fast path = reference" `Quick
+      test_avg_d_fast_path_matches_reference;
+    Alcotest.test_case "AVG best-of pool deterministic" `Quick test_avg_best_of_pool_deterministic;
     Alcotest.test_case "λ=0 is personalization" `Quick test_lambda_zero_matches_personalized_optimum;
     Alcotest.test_case "λ=1 ignores preferences" `Quick test_lambda_one_ignores_preferences;
     Alcotest.test_case "Corollary 4.3 (k=1)" `Quick test_corollary_k1_two_approx;

@@ -6,6 +6,8 @@ module Stats = Svgic_util.Stats
 module Heap = Svgic_util.Heap
 module Union_find = Svgic_util.Union_find
 module Select = Svgic_util.Select
+module Fenwick = Svgic_util.Fenwick
+module Pool = Svgic_util.Pool
 
 let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
 
@@ -90,6 +92,23 @@ let test_rng_dirichlet () =
     check_float ~eps:1e-9 "sums to one" 1.0 (Array.fold_left ( +. ) 0.0 v);
     Array.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.0)) v
   done
+
+let test_rng_weighted_index_zero_tail () =
+  (* Regression: a target at or past the accumulated sum (float
+     roundoff at the boundary) used to fall through to index n-1 even
+     when w.(n-1) = 0.0; the clamp must land on the last strictly
+     positive weight instead. *)
+  let w = [| 0.2; 0.8; 0.0; 0.0 |] in
+  Alcotest.(check int) "boundary clamps past zero tail" 1
+    (Rng.weighted_index w 1.0);
+  Alcotest.(check int) "past-total target clamps too" 1
+    (Rng.weighted_index w 1.5);
+  Alcotest.(check int) "interior draws unchanged" 0 (Rng.weighted_index w 0.1);
+  Alcotest.(check int) "interior draws unchanged (2)" 1
+    (Rng.weighted_index w 0.5);
+  (* A positive final weight still wins the boundary case. *)
+  Alcotest.(check int) "positive tail keeps n-1" 2
+    (Rng.weighted_index [| 0.5; 0.5; 1.0 |] 2.0)
 
 let test_rng_shuffle_permutes () =
   let rng = Rng.create 23 in
@@ -211,6 +230,84 @@ let test_select_float_range () =
     "range" [| 0.0; 0.5; 1.0 |]
     (Select.float_range 0.0 1.0 3)
 
+(* --------------------------- Fenwick ------------------------------ *)
+
+let test_fenwick_prefix_sums () =
+  let arr = [| 1.0; 0.0; 2.5; 0.5; 3.0 |] in
+  let t = Fenwick.of_array arr in
+  Alcotest.(check int) "length" 5 (Fenwick.length t);
+  for i = 0 to 5 do
+    let expected = ref 0.0 in
+    for j = 0 to i - 1 do
+      expected := !expected +. arr.(j)
+    done;
+    check_float (Printf.sprintf "prefix %d" i) !expected (Fenwick.prefix t i)
+  done;
+  check_float "total" 7.0 (Fenwick.total t);
+  Array.iteri (fun i v -> check_float "get" v (Fenwick.get t i)) arr
+
+let test_fenwick_updates () =
+  let t = Fenwick.create 6 in
+  check_float "empty total" 0.0 (Fenwick.total t);
+  Fenwick.set t 2 4.0;
+  Fenwick.add t 5 1.5;
+  Fenwick.add t 2 (-3.0);
+  check_float "get after set+add" 1.0 (Fenwick.get t 2);
+  check_float "total tracks updates" 2.5 (Fenwick.total t);
+  Fenwick.refill t (fun i -> float_of_int i);
+  check_float "refill total" 15.0 (Fenwick.total t);
+  check_float "refill prefix" 6.0 (Fenwick.prefix t 4)
+
+let test_fenwick_find_matches_scan () =
+  let w = [| 2.0; 0.0; 1.0; 0.0; 5.0; 0.0 |] in
+  let t = Fenwick.of_array w in
+  List.iter
+    (fun target ->
+      Alcotest.(check int)
+        (Printf.sprintf "find %.2f" target)
+        (Rng.weighted_index w target) (Fenwick.find t target))
+    [ 0.0; 1.99; 2.0; 2.5; 2.99; 3.0; 7.5; 7.99; 8.0; 9.0 ]
+
+(* ---------------------------- Pool -------------------------------- *)
+
+let test_pool_map_matches_serial () =
+  let n = 257 in
+  let expected = Array.init n (fun i -> i * i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map with %d domains" domains)
+        expected
+        (Pool.parallel_map ~domains n (fun i -> i * i)))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_for_covers_range () =
+  let n = 100 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for ~domains:4 n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check (array int)) "each index exactly once" (Array.make n 1) hits
+
+let test_pool_local_scratch_private () =
+  (* Each worker gets its own scratch; counts per scratch must sum to
+     n without interference. *)
+  let n = 64 in
+  let out =
+    Pool.parallel_map_local ~domains:4 n
+      ~local:(fun () -> ref 0)
+      (fun counter i ->
+        incr counter;
+        (i, !counter))
+  in
+  Alcotest.(check int) "all results present" n (Array.length out);
+  Array.iteri (fun i (idx, count) ->
+      Alcotest.(check int) "index order preserved" i idx;
+      Alcotest.(check bool) "scratch counts positive" true (count >= 1))
+    out
+
+let test_pool_propagates_exceptions () =
+  Alcotest.check_raises "worker exception surfaces" Exit (fun () ->
+      Pool.parallel_for ~domains:3 9 (fun i -> if i = 7 then raise Exit))
+
 (* ------------------------ qcheck properties ----------------------- *)
 
 let qcheck_props =
@@ -253,6 +350,53 @@ let qcheck_props =
         let lo = Array.fold_left Float.min infinity xs in
         let hi = Array.fold_left Float.max neg_infinity xs in
         v >= lo -. 1e-9 && v <= hi +. 1e-9);
+    Test.make ~name:"fenwick sampling matches the naive scan draw-for-draw"
+      (triple (int_range 0 10_000)
+         (array_of_size Gen.(int_range 1 60) (int_range 0 8))
+         (array_of_size Gen.(int_range 1 20) (pair (int_range 0 59) (int_range 0 8))))
+      (fun (seed, iw, updates) ->
+        (* Integer-valued weights keep every partial sum exact in both
+           the linear scan and the tree, so the two samplers must agree
+           on the whole index sequence, not just in distribution. *)
+        let w = Array.map float_of_int iw in
+        assume (Array.exists (fun v -> v > 0.0) w);
+        let naive_rng = Rng.create seed and fen_rng = Rng.create seed in
+        let t = Fenwick.of_array w in
+        let ok = ref true in
+        for _ = 1 to 30 do
+          if !ok && Array.exists (fun v -> v > 0.0) w then
+            if Rng.pick_weighted naive_rng w <> Fenwick.sample fen_rng t then
+              ok := false
+        done;
+        (* Point updates must preserve the agreement. *)
+        Array.iter
+          (fun (i, v) ->
+            let i = i mod Array.length w in
+            w.(i) <- float_of_int v;
+            Fenwick.set t i w.(i))
+          updates;
+        if !ok && Array.exists (fun v -> v > 0.0) w then
+          for _ = 1 to 30 do
+            if !ok then
+              if Rng.pick_weighted naive_rng w <> Fenwick.sample fen_rng t then
+                ok := false
+          done;
+        !ok);
+    Test.make ~name:"fenwick find agrees with weighted_index on exact sums"
+      (pair
+         (array_of_size Gen.(int_range 1 50) (int_range 0 6))
+         (int_range 0 400))
+      (fun (iw, itarget) ->
+        let w = Array.map float_of_int iw in
+        assume (Array.exists (fun v -> v > 0.0) w);
+        let t = Fenwick.of_array w in
+        let target = float_of_int itarget /. 2.0 in
+        Rng.weighted_index w target = Fenwick.find t target);
+    Test.make ~name:"pool map equals serial map for any worker count"
+      (pair (int_range 1 8) (int_range 0 200))
+      (fun (domains, n) ->
+        Pool.parallel_map ~domains n (fun i -> (3 * i) + 1)
+        = Array.init n (fun i -> (3 * i) + 1));
     Test.make ~name:"heap drain is a decreasing permutation"
       (array_of_size Gen.(int_range 0 60) (float_range 0.0 1.0))
       (fun keys ->
@@ -273,7 +417,15 @@ let suite =
     Alcotest.test_case "rng weighted pick" `Quick test_rng_pick_weighted;
     Alcotest.test_case "rng sampling w/o replacement" `Quick test_rng_sample_without_replacement;
     Alcotest.test_case "rng dirichlet" `Quick test_rng_dirichlet;
+    Alcotest.test_case "rng weighted-index zero tail" `Quick test_rng_weighted_index_zero_tail;
     Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "fenwick prefix sums" `Quick test_fenwick_prefix_sums;
+    Alcotest.test_case "fenwick updates" `Quick test_fenwick_updates;
+    Alcotest.test_case "fenwick find vs scan" `Quick test_fenwick_find_matches_scan;
+    Alcotest.test_case "pool map matches serial" `Quick test_pool_map_matches_serial;
+    Alcotest.test_case "pool for covers range" `Quick test_pool_for_covers_range;
+    Alcotest.test_case "pool local scratch" `Quick test_pool_local_scratch_private;
+    Alcotest.test_case "pool exception propagation" `Quick test_pool_propagates_exceptions;
     Alcotest.test_case "stats basics" `Quick test_stats_basic;
     Alcotest.test_case "stats cdf" `Quick test_stats_cdf;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
