@@ -253,6 +253,72 @@ let avg_d_end_to_end_records ~shapes =
       ])
     shapes
 
+(* ---------------- LP engine: dense vs revised --------------------- *)
+
+let simp_lp_of (n, m) =
+  let rng = Rng.create (3100 + n + m) in
+  let inst = Datasets.make Datasets.Timik rng ~n ~m ~k:4 ~lambda:0.5 in
+  let problem, _ = Svgic.Lp_build.simp_lp inst in
+  problem
+
+(* Same LP_SIMP program through both exact engines. [pairs] are shapes
+   the dense tableau can still stomach; [revised_only] rows document
+   the scale the revised engine opens up (no dense counterpart, so no
+   speedup row is derived for them). The size field is the LP variable
+   count. *)
+let lp_solve_records ~pairs ~revised_only =
+  List.concat_map
+    (fun shape ->
+      let problem = simp_lp_of shape in
+      let size = Svgic_lp.Problem.num_vars problem in
+      let dense, revised =
+        time_pair ~rounds:3 ~ops:1
+          (fun () -> ignore (Svgic_lp.Simplex.solve problem))
+          (fun () -> ignore (Svgic_lp.Revised_simplex.solve problem))
+      in
+      [
+        { kernel = "lp_solve"; variant = "dense"; size; ns_per_op = dense };
+        { kernel = "lp_solve"; variant = "revised"; size; ns_per_op = revised };
+      ])
+    pairs
+  @ List.map
+      (fun shape ->
+        let problem = simp_lp_of shape in
+        let size = Svgic_lp.Problem.num_vars problem in
+        let revised =
+          time_kernel ~rounds:1 ~ops:1 (fun () ->
+              ignore (Svgic_lp.Revised_simplex.solve problem))
+        in
+        { kernel = "lp_solve"; variant = "revised"; size; ns_per_op = revised })
+      revised_only
+
+(* ---------------- AVG phase split: LP solve vs rounding ----------- *)
+
+(* Where an AVG run spends its time per instance size: the relaxation
+   solve (config phase) and the AVG-D rounding that consumes it. Not a
+   before/after pair — the two rows per size are the phase split. *)
+let lp_phase_records ~shapes =
+  List.concat_map
+    (fun (n, m, k) ->
+      let rng = Rng.create (2500 + n + m + k) in
+      let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
+      let relax = Svgic.Relaxation.solve inst in
+      let lp =
+        time_kernel ~rounds:2 ~ops:1 (fun () ->
+            ignore (Svgic.Relaxation.solve inst))
+      in
+      let ops = max 4 (1_000_000 / (n * m * k)) in
+      let rounding =
+        time_kernel ~rounds:3 ~ops (fun () ->
+            ignore (Svgic.Algorithms.avg_d inst relax))
+      in
+      let size = m * k in
+      [
+        { kernel = "lp_phase"; variant = "lp_solve"; size; ns_per_op = lp };
+        { kernel = "lp_phase"; variant = "rounding"; size; ns_per_op = rounding };
+      ])
+    shapes
+
 (* ---------------- Pool fan-out ------------------------------------ *)
 
 let pool_records ~repeats ~shape:(n, m, k) =
@@ -286,6 +352,7 @@ let speedups records =
     | "fenwick" -> Some "naive"
     | "champion" -> Some "naive"
     | "parallel" -> Some "serial"
+    | "revised" -> Some "dense"
     | _ -> None
   in
   List.filter_map
@@ -430,10 +497,24 @@ let run () =
   in
   let pool_shape = if smoke then (8, 8, 2) else (20, 24, 4) in
   let pool_repeats = if smoke then 2 else 8 in
+  (* Relaxation.backend_budget's dense_vars (1500) is where Auto stops
+     picking the dense engine: the paired shapes straddle it (dense
+     still *solves* ~1900 variables, just slowly — which is the
+     point), the revised-only shape shows the scale far past it. *)
+  let lp_pairs =
+    if smoke then [ (8, 12) ]
+    else [ (8, 12); (12, 16); (20, 24); (19, 26); (24, 26) ]
+  in
+  let lp_revised_only = if smoke then [] else [ (50, 80) ] in
+  let lp_phase_shapes =
+    if smoke then [ (8, 8, 2) ] else [ (16, 12, 2); (20, 64, 4); (24, 128, 8) ]
+  in
   let records =
     weighted_draw_records ~sizes:sampler_sizes
     @ avg_d_select_records ~sizes:sampler_sizes
     @ avg_d_end_to_end_records ~shapes:avg_d_shapes
+    @ lp_solve_records ~pairs:lp_pairs ~revised_only:lp_revised_only
+    @ lp_phase_records ~shapes:lp_phase_shapes
     @ pool_records ~repeats:pool_repeats ~shape:pool_shape
   in
   print_records records;

@@ -1,6 +1,6 @@
 module Graph = Svgic_graph.Graph
 
-type t = { inst : Instance.t; cfg : Config.t }
+type t = { inst : Instance.t; cfg : Config.t; relax : Relaxation.t }
 
 type user_profile = {
   pref : float array;
@@ -9,9 +9,9 @@ type user_profile = {
   friends : int array;
 }
 
-let start rng inst =
-  let relax = Relaxation.solve inst in
-  { inst; cfg = Algorithms.avg rng inst relax }
+let start ?warm rng inst =
+  let relax = Relaxation.solve ?warm inst in
+  { inst; cfg = Algorithms.avg rng inst relax; relax }
 
 let instance t = t.inst
 let config t = t.cfg
@@ -105,7 +105,9 @@ let join t profile =
         else Config.row t.cfg u)
   in
   fill_row_greedy inst assign ~user:new_user;
-  ({ inst; cfg = Config.make inst assign }, new_user)
+  (* The stored relaxation is for the old population; it is kept only
+     as a (shape-checked, hence safely ignored) warm-start hint. *)
+  ({ inst; cfg = Config.make inst assign; relax = t.relax }, new_user)
 
 let leave t user =
   let old_n = Instance.n t.inst in
@@ -113,6 +115,10 @@ let leave t user =
   let keep = Array.of_list (List.filter (( <> ) user) (List.init old_n (fun i -> i))) in
   let inst, mapping = Instance.restrict_users t.inst keep in
   let assign = Array.map (fun old -> Config.row t.cfg old) mapping in
-  { inst; cfg = Config.make inst assign }
+  { inst; cfg = Config.make inst assign; relax = t.relax }
 
-let resolve rng t = start rng t.inst
+(* Warm start the relaxation re-solve from the stored basis: when the
+   population is unchanged the LP has the same shape and the old
+   optimal basis is optimal or nearly so; after joins/leaves the shape
+   differs and the solver falls back to a cold start on its own. *)
+let resolve rng t = start ?warm:t.relax.Relaxation.basis rng t.inst

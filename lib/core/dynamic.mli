@@ -18,8 +18,11 @@ type user_profile = {
   friends : int array;  (** existing user ids (bidirectional friendship) *)
 }
 
-val start : Svgic_util.Rng.t -> Instance.t -> t
-(** Solves the initial instance with AVG. *)
+val start :
+  ?warm:Svgic_lp.Revised_simplex.vbasis -> Svgic_util.Rng.t -> Instance.t -> t
+(** Solves the initial instance with AVG. [warm] seeds the relaxation
+    solve with a basis from an earlier same-shaped session (see
+    {!Relaxation.solve}). *)
 
 val instance : t -> Instance.t
 val config : t -> Config.t
@@ -37,4 +40,7 @@ val leave : t -> int -> t
 (** Removes a user (ids of later users shift down by one). *)
 
 val resolve : Svgic_util.Rng.t -> t -> t
-(** Full re-optimization of the current population with AVG. *)
+(** Full re-optimization of the current population with AVG. The
+    relaxation re-solve warm starts from the session's stored simplex
+    basis when the population (and hence the LP shape) is unchanged;
+    otherwise the solver cold starts on its own. *)

@@ -22,10 +22,7 @@ let build_slot_indexed inst =
   for u = 0 to n - 1 do
     for c = 0 to m - 1 do
       for s = 0 to k - 1 do
-        let idx =
-          Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c)
-            (Printf.sprintf "x_%d_%d_%d" u c s)
-        in
+        let idx = Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c) () in
         assert (idx = x_var u c s)
       done
     done
@@ -35,10 +32,7 @@ let build_slot_indexed inst =
   for e = 0 to np - 1 do
     for c = 0 to m - 1 do
       for s = 0 to k - 1 do
-        let idx =
-          Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c)
-            (Printf.sprintf "y_%d_%d_%d" e c s)
-        in
+        let idx = Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) () in
         assert (idx = y_var e c s)
       done
     done
@@ -104,10 +98,7 @@ let simp_lp inst =
   let x_var u c = (u * m) + c in
   for u = 0 to n - 1 do
     for c = 0 to m - 1 do
-      let idx =
-        Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c)
-          (Printf.sprintf "x_%d_%d" u c)
-      in
+      let idx = Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c) () in
       assert (idx = x_var u c)
     done
   done;
@@ -116,10 +107,7 @@ let simp_lp inst =
   Array.iteri
     (fun e _ ->
       for c = 0 to m - 1 do
-        let idx =
-          Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c)
-            (Printf.sprintf "y_%d_%d" e c)
-        in
+        let idx = Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) () in
         assert (idx = y_var e c)
       done)
     pairs;

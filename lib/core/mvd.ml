@@ -66,10 +66,7 @@ let exact_ip ?options inst ~beta =
   for u = 0 to n - 1 do
     for c = 0 to m - 1 do
       for s = 0 to k - 1 do
-        let idx =
-          Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c)
-            (Printf.sprintf "w_%d_%d_%d" u c s)
-        in
+        let idx = Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c) () in
         assert (idx = w_var u c s)
       done
     done
@@ -81,10 +78,7 @@ let exact_ip ?options inst ~beta =
   for u = 0 to n - 1 do
     for c = 0 to m - 1 do
       for s = 0 to k - 1 do
-        let idx =
-          Problem.add_var problem ~upper:1.0 ~obj:0.0
-            (Printf.sprintf "x_%d_%d_%d" u c s)
-        in
+        let idx = Problem.add_var problem ~upper:1.0 ~obj:0.0 () in
         assert (idx = x_var u c s)
       done
     done
@@ -95,9 +89,7 @@ let exact_ip ?options inst ~beta =
       for c = 0 to m - 1 do
         for s = 0 to k - 1 do
           if weights.(e).(c) > 0.0 then begin
-            let y =
-              Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) "y"
-            in
+            let y = Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) () in
             Problem.add_row problem [ (y, 1.0); (w_var u c s, -1.0) ] Problem.Le 0.0;
             Problem.add_row problem [ (y, 1.0); (w_var v c s, -1.0) ] Problem.Le 0.0
           end

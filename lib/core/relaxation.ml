@@ -1,65 +1,102 @@
+module Revised = Svgic_lp.Revised_simplex
+
 type backend =
   | Exact_simplex
   | Frank_wolfe of { iterations : int; smoothing : float }
   | Auto
 
-type t = { xbar : float array array; scaled_objective : float }
+type budget = { exact_vars : int; exact_nnz : int; dense_vars : int }
 
-let simplex_variable_budget = 1500
+let default_budget =
+  { exact_vars = 60_000; exact_nnz = 600_000; dense_vars = 1_500 }
+
+let budget_ref = ref default_budget
+let backend_budget () = !budget_ref
+let set_backend_budget b = budget_ref := b
+
+type t = {
+  xbar : float array array;
+  scaled_objective : float;
+  basis : Revised.vbasis option;
+}
+
+(* LP_SIMP shape without building the program: (n + np) * m variables,
+   n + 2 * np * m rows, and n * m + 4 * np * m matrix nonzeros. *)
+let lp_simp_shape inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and np = Array.length (Instance.pairs inst) in
+  let vars = (n + np) * m in
+  let rows = n + (2 * np * m) in
+  let nnz = (n * m) + (4 * np * m) in
+  (vars, rows, nnz)
 
 let choose_backend inst =
-  let vars =
-    (Instance.n inst + Array.length (Instance.pairs inst)) * Instance.m inst
-  in
-  if vars <= simplex_variable_budget then Exact_simplex
+  let b = !budget_ref in
+  let vars, _, nnz = lp_simp_shape inst in
+  if vars <= b.exact_vars && nnz <= b.exact_nnz then Exact_simplex
   else Frank_wolfe { iterations = 400; smoothing = 0.05 }
 
-let solve_simplex inst =
+(* Exact solve of an arbitrary [Problem]: the dense tableau for small
+   programs (the long-standing oracle path), the sparse revised
+   simplex beyond [dense_vars]. Returns the final basis when the
+   revised engine ran, so callers can warm start re-solves. *)
+let solve_exact ?warm ~what problem =
+  let b = !budget_ref in
+  let vars = Svgic_lp.Problem.num_vars problem in
+  let rows = Svgic_lp.Problem.num_rows problem in
+  if warm = None && vars <= b.dense_vars && rows <= 2 * b.dense_vars then
+    match Svgic_lp.Simplex.solve problem with
+    | Svgic_lp.Simplex.Optimal { x; objective; _ } -> (x, objective, None)
+    | Svgic_lp.Simplex.Infeasible ->
+        failwith (Printf.sprintf "Relaxation.solve: %s reported infeasible" what)
+    | Svgic_lp.Simplex.Unbounded ->
+        failwith (Printf.sprintf "Relaxation.solve: %s reported unbounded" what)
+  else
+    match Revised.solve ?basis:warm problem with
+    | Revised.Optimal { x; objective; basis; _ } -> (x, objective, Some basis)
+    | Revised.Infeasible ->
+        failwith (Printf.sprintf "Relaxation.solve: %s reported infeasible" what)
+    | Revised.Unbounded ->
+        failwith (Printf.sprintf "Relaxation.solve: %s reported unbounded" what)
+
+let solve_simplex ?warm inst =
   let problem, x_var = Lp_build.simp_lp inst in
-  match Svgic_lp.Simplex.solve problem with
-  | Svgic_lp.Simplex.Optimal { x; objective; _ } ->
-      let n = Instance.n inst and m = Instance.m inst in
-      let xbar = Array.init n (fun u -> Array.init m (fun c -> x.(x_var u c))) in
-      { xbar; scaled_objective = objective }
-  | Svgic_lp.Simplex.Infeasible ->
-      (* Cannot happen: the uniform point k/m is always feasible. *)
-      failwith "Relaxation.solve: LP_SIMP reported infeasible"
-  | Svgic_lp.Simplex.Unbounded ->
-      failwith "Relaxation.solve: LP_SIMP reported unbounded"
+  (* The uniform point k/m is always feasible, so infeasibility here is
+     a solver bug, not an input condition. *)
+  let x, objective, basis = solve_exact ?warm ~what:"LP_SIMP" problem in
+  let n = Instance.n inst and m = Instance.m inst in
+  let xbar = Array.init n (fun u -> Array.init m (fun c -> x.(x_var u c))) in
+  { xbar; scaled_objective = objective; basis }
 
 let solve_fw ~iterations ~smoothing inst =
   let problem = Lp_build.fw_problem inst in
   let solution = Svgic_lp.Pairwise_fw.solve ~iterations ~smoothing problem in
-  { xbar = solution.x; scaled_objective = solution.objective }
+  { xbar = solution.x; scaled_objective = solution.objective; basis = None }
 
-let solve ?(backend = Auto) inst =
+let solve ?(backend = Auto) ?warm inst =
   let backend = match backend with Auto -> choose_backend inst | b -> b in
   match backend with
-  | Exact_simplex -> solve_simplex inst
+  | Exact_simplex -> solve_simplex ?warm inst
   | Frank_wolfe { iterations; smoothing } -> solve_fw ~iterations ~smoothing inst
   | Auto -> assert false
 
 let solve_without_transform inst =
   let problem, maps = Lp_build.full_lp inst in
-  match Svgic_lp.Simplex.solve problem with
-  | Svgic_lp.Simplex.Optimal { x; objective; _ } ->
-      let n = Instance.n inst
-      and m = Instance.m inst
-      and k = Instance.k inst in
-      let xbar =
-        Array.init n (fun u ->
-            Array.init m (fun c ->
-                let acc = ref 0.0 in
-                for s = 0 to k - 1 do
-                  acc := !acc +. x.(maps.x_var u c s)
-                done;
-                !acc))
-      in
-      { xbar; scaled_objective = objective }
-  | Svgic_lp.Simplex.Infeasible ->
-      failwith "Relaxation.solve_without_transform: infeasible"
-  | Svgic_lp.Simplex.Unbounded ->
-      failwith "Relaxation.solve_without_transform: unbounded"
+  let x, objective, basis = solve_exact ~what:"LP_SVGIC" problem in
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let xbar =
+    Array.init n (fun u ->
+        Array.init m (fun c ->
+            let acc = ref 0.0 in
+            for s = 0 to k - 1 do
+              acc := !acc +. x.(maps.x_var u c s)
+            done;
+            !acc))
+  in
+  { xbar; scaled_objective = objective; basis }
 
 let upper_bound inst r = Instance.objective_scale inst *. r.scaled_objective
 

@@ -5,19 +5,50 @@
     of the paper are [x*(u,c,s) = xbar(u)(c) / k] (Observation 2). *)
 
 type backend =
-  | Exact_simplex  (** dense simplex on [LP_SIMP]; exact, small instances *)
+  | Exact_simplex
+      (** exact simplex on [LP_SIMP] — the dense tableau for small
+          programs, the sparse revised simplex beyond
+          [budget.dense_vars] *)
   | Frank_wolfe of { iterations : int; smoothing : float }
       (** scalable approximate solver (Corollary 4.2 applies) *)
-  | Auto  (** simplex when the program is small, Frank–Wolfe otherwise *)
+  | Auto  (** exact within {!backend_budget}, Frank–Wolfe otherwise *)
+
+type budget = {
+  exact_vars : int;  (** largest LP (variables) solved exactly under [Auto] *)
+  exact_nnz : int;  (** largest LP (matrix nonzeros) solved exactly *)
+  dense_vars : int;  (** dense-tableau ceiling inside the exact path *)
+}
+(** Backend-selection thresholds. The defaults
+    ([exact_vars = 60_000], [exact_nnz = 600_000],
+    [dense_vars = 1_500]) keep paper-scale instances (tens of
+    thousands of LP variables) on the exact revised simplex and
+    reserve Frank–Wolfe for programs beyond it. *)
+
+val backend_budget : unit -> budget
+val set_backend_budget : budget -> unit
+(** Global configuration read by {!choose_backend}; replaces the old
+    hard-coded 1500-variable ceiling. *)
+
+val choose_backend : Instance.t -> backend
+(** The backend [Auto] resolves to, from the instance's [LP_SIMP]
+    shape (variables, rows, nonzeros) and the current
+    {!backend_budget}. Never returns [Auto]. *)
 
 type t = {
   xbar : float array array;  (** [n x m] utility factors, rows sum to k *)
   scaled_objective : float;  (** relaxation objective in scaled units *)
+  basis : Svgic_lp.Revised_simplex.vbasis option;
+      (** final simplex basis when the revised engine solved the
+          program; reusable via [solve ~warm] *)
 }
 
-val solve : ?backend:backend -> Instance.t -> t
+val solve : ?backend:backend -> ?warm:Svgic_lp.Revised_simplex.vbasis -> Instance.t -> t
 (** Solves [LP_SIMP] (with the advanced LP transformation). Default
-    backend [Auto]. *)
+    backend [Auto]. [warm] re-starts the revised simplex from a basis
+    returned by an earlier solve of a same-shaped instance (same [n],
+    [m] and friend pairs — e.g. a re-solve after utility drift); a
+    mismatched basis is ignored, so passing a stale one is safe.
+    Giving [warm] forces the exact path onto the revised engine. *)
 
 val solve_without_transform : Instance.t -> t
 (** Ablation path ("AVG–ALP" in Figure 9(b)): solves the full

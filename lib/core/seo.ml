@@ -1,6 +1,12 @@
 type event = { name : string }
 
-type plan = { instance : Instance.t; config : Config.t; events : event array }
+type plan = {
+  instance : Instance.t;
+  config : Config.t;
+  events : event array;
+  capacity : int;
+  relax : Relaxation.t;
+}
 
 let organize rng ~graph ~events ~rounds ~capacity ~pref ~tau ~lambda =
   let m = Array.length events in
@@ -10,7 +16,17 @@ let organize rng ~graph ~events ~rounds ~capacity ~pref ~tau ~lambda =
   let inst = Instance.create ~graph ~m ~k:rounds ~lambda ~pref ~tau in
   let relax = Relaxation.solve inst in
   let config = St.avg rng inst relax ~m_cap:capacity in
-  { instance = inst; config; events }
+  { instance = inst; config; events; capacity; relax }
+
+(* Re-run the randomized rounding phase — the LP re-solve warm starts
+   from the stored basis, so a replan costs a handful of pivots plus
+   the rounding itself. *)
+let replan rng plan =
+  let relax =
+    Relaxation.solve ?warm:plan.relax.Relaxation.basis plan.instance
+  in
+  let config = St.avg rng plan.instance relax ~m_cap:plan.capacity in
+  { plan with config; relax }
 
 let attendees plan ~round ~event =
   let n = Instance.n plan.instance in

@@ -13,6 +13,9 @@ type plan = {
   instance : Instance.t;
   config : Config.t;
   events : event array;
+  capacity : int;  (** per-(event, round) attendance cap [M] *)
+  relax : Relaxation.t;  (** relaxation behind [config]; carries the
+                             simplex basis for warm replans *)
 }
 
 val organize :
@@ -29,6 +32,12 @@ val organize :
     (capacity-capped CSF). Requires
     [capacity * |events| >= n + (rounds-1)*capacity] so a feasible
     schedule exists. *)
+
+val replan : Svgic_util.Rng.t -> plan -> plan
+(** Re-draws the schedule for the same instance: the LP relaxation is
+    re-solved warm from the stored basis (near-instant — the old basis
+    is still optimal) and only the randomized rounding is re-run. Use
+    to generate alternative schedules cheaply. *)
 
 val attendees : plan -> round:int -> event:int -> int array
 (** Who attends an event in a round. *)

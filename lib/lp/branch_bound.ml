@@ -8,6 +8,7 @@ type options = {
   time_budget_s : float option;
   node_budget : int option;
   gap_tol : float;
+  warm_start : bool;
 }
 
 let default_options =
@@ -17,6 +18,7 @@ let default_options =
     time_budget_s = None;
     node_budget = None;
     gap_tol = 1e-6;
+    warm_start = true;
   }
 
 type result = {
@@ -24,19 +26,28 @@ type result = {
   objective : float;
   bound : float;
   nodes : int;
+  pivots : int;
   proved_optimal : bool;
 }
 
 let int_eps = 1e-6
 
-(* A node records which binaries are fixed and to what. *)
-type node = { fixings : (int * bool) list; parent_bound : float }
+(* A node records which binaries are fixed and to what, plus the final
+   basis of the parent relaxation. Fixings are pure bound changes
+   (lower := 1 or upper := 0), so every node's LP has the same rows
+   and variables as the root and the parent basis warm starts the
+   child re-solve. *)
+type node = {
+  fixings : (int * bool) list;
+  parent_bound : float;
+  parent_basis : Revised_simplex.vbasis option;
+}
 
 let apply_fixings base fixings =
   let p = Problem.clone base in
   List.iter
     (fun (v, value) ->
-      if value then Problem.add_row p [ (v, 1.0) ] Problem.Ge 1.0
+      if value then Problem.set_lower p v 1.0
       else Problem.set_upper p v (Some 0.0))
     fixings;
   p
@@ -70,6 +81,9 @@ let solve ?(options = default_options) base ~binary =
       | Some _ | None ->
           invalid_arg "Branch_bound.solve: binary variable without [0,1] bound")
     binary;
+  (* Build the CSC view on the base problem before the first clone:
+     clones share the cache, so the whole tree reuses one build. *)
+  ignore (Problem.csc base);
   let timer = Svgic_util.Timer.start () in
   let out_of_budget nodes =
     (match options.time_budget_s with
@@ -113,8 +127,9 @@ let solve ?(options = default_options) base ~binary =
     | Some (b, _) -> Float.max from_stack b
     | None -> from_stack
   in
-  push { fixings = []; parent_bound = infinity };
+  push { fixings = []; parent_bound = infinity; parent_basis = None };
   let nodes = ref 0 in
+  let pivots = ref 0 in
   let exhausted = ref false in
   let continue = ref true in
   while !continue do
@@ -130,11 +145,13 @@ let solve ?(options = default_options) base ~binary =
           else begin
             incr nodes;
             let problem = apply_fixings base node.fixings in
-            match Simplex.solve problem with
-            | Simplex.Infeasible -> ()
-            | Simplex.Unbounded ->
+            let basis = if options.warm_start then node.parent_basis else None in
+            match Revised_simplex.solve ?basis problem with
+            | Revised_simplex.Infeasible -> ()
+            | Revised_simplex.Unbounded ->
                 failwith "Branch_bound.solve: unbounded relaxation"
-            | Simplex.Optimal { x; objective; _ } ->
+            | Revised_simplex.Optimal { x; objective; pivots = p; basis } ->
+                pivots := !pivots + p;
                 if objective <= !incumbent_obj +. options.gap_tol then ()
                 else begin
                   let branch_var = pick_branch_var options base x binary in
@@ -151,11 +168,13 @@ let solve ?(options = default_options) base ~binary =
                       {
                         fixings = (branch_var, false) :: node.fixings;
                         parent_bound = objective;
+                        parent_basis = Some basis;
                       };
                     push
                       {
                         fixings = (branch_var, true) :: node.fixings;
                         parent_bound = objective;
+                        parent_basis = Some basis;
                       }
                   end
                 end
@@ -172,5 +191,6 @@ let solve ?(options = default_options) base ~binary =
     objective = !incumbent_obj;
     bound;
     nodes = !nodes;
+    pivots = !pivots;
     proved_optimal = (not !exhausted) && Float.abs (bound -. !incumbent_obj) <= options.gap_tol *. 10.0;
   }

@@ -6,7 +6,13 @@
     and branching strategies below play the role of the commercial
     solver's algorithm variants; all are exact but explore the tree in
     different orders, which is what the time-budgeted comparison
-    measures. *)
+    measures.
+
+    Node relaxations are solved by {!Revised_simplex}. Branching
+    fixings are pure bound changes (lower := 1 / upper := 0), so every
+    node shares the root LP's rows and CSC view, and each child
+    re-solve warm starts from its parent's optimal basis — typically a
+    handful of dual pivots instead of a full cold solve. *)
 
 type strategy =
   | Depth_first  (** dive on the up-branch first; finds incumbents early *)
@@ -23,16 +29,19 @@ type options = {
   time_budget_s : float option;  (** wall-clock cap; anytime result *)
   node_budget : int option;
   gap_tol : float;  (** absolute bound-vs-incumbent gap for termination *)
+  warm_start : bool;  (** re-solve children from the parent basis *)
 }
 
 val default_options : options
-(** Depth-first, most-fractional, no budget, [gap_tol = 1e-6]. *)
+(** Depth-first, most-fractional, no budget, [gap_tol = 1e-6],
+    warm starts on. *)
 
 type result = {
   incumbent : float array option;  (** best integral solution found *)
   objective : float;  (** objective of the incumbent, [neg_infinity] if none *)
   bound : float;  (** proven global upper bound *)
   nodes : int;
+  pivots : int;  (** total simplex pivots across all node re-solves *)
   proved_optimal : bool;
 }
 

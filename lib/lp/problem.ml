@@ -2,40 +2,72 @@ type cmp = Le | Ge | Eq
 
 type row = { terms : (int * float) list; cmp : cmp; rhs : float }
 
+type csc = {
+  c_nv : int;
+  c_nr : int;
+  col_ptr : int array;
+  row_ind : int array;
+  values : float array;
+  row_cmp : cmp array;
+  row_rhs : float array;
+}
+
 type t = {
   mutable objs : float array;
+  mutable lowers : float array;
   mutable uppers : float option array;
   mutable names : string array;
   mutable nv : int;
   mutable row_list : row list; (* reversed insertion order *)
   mutable nr : int;
+  mutable nnz : int;
+  (* Cached sparse column view of [row_list]; invalidated by any
+     structural change (add_var / add_row). Bound or objective edits
+     keep it valid, which is what lets branch-and-bound clones share
+     one CSC across the whole tree. *)
+  mutable csc_cache : csc option;
 }
 
 let create () =
-  { objs = [||]; uppers = [||]; names = [||]; nv = 0; row_list = []; nr = 0 }
+  {
+    objs = [||];
+    lowers = [||];
+    uppers = [||];
+    names = [||];
+    nv = 0;
+    row_list = [];
+    nr = 0;
+    nnz = 0;
+    csc_cache = None;
+  }
 
 let grow t =
   let cap = Array.length t.objs in
   if t.nv >= cap then begin
     let ncap = max 16 (2 * cap) in
     let objs = Array.make ncap 0.0 in
+    let lowers = Array.make ncap 0.0 in
     let uppers = Array.make ncap None in
     let names = Array.make ncap "" in
     Array.blit t.objs 0 objs 0 t.nv;
+    Array.blit t.lowers 0 lowers 0 t.nv;
     Array.blit t.uppers 0 uppers 0 t.nv;
     Array.blit t.names 0 names 0 t.nv;
     t.objs <- objs;
+    t.lowers <- lowers;
     t.uppers <- uppers;
     t.names <- names
   end
 
-let add_var t ?upper ~obj name =
+let add_var t ?name ?upper ~obj () =
   grow t;
   let idx = t.nv in
   t.objs.(idx) <- obj;
+  t.lowers.(idx) <- 0.0;
   t.uppers.(idx) <- upper;
-  t.names.(idx) <- name;
+  t.names.(idx) <- (match name with Some n -> n | None -> "");
   t.nv <- t.nv + 1;
+  t.csc_cache <- None;
   idx
 
 let add_row t terms cmp rhs =
@@ -44,28 +76,81 @@ let add_row t terms cmp rhs =
       if v < 0 || v >= t.nv then invalid_arg "Problem.add_row: unknown variable")
     terms;
   t.row_list <- { terms; cmp; rhs } :: t.row_list;
-  t.nr <- t.nr + 1
+  t.nr <- t.nr + 1;
+  t.nnz <- t.nnz + List.length terms;
+  t.csc_cache <- None
 
 let clone t =
   {
     objs = Array.copy t.objs;
+    lowers = Array.copy t.lowers;
     uppers = Array.copy t.uppers;
     names = Array.copy t.names;
     nv = t.nv;
     row_list = t.row_list;
     nr = t.nr;
+    nnz = t.nnz;
+    csc_cache = t.csc_cache;
   }
 
 let set_upper t v upper =
   if v < 0 || v >= t.nv then invalid_arg "Problem.set_upper: unknown variable";
   t.uppers.(v) <- upper
 
+let set_lower t v lower =
+  if v < 0 || v >= t.nv then invalid_arg "Problem.set_lower: unknown variable";
+  if lower < 0.0 then invalid_arg "Problem.set_lower: negative lower bound";
+  t.lowers.(v) <- lower
+
 let num_vars t = t.nv
 let num_rows t = t.nr
+let num_nonzeros t = t.nnz
 let objective t = Array.sub t.objs 0 t.nv
 let upper_bound t i = t.uppers.(i)
-let var_name t i = t.names.(i)
+let lower_bound t i = t.lowers.(i)
+
+let var_name t i =
+  if t.names.(i) = "" then Printf.sprintf "v%d" i else t.names.(i)
+
 let rows t = Array.of_list (List.rev t.row_list)
+
+let build_csc t =
+  let nv = t.nv and nr = t.nr and nnz = t.nnz in
+  let rows = Array.of_list (List.rev t.row_list) in
+  let counts = Array.make (nv + 1) 0 in
+  Array.iter
+    (fun r -> List.iter (fun (v, _) -> counts.(v) <- counts.(v) + 1) r.terms)
+    rows;
+  let col_ptr = Array.make (nv + 1) 0 in
+  for v = 0 to nv - 1 do
+    col_ptr.(v + 1) <- col_ptr.(v) + counts.(v)
+  done;
+  let row_ind = Array.make (max 1 nnz) 0 in
+  let values = Array.make (max 1 nnz) 0.0 in
+  let cursor = Array.copy col_ptr in
+  let row_cmp = Array.make (max 1 nr) Le in
+  let row_rhs = Array.make (max 1 nr) 0.0 in
+  Array.iteri
+    (fun i r ->
+      row_cmp.(i) <- r.cmp;
+      row_rhs.(i) <- r.rhs;
+      List.iter
+        (fun (v, c) ->
+          let p = cursor.(v) in
+          row_ind.(p) <- i;
+          values.(p) <- c;
+          cursor.(v) <- p + 1)
+        r.terms)
+    rows;
+  { c_nv = nv; c_nr = nr; col_ptr; row_ind; values; row_cmp; row_rhs }
+
+let csc t =
+  match t.csc_cache with
+  | Some c -> c
+  | None ->
+      let c = build_csc t in
+      t.csc_cache <- Some c;
+      c
 
 let eval_objective t x =
   let acc = ref 0.0 in
@@ -80,7 +165,7 @@ let row_value row x =
 let check_feasible ?(eps = 1e-6) t x =
   let bounds_ok = ref true in
   for i = 0 to t.nv - 1 do
-    if x.(i) < -.eps then bounds_ok := false;
+    if x.(i) < t.lowers.(i) -. eps then bounds_ok := false;
     (match t.uppers.(i) with
     | Some u when x.(i) > u +. eps -> bounds_ok := false
     | Some _ | None -> ())
@@ -99,20 +184,21 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>max ";
   for i = 0 to t.nv - 1 do
     if t.objs.(i) <> 0.0 then
-      Format.fprintf ppf "%+g %s " t.objs.(i) t.names.(i)
+      Format.fprintf ppf "%+g %s " t.objs.(i) (var_name t i)
   done;
   Format.fprintf ppf "@,subject to:@,";
   List.iter
     (fun row ->
       List.iter
-        (fun (v, coeff) -> Format.fprintf ppf "%+g %s " coeff t.names.(v))
+        (fun (v, coeff) -> Format.fprintf ppf "%+g %s " coeff (var_name t v))
         row.terms;
       let op = match row.cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
       Format.fprintf ppf "%s %g@," op row.rhs)
     (List.rev t.row_list);
   for i = 0 to t.nv - 1 do
-    match t.uppers.(i) with
-    | Some u -> Format.fprintf ppf "0 <= %s <= %g@," t.names.(i) u
-    | None -> ()
+    match (t.lowers.(i), t.uppers.(i)) with
+    | l, Some u -> Format.fprintf ppf "%g <= %s <= %g@," l (var_name t i) u
+    | l, None when l > 0.0 -> Format.fprintf ppf "%s >= %g@," (var_name t i) l
+    | _, None -> ()
   done;
   Format.fprintf ppf "@]"

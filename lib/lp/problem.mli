@@ -1,8 +1,8 @@
-(** Linear-program description shared by the simplex solver and the
+(** Linear-program description shared by the simplex solvers and the
     branch-and-bound ILP solver.
 
-    Conventions: all variables are non-negative, each may carry an
-    optional finite upper bound, and the objective is always
+    Conventions: every variable carries a finite lower bound (default
+    0) and an optional finite upper bound, and the objective is always
     *maximized*. Constraint rows are sparse lists of
     (variable, coefficient) terms. *)
 
@@ -10,35 +10,68 @@ type cmp = Le | Ge | Eq
 
 type row = { terms : (int * float) list; cmp : cmp; rhs : float }
 
+type csc = {
+  c_nv : int;  (** column (variable) count at build time *)
+  c_nr : int;  (** row count at build time *)
+  col_ptr : int array;  (** length [c_nv + 1]; column [v] spans
+                            [col_ptr.(v) .. col_ptr.(v+1) - 1] *)
+  row_ind : int array;  (** row index per nonzero *)
+  values : float array;  (** coefficient per nonzero *)
+  row_cmp : cmp array;  (** sense per row *)
+  row_rhs : float array;  (** right-hand side per row *)
+}
+(** Compressed-sparse-column view of the constraint matrix, in row
+    insertion order. Built once per structural revision of the
+    problem and shared by clones (see {!csc}). *)
+
 type t
 
 val create : unit -> t
 
-val add_var : t -> ?upper:float -> obj:float -> string -> int
-(** [add_var t ?upper ~obj name] registers a variable and returns its
-    index. [name] is used only for debugging output. *)
+val add_var : t -> ?name:string -> ?upper:float -> obj:float -> unit -> int
+(** [add_var t ?name ?upper ~obj ()] registers a variable and returns
+    its index. [name] is used only for debugging output; when omitted
+    no string is allocated and {!var_name} falls back to ["v<idx>"]
+    lazily. *)
 
 val add_row : t -> (int * float) list -> cmp -> float -> unit
 (** Adds a constraint row. Raises [Invalid_argument] if a term
     references an unknown variable. *)
 
 val clone : t -> t
-(** Independent copy; used by branch-and-bound to add node-local
-    fixing rows without disturbing the base program. *)
+(** Independent copy of the bounds and objective; the row structure
+    (and the cached CSC view) is shared. Branch-and-bound uses this to
+    apply node-local bound fixings without disturbing the base
+    program. *)
 
 val set_upper : t -> int -> float option -> unit
 (** Replaces a variable's upper bound (fixing a binary to 0 is
     [set_upper t v (Some 0.)]). *)
 
+val set_lower : t -> int -> float -> unit
+(** Replaces a variable's lower bound (fixing a binary to 1 is
+    [set_lower t v 1.]). Lower bounds must be non-negative. *)
+
 val num_vars : t -> int
 val num_rows : t -> int
+
+val num_nonzeros : t -> int
+(** Total constraint-matrix nonzeros (bounds excluded). *)
+
 val objective : t -> float array
 (** Objective coefficient per variable (copy). *)
 
 val upper_bound : t -> int -> float option
+val lower_bound : t -> int -> float
 val var_name : t -> int -> string
 val rows : t -> row array
 (** All rows (copy of the internal order). *)
+
+val csc : t -> csc
+(** Sparse column view of the rows, built on first use and cached
+    until the next [add_var] / [add_row]. Bound and objective edits do
+    not invalidate it, and {!clone} shares the cache, so a
+    branch-and-bound tree builds it exactly once. *)
 
 val eval_objective : t -> float array -> float
 (** Objective value of a point (no feasibility check). *)

@@ -1,0 +1,639 @@
+(* Sparse revised simplex with bounded variables.
+
+   Internal form: every constraint row [i] becomes an equality
+   [a_i . x + w_i = b_i] with a logical variable [w_i] whose bounds
+   encode the row sense (Le: [0, inf), Ge: (-inf, 0], Eq: [0, 0]).
+   Structural bounds [l <= x <= u] are handled natively by the ratio
+   test (nonbasic variables rest at a bound and may flip to the
+   opposite bound without a basis change), so no bound is ever
+   materialized as a row.
+
+   The basis inverse is kept in product form (an eta file) with the
+   identity as the root factor: the initial all-logical basis *is* the
+   identity, and periodic reinversion rebuilds the file from the
+   current basis with a logicals-first, sparsest-column-first pivot
+   order that keeps fill negligible on the near-triangular bases these
+   LPs produce. Phase 1 is the composite method: minimize the total
+   bound violation of the basic variables, with piecewise costs
+   recomputed from the current iterate, so it works unchanged from any
+   (possibly warm-started, possibly infeasible) basis. *)
+
+type vbasis = { stat0 : int array }
+(* Per-column status snapshot: 0 = basic, 1 = at lower bound,
+   2 = at upper bound; length = structural + logical columns. *)
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+and solution = {
+  x : float array;
+  objective : float;
+  pivots : int;
+  basis : vbasis;
+}
+
+let dtol = 1e-9 (* reduced-cost (dual) tolerance *)
+let ztol = 1e-9 (* pivot-element tolerance *)
+let ftol = 1e-7 (* primal feasibility classification tolerance *)
+let drop_tol = 1e-12 (* eta entries below this are discarded *)
+let refactor_interval = 128
+
+type eta = {
+  ep : int; (* pivot position *)
+  epv : float; (* pivot value *)
+  eidx : int array; (* non-pivot positions *)
+  evals : float array; (* matching values *)
+}
+
+type state = {
+  m : int; (* rows = basis size *)
+  nv : int; (* structural columns *)
+  ncols : int; (* nv + m *)
+  csc : Problem.csc;
+  lo : float array; (* per column, may be neg_infinity *)
+  up : float array; (* per column, may be infinity *)
+  cost : float array; (* phase-2 cost per column (logicals 0) *)
+  basis : int array; (* position -> column *)
+  stat : int array; (* column -> 0 basic / 1 lower / 2 upper *)
+  pos : int array; (* column -> basis position, -1 when nonbasic *)
+  xb : float array; (* basic value per position *)
+  mutable etas : eta array;
+  mutable neta : int;
+  w : float array; (* FTRAN scratch *)
+  y : float array; (* BTRAN scratch *)
+  cb : float array; (* basic-cost scratch *)
+}
+
+(* ---------------- eta file ---------------------------------------- *)
+
+let push_eta st e =
+  if st.neta >= Array.length st.etas then begin
+    let ncap = max 64 (2 * Array.length st.etas) in
+    let etas = Array.make ncap e in
+    Array.blit st.etas 0 etas 0 st.neta;
+    st.etas <- etas
+  end;
+  st.etas.(st.neta) <- e;
+  st.neta <- st.neta + 1
+
+(* Solve B z = w in place (w dense). Etas apply in creation order; an
+   eta whose pivot entry is zero in [w] is a no-op, which is where the
+   sparsity of these LPs pays off. *)
+let ftran st w =
+  for t = 0 to st.neta - 1 do
+    let e = st.etas.(t) in
+    let wp = w.(e.ep) in
+    if wp <> 0.0 then begin
+      let z = wp /. e.epv in
+      w.(e.ep) <- z;
+      let idx = e.eidx and vals = e.evals in
+      for i = 0 to Array.length idx - 1 do
+        w.(idx.(i)) <- w.(idx.(i)) -. (vals.(i) *. z)
+      done
+    end
+  done
+
+(* Solve B^T y = c in place (y dense): transposed etas in reverse. *)
+let btran st y =
+  for t = st.neta - 1 downto 0 do
+    let e = st.etas.(t) in
+    let idx = e.eidx and vals = e.evals in
+    let acc = ref y.(e.ep) in
+    for i = 0 to Array.length idx - 1 do
+      acc := !acc -. (vals.(i) *. y.(idx.(i)))
+    done;
+    y.(e.ep) <- !acc /. e.epv
+  done
+
+(* ---------------- columns ----------------------------------------- *)
+
+(* Scatter column [j] (structural or logical) into zeroed [w]. *)
+let scatter_col st j w =
+  if j < st.nv then begin
+    let c = st.csc in
+    for p = c.Problem.col_ptr.(j) to c.Problem.col_ptr.(j + 1) - 1 do
+      w.(c.Problem.row_ind.(p)) <- w.(c.Problem.row_ind.(p)) +. c.Problem.values.(p)
+    done
+  end
+  else w.(j - st.nv) <- w.(j - st.nv) +. 1.0
+
+let dot_col st j y =
+  if j < st.nv then begin
+    let c = st.csc in
+    let acc = ref 0.0 in
+    for p = c.Problem.col_ptr.(j) to c.Problem.col_ptr.(j + 1) - 1 do
+      acc := !acc +. (c.Problem.values.(p) *. y.(c.Problem.row_ind.(p)))
+    done;
+    !acc
+  end
+  else y.(j - st.nv)
+
+(* Resting value of a nonbasic column: the bound its status names,
+   falling back to the finite one (every column has at least one). *)
+let nbval st j =
+  if st.stat.(j) = 2 then
+    if st.up.(j) < infinity then st.up.(j) else st.lo.(j)
+  else if st.lo.(j) > neg_infinity then st.lo.(j)
+  else st.up.(j)
+
+(* ---------------- (re)inversion ----------------------------------- *)
+
+exception Singular
+
+(* Rebuild the eta file to represent the current basis *set*; basis
+   positions (row assignments) are rewritten. Logical columns are unit
+   vectors and pivot on their own row with an identity eta (skipped);
+   the structural remainder is pivoted sparsest-first, FTRANed through
+   the partial file with touched-entry tracking so the scratch clear
+   costs O(fill), not O(m). Raises [Singular] if the set is not a
+   basis. *)
+let reinvert st =
+  st.neta <- 0;
+  let row_taken = Array.make (max 1 st.m) false in
+  let new_basis = Array.make (max 1 st.m) (-1) in
+  let struct_cols = ref [] in
+  for r = 0 to st.m - 1 do
+    let j = st.basis.(r) in
+    if j >= st.nv then begin
+      let lr = j - st.nv in
+      row_taken.(lr) <- true;
+      new_basis.(lr) <- j
+    end
+    else struct_cols := j :: !struct_cols
+  done;
+  let cols =
+    List.sort
+      (fun a b ->
+        compare
+          (st.csc.Problem.col_ptr.(a + 1) - st.csc.Problem.col_ptr.(a))
+          (st.csc.Problem.col_ptr.(b + 1) - st.csc.Problem.col_ptr.(b)))
+      !struct_cols
+  in
+  let w = st.w in
+  Array.fill w 0 st.m 0.0;
+  let touched = ref [] in
+  (* Membership must be tracked separately from the value: with the
+     unit-heavy columns of these LPs an entry regularly cancels back
+     to exactly 0.0 mid-column, and re-touching it by value would
+     duplicate it in [touched] (and then in the eta). *)
+  let in_touched = Array.make (max 1 st.m) false in
+  let touch i =
+    if not in_touched.(i) then begin
+      in_touched.(i) <- true;
+      touched := i :: !touched
+    end
+  in
+  List.iter
+    (fun j ->
+      (* scatter + partial FTRAN with touch tracking *)
+      let c = st.csc in
+      for p = c.Problem.col_ptr.(j) to c.Problem.col_ptr.(j + 1) - 1 do
+        let r = c.Problem.row_ind.(p) in
+        touch r;
+        w.(r) <- w.(r) +. c.Problem.values.(p)
+      done;
+      for t = 0 to st.neta - 1 do
+        let e = st.etas.(t) in
+        let wp = w.(e.ep) in
+        if wp <> 0.0 then begin
+          let z = wp /. e.epv in
+          w.(e.ep) <- z;
+          let idx = e.eidx and vals = e.evals in
+          for i = 0 to Array.length idx - 1 do
+            let r = idx.(i) in
+            touch r;
+            w.(r) <- w.(r) -. (vals.(i) *. z)
+          done
+        end
+      done;
+      (* pivot row: best remaining magnitude *)
+      let best = ref (-1) and best_mag = ref ztol in
+      List.iter
+        (fun r ->
+          if not row_taken.(r) then begin
+            let mag = Float.abs w.(r) in
+            if mag > !best_mag then begin
+              best := r;
+              best_mag := mag
+            end
+          end)
+        !touched;
+      if !best < 0 then raise Singular;
+      let r = !best in
+      (* build eta, clearing the scratch as we go *)
+      let n_entries = ref 0 in
+      List.iter
+        (fun i -> if i <> r && Float.abs w.(i) > drop_tol then incr n_entries)
+        !touched;
+      let eidx = Array.make !n_entries 0 in
+      let evals = Array.make !n_entries 0.0 in
+      let cursor = ref 0 in
+      List.iter
+        (fun i ->
+          if i <> r && Float.abs w.(i) > drop_tol then begin
+            eidx.(!cursor) <- i;
+            evals.(!cursor) <- w.(i);
+            incr cursor
+          end)
+        !touched;
+      push_eta st { ep = r; epv = w.(r); eidx; evals };
+      List.iter
+        (fun i ->
+          w.(i) <- 0.0;
+          in_touched.(i) <- false)
+        !touched;
+      touched := [];
+      row_taken.(r) <- true;
+      new_basis.(r) <- j)
+    cols;
+  for r = 0 to st.m - 1 do
+    if new_basis.(r) < 0 then raise Singular
+  done;
+  Array.blit new_basis 0 st.basis 0 st.m;
+  for r = 0 to st.m - 1 do
+    st.pos.(st.basis.(r)) <- r
+  done
+
+(* Recompute the basic values exactly: xb = B^-1 (b - N x_N). *)
+let recompute_xb st =
+  let w = st.w in
+  Array.fill w 0 st.m 0.0;
+  for r = 0 to st.m - 1 do
+    w.(r) <- st.csc.Problem.row_rhs.(r)
+  done;
+  for j = 0 to st.ncols - 1 do
+    if st.stat.(j) <> 0 then begin
+      let v = nbval st j in
+      if v <> 0.0 then
+        if j < st.nv then begin
+          let c = st.csc in
+          for p = c.Problem.col_ptr.(j) to c.Problem.col_ptr.(j + 1) - 1 do
+            w.(c.Problem.row_ind.(p)) <-
+              w.(c.Problem.row_ind.(p)) -. (c.Problem.values.(p) *. v)
+          done
+        end
+        else w.(j - st.nv) <- w.(j - st.nv) -. v
+    end
+  done;
+  ftran st w;
+  Array.blit w 0 st.xb 0 st.m;
+  Array.fill w 0 st.m 0.0
+
+(* ---------------- setup ------------------------------------------- *)
+
+let build problem =
+  let nv = Problem.num_vars problem in
+  let csc = Problem.csc problem in
+  let m = csc.Problem.c_nr in
+  let ncols = nv + m in
+  let lo = Array.make ncols 0.0 in
+  let up = Array.make ncols infinity in
+  let cost = Array.make ncols 0.0 in
+  let objs = Problem.objective problem in
+  for j = 0 to nv - 1 do
+    cost.(j) <- objs.(j);
+    lo.(j) <- Problem.lower_bound problem j;
+    up.(j) <-
+      (match Problem.upper_bound problem j with Some u -> u | None -> infinity)
+  done;
+  for r = 0 to m - 1 do
+    match csc.Problem.row_cmp.(r) with
+    | Problem.Le -> () (* [0, inf) *)
+    | Problem.Ge ->
+        lo.(nv + r) <- neg_infinity;
+        up.(nv + r) <- 0.0
+    | Problem.Eq -> up.(nv + r) <- 0.0 (* [0, 0] *)
+  done;
+  {
+    m;
+    nv;
+    ncols;
+    csc;
+    lo;
+    up;
+    cost;
+    basis = Array.make (max 1 m) (-1);
+    stat = Array.make ncols 1;
+    pos = Array.make ncols (-1);
+    xb = Array.make (max 1 m) 0.0;
+    etas = [||];
+    neta = 0;
+    w = Array.make (max 1 m) 0.0;
+    y = Array.make (max 1 m) 0.0;
+    cb = Array.make (max 1 m) 0.0;
+  }
+
+(* All-logical starting basis; structural columns at their finite
+   (preferring lower) bound. *)
+let install_cold st =
+  for j = 0 to st.ncols - 1 do
+    st.pos.(j) <- -1;
+    st.stat.(j) <- (if st.lo.(j) > neg_infinity then 1 else 2)
+  done;
+  for r = 0 to st.m - 1 do
+    let j = st.nv + r in
+    st.basis.(r) <- j;
+    st.stat.(j) <- 0;
+    st.pos.(j) <- r
+  done;
+  st.neta <- 0;
+  recompute_xb st
+
+(* Adopt a prior basis snapshot if its shape matches and its basic set
+   is actually invertible; any mismatch falls back to a cold start. *)
+let install_warm st (b : vbasis) =
+  if Array.length b.stat0 <> st.ncols then (install_cold st; false)
+  else begin
+    let basic = ref [] and nbasic = ref 0 in
+    for j = st.ncols - 1 downto 0 do
+      if b.stat0.(j) = 0 then begin
+        basic := j :: !basic;
+        incr nbasic
+      end
+    done;
+    if !nbasic <> st.m then (install_cold st; false)
+    else begin
+      List.iteri (fun r j -> st.basis.(r) <- j) !basic;
+      for j = 0 to st.ncols - 1 do
+        st.pos.(j) <- -1;
+        st.stat.(j) <-
+          (match b.stat0.(j) with
+          | 0 -> 0
+          | 1 when st.lo.(j) > neg_infinity -> 1
+          | 2 when st.up.(j) < infinity -> 2
+          | 1 -> 2
+          | _ -> 1)
+      done;
+      try
+        reinvert st;
+        recompute_xb st;
+        true
+      with Singular ->
+        install_cold st;
+        false
+    end
+  end
+
+(* ---------------- main loop --------------------------------------- *)
+
+exception Unbounded_exn
+exception No_block
+
+type verdict = V_done | V_infeasible | V_unbounded
+
+let solve ?(max_pivots = 500_000) ?basis problem =
+  let st = build problem in
+  (* Bound sanity: an empty box is infeasible before any algebra. *)
+  let box_ok = ref true in
+  for j = 0 to st.ncols - 1 do
+    if st.lo.(j) > st.up.(j) +. 1e-9 then box_ok := false
+  done;
+  if not !box_ok then Infeasible
+  else begin
+    (match basis with
+    | Some b -> ignore (install_warm st b)
+    | None -> install_cold st);
+    let pivots = ref 0 in
+    let since_refactor = ref 0 in
+    (* Rebuild the factorization from the current basis; a (rare,
+       numerical) singular rebuild restarts from the all-logical
+       basis — progress is lost but phase 1 recovers correctness. *)
+    let refresh st =
+      try
+        reinvert st;
+        recompute_xb st
+      with Singular -> install_cold st
+    in
+    (* [clean] = the eta file and xb were just rebuilt exactly; a
+       terminal verdict (optimal / infeasible) is only trusted when
+       clean, otherwise we refresh and re-examine. *)
+    let clean = ref true in
+    let stall = ref 0 in
+    let stall_limit = 100 + ((st.m + st.ncols) / 4) in
+    let last_merit = ref neg_infinity in
+    let prev_phase1 = ref true in
+    let verdict : verdict option ref = ref None in
+    (try
+       while !verdict = None do
+         (* Feasibility scan + phase-1 costs (cb doubles as scratch). *)
+         let infeas = ref 0.0 in
+         for r = 0 to st.m - 1 do
+           let j = st.basis.(r) in
+           let v = st.xb.(r) in
+           if v < st.lo.(j) -. ftol then begin
+             st.cb.(r) <- 1.0;
+             infeas := !infeas +. (st.lo.(j) -. v)
+           end
+           else if v > st.up.(j) +. ftol then begin
+             st.cb.(r) <- -1.0;
+             infeas := !infeas +. (v -. st.up.(j))
+           end
+           else st.cb.(r) <- 0.0
+         done;
+         let phase1 = !infeas > 0.0 in
+         if not phase1 then
+           for r = 0 to st.m - 1 do
+             st.cb.(r) <- st.cost.(st.basis.(r))
+           done;
+         (* Merit function for the stall detector: phase 1 shrinks the
+            total violation, phase 2 grows the objective. *)
+         let merit =
+           if phase1 then -. !infeas
+           else begin
+             let z = ref 0.0 in
+             for r = 0 to st.m - 1 do
+               z := !z +. (st.cb.(r) *. st.xb.(r))
+             done;
+             for j = 0 to st.ncols - 1 do
+               if st.stat.(j) <> 0 && st.cost.(j) <> 0.0 then
+                 z := !z +. (st.cost.(j) *. nbval st j)
+             done;
+             !z
+           end
+         in
+         if phase1 <> !prev_phase1 then begin
+           (* Phase switch rescales the merit; don't let the stale
+              reference trip the stall detector. *)
+           prev_phase1 := phase1;
+           last_merit := neg_infinity;
+           stall := 0
+         end;
+         if merit > !last_merit +. 1e-12 then begin
+           stall := 0;
+           last_merit := merit
+         end
+         else incr stall;
+         let bland = !stall > stall_limit in
+         (* BTRAN + pricing. *)
+         Array.blit st.cb 0 st.y 0 st.m;
+         btran st st.y;
+         let enter = ref (-1) and enter_d = ref 0.0 in
+         let best_score = ref dtol in
+         (try
+            for j = 0 to st.ncols - 1 do
+              let s = st.stat.(j) in
+              if s <> 0 && st.up.(j) -. st.lo.(j) > 1e-12 then begin
+                let cj = if phase1 then 0.0 else st.cost.(j) in
+                let d = cj -. dot_col st j st.y in
+                let favorable =
+                  (s = 1 && d > dtol) || (s = 2 && d < -.dtol)
+                in
+                if favorable then
+                  if bland then begin
+                    enter := j;
+                    enter_d := d;
+                    raise Exit
+                  end
+                  else if Float.abs d > !best_score then begin
+                    enter := j;
+                    enter_d := d;
+                    best_score := Float.abs d
+                  end
+              end
+            done
+          with Exit -> ());
+         if !enter < 0 then begin
+           (* No favorable column: the verdict is only as good as the
+              factorization it was computed with. *)
+           if !clean then
+             verdict := Some (if phase1 then V_infeasible else V_done)
+           else begin
+             refresh st;
+             since_refactor := 0;
+             clean := true
+           end
+         end
+         else begin
+           let q = !enter in
+           let sigma = if st.stat.(q) = 1 then 1.0 else -1.0 in
+           let w = st.w in
+           Array.fill w 0 st.m 0.0;
+           scatter_col st q w;
+           ftran st w;
+           (* Ratio test over basics, plus the entering bound flip.
+              In phase 1 a basic already outside a bound blocks only
+              when moving back toward feasibility (at the violated
+              bound); moving further out is charged by the phase-1
+              costs instead of blocked. *)
+           let flip_t = st.up.(q) -. st.lo.(q) in
+           let best_r = ref (-1)
+           and best_t = ref (if flip_t < infinity then flip_t else infinity)
+           and best_target = ref 0 (* 1 leave at lower, 2 at upper *)
+           and best_mag = ref 0.0 in
+           for r = 0 to st.m - 1 do
+             let wr = w.(r) in
+             if Float.abs wr > ztol then begin
+               let delta = sigma *. wr in
+               let j = st.basis.(r) in
+               let v = st.xb.(r) in
+               let target =
+                 if delta > 0.0 then
+                   (* decreasing basic *)
+                   if v > st.up.(j) +. ftol then st.up.(j)
+                   else if v < st.lo.(j) -. ftol then neg_infinity (* no block *)
+                   else st.lo.(j)
+                 else if v < st.lo.(j) -. ftol then st.lo.(j)
+                 else if v > st.up.(j) +. ftol then infinity (* no block *)
+                 else st.up.(j)
+               in
+               if Float.abs target < infinity then begin
+                 let t = Float.max 0.0 ((v -. target) /. delta) in
+                 let better =
+                   t < !best_t -. 1e-9
+                   || (t < !best_t +. 1e-9
+                      && !best_r >= 0
+                      &&
+                      if bland then j < st.basis.(!best_r)
+                      else Float.abs delta > !best_mag)
+                 in
+                 if better then begin
+                   best_r := r;
+                   best_t := t;
+                   best_mag := Float.abs delta;
+                   best_target := (if target = st.lo.(j) then 1 else 2)
+                 end
+               end
+             end
+           done;
+           if !best_t = infinity then
+             if phase1 then raise No_block else raise Unbounded_exn;
+           let t = !best_t in
+           if !best_r < 0 || (flip_t < infinity && flip_t <= t) then begin
+             (* Bound flip: no basis change. *)
+             for r = 0 to st.m - 1 do
+               if w.(r) <> 0.0 then
+                 st.xb.(r) <- st.xb.(r) -. (flip_t *. sigma *. w.(r))
+             done;
+             st.stat.(q) <- (if st.stat.(q) = 1 then 2 else 1);
+             clean := false
+           end
+           else begin
+             let r = !best_r in
+             let leaving = st.basis.(r) in
+             let entering_value = nbval st q +. (sigma *. t) in
+             for i = 0 to st.m - 1 do
+               if w.(i) <> 0.0 then
+                 st.xb.(i) <- st.xb.(i) -. (t *. sigma *. w.(i))
+             done;
+             st.xb.(r) <- entering_value;
+             st.stat.(leaving) <- !best_target;
+             st.pos.(leaving) <- -1;
+             st.stat.(q) <- 0;
+             st.pos.(q) <- r;
+             st.basis.(r) <- q;
+             (* Append the eta for this pivot. *)
+             let n_entries = ref 0 in
+             for i = 0 to st.m - 1 do
+               if i <> r && Float.abs w.(i) > drop_tol then incr n_entries
+             done;
+             let eidx = Array.make !n_entries 0 in
+             let evals = Array.make !n_entries 0.0 in
+             let cursor = ref 0 in
+             for i = 0 to st.m - 1 do
+               if i <> r && Float.abs w.(i) > drop_tol then begin
+                 eidx.(!cursor) <- i;
+                 evals.(!cursor) <- w.(i);
+                 incr cursor
+               end
+             done;
+             push_eta st { ep = r; epv = w.(r); eidx; evals };
+             incr pivots;
+             incr since_refactor;
+             clean := false;
+             if !pivots > max_pivots then
+               failwith
+                 (Printf.sprintf
+                    "Revised_simplex.solve: pivot limit exceeded (%d rows, %d \
+                     cols)"
+                    st.m st.ncols);
+             if !since_refactor >= refactor_interval then begin
+               refresh st;
+               since_refactor := 0;
+               clean := true
+             end
+           end
+         end
+       done
+     with
+    | Unbounded_exn -> verdict := Some V_unbounded
+    | No_block ->
+        failwith "Revised_simplex.solve: phase-1 step unbounded (numerical)");
+    match !verdict with
+    | Some V_infeasible -> Infeasible
+    | Some V_unbounded -> Unbounded
+    | Some V_done ->
+        let x = Array.make st.nv 0.0 in
+        for j = 0 to st.nv - 1 do
+          x.(j) <- (if st.stat.(j) = 0 then st.xb.(st.pos.(j)) else nbval st j)
+        done;
+        Optimal
+          {
+            x;
+            objective = Problem.eval_objective problem x;
+            pivots = !pivots;
+            basis = { stat0 = Array.copy st.stat };
+          }
+    | None -> assert false
+  end

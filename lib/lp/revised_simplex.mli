@@ -1,0 +1,42 @@
+(** Sparse revised simplex with bounded variables and warm starts.
+
+    The scalable exact backend for the [Problem] programs: constraint
+    rows are kept sparse (the CSC view built by {!Problem.csc}),
+    variable bounds are handled natively in the ratio test instead of
+    being materialized as rows, and the basis inverse lives in a
+    product-form eta file that is periodically reinverted for
+    stability. Bland's rule takes over pricing and the ratio test
+    after a stall, so degenerate programs terminate.
+
+    The dense tableau in [Simplex] solves the same class of programs
+    and is kept as the cross-check oracle; the randomized equivalence
+    tests in [test/test_revised_simplex.ml] pin the two solvers to
+    each other. *)
+
+type vbasis
+(** Snapshot of a basis: the basic/at-lower/at-upper status of every
+    structural and logical column. Valid for any [Problem] with the
+    same rows and variables — only bounds and objective may differ,
+    which is exactly the shape of branch-and-bound node re-solves and
+    of repeated relaxation solves. *)
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+
+and solution = {
+  x : float array;  (** structural variable values *)
+  objective : float;
+  pivots : int;  (** basis changes performed (bound flips excluded) *)
+  basis : vbasis;  (** final basis, reusable via [solve ?basis] *)
+}
+
+val solve : ?max_pivots:int -> ?basis:vbasis -> Problem.t -> status
+(** [solve ?basis p] maximizes [p]. When [basis] is given and its
+    shape matches [p] (same variable and row counts) the solve warm
+    starts from it — phase 1 runs only as far as the bound changes
+    made the old basis infeasible; any mismatch or singular basis
+    falls back silently to a cold start, so passing a stale basis is
+    always safe. [max_pivots] (default [500_000]) bounds basis
+    changes; exceeding it raises [Failure]. *)

@@ -14,9 +14,15 @@ let normalize_rows problem =
   let upper_rows =
     List.concat
       (List.init (Problem.num_vars problem) (fun v ->
-           match Problem.upper_bound problem v with
-           | None -> []
-           | Some u -> [ { nterms = [ (v, 1.0) ]; ncmp = Problem.Le; nrhs = u } ]))
+           let uppers =
+             match Problem.upper_bound problem v with
+             | None -> []
+             | Some u -> [ { nterms = [ (v, 1.0) ]; ncmp = Problem.Le; nrhs = u } ]
+           in
+           let l = Problem.lower_bound problem v in
+           if l > 0.0 then
+             { nterms = [ (v, 1.0) ]; ncmp = Problem.Ge; nrhs = l } :: uppers
+           else uppers))
   in
   let base_rows =
     Array.to_list (Problem.rows problem)

@@ -21,8 +21,8 @@ let check_obj ?(eps = 1e-7) msg expected (s : Simplex.solution) =
 let test_simplex_textbook () =
   (* max 3x + 2y, x + y <= 4, x + 3y <= 6 -> 12 at (4, 0) *)
   let p = Problem.create () in
-  let x = Problem.add_var p ~obj:3.0 "x" in
-  let y = Problem.add_var p ~obj:2.0 "y" in
+  let x = Problem.add_var p ~obj:3.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:2.0 ~name:"y" () in
   Problem.add_row p [ (x, 1.0); (y, 1.0) ] Problem.Le 4.0;
   Problem.add_row p [ (x, 1.0); (y, 3.0) ] Problem.Le 6.0;
   let s = solve_expect_optimal p in
@@ -33,8 +33,8 @@ let test_simplex_textbook () =
 let test_simplex_equality_and_bounds () =
   (* max 2a + b, a + b = 3, a <= 1 -> 4 at (1, 2) *)
   let p = Problem.create () in
-  let a = Problem.add_var p ~upper:1.0 ~obj:2.0 "a" in
-  let b = Problem.add_var p ~obj:1.0 "b" in
+  let a = Problem.add_var p ~upper:1.0 ~obj:2.0 ~name:"a" () in
+  let b = Problem.add_var p ~obj:1.0 ~name:"b" () in
   Problem.add_row p [ (a, 1.0); (b, 1.0) ] Problem.Eq 3.0;
   let s = solve_expect_optimal p in
   check_obj "objective" 4.0 s;
@@ -44,8 +44,8 @@ let test_simplex_ge_rows () =
   (* min x + y s.t. x + 2y >= 4, 3x + y >= 6  ==  max -x - y.
      Optimum at intersection (8/5, 6/5): objective -(14/5). *)
   let p = Problem.create () in
-  let x = Problem.add_var p ~obj:(-1.0) "x" in
-  let y = Problem.add_var p ~obj:(-1.0) "y" in
+  let x = Problem.add_var p ~obj:(-1.0) ~name:"x" () in
+  let y = Problem.add_var p ~obj:(-1.0) ~name:"y" () in
   Problem.add_row p [ (x, 1.0); (y, 2.0) ] Problem.Ge 4.0;
   Problem.add_row p [ (x, 3.0); (y, 1.0) ] Problem.Ge 6.0;
   let s = solve_expect_optimal p in
@@ -54,14 +54,14 @@ let test_simplex_ge_rows () =
 let test_simplex_negative_rhs () =
   (* max x s.t. -x <= -2 (i.e., x >= 2), x <= 5. *)
   let p = Problem.create () in
-  let x = Problem.add_var p ~upper:5.0 ~obj:1.0 "x" in
+  let x = Problem.add_var p ~upper:5.0 ~obj:1.0 ~name:"x" () in
   Problem.add_row p [ (x, -1.0) ] Problem.Le (-2.0);
   let s = solve_expect_optimal p in
   check_obj "objective" 5.0 s
 
 let test_simplex_infeasible () =
   let p = Problem.create () in
-  let x = Problem.add_var p ~obj:1.0 "x" in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
   Problem.add_row p [ (x, 1.0) ] Problem.Le 1.0;
   Problem.add_row p [ (x, 1.0) ] Problem.Ge 2.0;
   match Simplex.solve p with
@@ -70,8 +70,8 @@ let test_simplex_infeasible () =
 
 let test_simplex_unbounded () =
   let p = Problem.create () in
-  let x = Problem.add_var p ~obj:1.0 "x" in
-  let y = Problem.add_var p ~obj:0.0 "y" in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:0.0 ~name:"y" () in
   Problem.add_row p [ (x, 1.0); (y, -1.0) ] Problem.Le 1.0;
   match Simplex.solve p with
   | Simplex.Unbounded -> ()
@@ -80,8 +80,8 @@ let test_simplex_unbounded () =
 let test_simplex_degenerate () =
   (* Classic degenerate vertex: several redundant constraints meet. *)
   let p = Problem.create () in
-  let x = Problem.add_var p ~obj:1.0 "x" in
-  let y = Problem.add_var p ~obj:1.0 "y" in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:1.0 ~name:"y" () in
   Problem.add_row p [ (x, 1.0); (y, 1.0) ] Problem.Le 1.0;
   Problem.add_row p [ (x, 1.0) ] Problem.Le 1.0;
   Problem.add_row p [ (y, 1.0) ] Problem.Le 1.0;
@@ -92,8 +92,8 @@ let test_simplex_degenerate () =
 let test_simplex_redundant_equalities () =
   (* Duplicate equality rows leave a basic artificial at zero. *)
   let p = Problem.create () in
-  let x = Problem.add_var p ~obj:1.0 "x" in
-  let y = Problem.add_var p ~obj:2.0 "y" in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:2.0 ~name:"y" () in
   Problem.add_row p [ (x, 1.0); (y, 1.0) ] Problem.Eq 2.0;
   Problem.add_row p [ (x, 2.0); (y, 2.0) ] Problem.Eq 4.0;
   let s = solve_expect_optimal p in
@@ -122,8 +122,7 @@ let qcheck_simplex_random =
       let p = Problem.create () in
       let vars =
         Array.init nv (fun i ->
-            Problem.add_var p ~upper:uppers.(i) ~obj:obj.(i)
-              (Printf.sprintf "v%d" i))
+            Problem.add_var p ~upper:uppers.(i) ~obj:obj.(i) ())
       in
       (* Clamp x0 under the upper bounds. *)
       let x0 = Array.mapi (fun i v -> Float.min v uppers.(i)) x0 in
@@ -150,7 +149,7 @@ let knapsack_problem values weights capacity =
   let p = Problem.create () in
   let vars =
     Array.mapi
-      (fun i v -> Problem.add_var p ~upper:1.0 ~obj:v (Printf.sprintf "b%d" i))
+      (fun _ v -> Problem.add_var p ~upper:1.0 ~obj:v ())
       values
   in
   Problem.add_row p
@@ -248,8 +247,7 @@ let exact_pairwise_optimum (fw : Pairwise_fw.problem) =
   let x =
     Array.init fw.n (fun u ->
         Array.init fw.m (fun c ->
-            Problem.add_var p ~upper:1.0 ~obj:fw.linear.(u).(c)
-              (Printf.sprintf "x%d_%d" u c)))
+            Problem.add_var p ~upper:1.0 ~obj:fw.linear.(u).(c) ()))
   in
   Array.iteri
     (fun u row ->
@@ -265,7 +263,7 @@ let exact_pairwise_optimum (fw : Pairwise_fw.problem) =
       Array.iteri
         (fun c wc ->
           if wc > 0.0 then begin
-            let y = Problem.add_var p ~upper:1.0 ~obj:wc "y" in
+            let y = Problem.add_var p ~upper:1.0 ~obj:wc ~name:"y" () in
             Problem.add_row p [ (y, 1.0); (x.(u).(c), -1.0) ] Problem.Le 0.0;
             Problem.add_row p [ (y, 1.0); (x.(v).(c), -1.0) ] Problem.Le 0.0
           end)

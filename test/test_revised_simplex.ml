@@ -1,0 +1,364 @@
+(* The revised simplex against the dense tableau oracle, plus the
+   warm-start contract and the branch-and-bound regression the warm
+   starts are for. *)
+
+module Problem = Svgic_lp.Problem
+module Simplex = Svgic_lp.Simplex
+module Revised = Svgic_lp.Revised_simplex
+module Branch_bound = Svgic_lp.Branch_bound
+module Rng = Svgic_util.Rng
+
+let solve_revised_optimal p =
+  match Revised.solve p with
+  | Revised.Optimal s -> s
+  | Revised.Infeasible -> Alcotest.fail "revised: unexpected infeasible"
+  | Revised.Unbounded -> Alcotest.fail "revised: unexpected unbounded"
+
+let check_obj ?(eps = 1e-7) msg expected (s : Revised.solution) =
+  if Float.abs (s.objective -. expected) > eps then
+    Alcotest.failf "%s: expected %.9f, got %.9f" msg expected s.objective
+
+(* ------------------ textbook programs ----------------------------- *)
+
+let test_textbook () =
+  (* max 3x + 2y, x + y <= 4, x + 3y <= 6 -> 12 at (4, 0) *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~obj:3.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:2.0 ~name:"y" () in
+  Problem.add_row p [ (x, 1.0); (y, 1.0) ] Problem.Le 4.0;
+  Problem.add_row p [ (x, 1.0); (y, 3.0) ] Problem.Le 6.0;
+  let s = solve_revised_optimal p in
+  check_obj "objective" 12.0 s;
+  Alcotest.(check (float 1e-7)) "x" 4.0 s.x.(x);
+  Alcotest.(check (float 1e-7)) "y" 0.0 s.x.(y)
+
+let test_equality_and_bounds () =
+  (* max 2a + b, a + b = 3, a <= 1 -> 4 at (1, 2) *)
+  let p = Problem.create () in
+  let a = Problem.add_var p ~upper:1.0 ~obj:2.0 ~name:"a" () in
+  let b = Problem.add_var p ~obj:1.0 ~name:"b" () in
+  Problem.add_row p [ (a, 1.0); (b, 1.0) ] Problem.Eq 3.0;
+  let s = solve_revised_optimal p in
+  check_obj "objective" 4.0 s;
+  Alcotest.(check (float 1e-7)) "a at bound" 1.0 s.x.(a)
+
+let test_ge_rows () =
+  (* min x + y s.t. x + 2y >= 4, 3x + y >= 6 == max -x - y -> -2.8 *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~obj:(-1.0) ~name:"x" () in
+  let y = Problem.add_var p ~obj:(-1.0) ~name:"y" () in
+  Problem.add_row p [ (x, 1.0); (y, 2.0) ] Problem.Ge 4.0;
+  Problem.add_row p [ (x, 3.0); (y, 1.0) ] Problem.Ge 6.0;
+  let s = solve_revised_optimal p in
+  check_obj "objective" (-2.8) s
+
+let test_lower_bounds () =
+  (* max -x with x in [2, 5] -> -2; both engines. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~upper:5.0 ~obj:(-1.0) ~name:"x" () in
+  Problem.set_lower p x 2.0;
+  let s = solve_revised_optimal p in
+  check_obj "revised objective" (-2.0) s;
+  (match Simplex.solve p with
+  | Simplex.Optimal d ->
+      Alcotest.(check (float 1e-7)) "dense objective" (-2.0) d.objective
+  | Simplex.Infeasible | Simplex.Unbounded ->
+      Alcotest.fail "dense: expected optimal");
+  Alcotest.(check (float 1e-7)) "x at lower" 2.0 s.x.(x)
+
+let test_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
+  Problem.add_row p [ (x, 1.0) ] Problem.Le 1.0;
+  Problem.add_row p [ (x, 1.0) ] Problem.Ge 2.0;
+  match Revised.solve p with
+  | Revised.Infeasible -> ()
+  | Revised.Optimal _ | Revised.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_infeasible_box () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~upper:1.0 ~obj:1.0 ~name:"x" () in
+  Problem.set_lower p x 2.0;
+  match Revised.solve p with
+  | Revised.Infeasible -> ()
+  | Revised.Optimal _ | Revised.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:0.0 ~name:"y" () in
+  Problem.add_row p [ (x, 1.0); (y, -1.0) ] Problem.Le 1.0;
+  match Revised.solve p with
+  | Revised.Unbounded -> ()
+  | Revised.Optimal _ | Revised.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_degenerate () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~obj:1.0 ~name:"x" () in
+  let y = Problem.add_var p ~obj:1.0 ~name:"y" () in
+  Problem.add_row p [ (x, 1.0); (y, 1.0) ] Problem.Le 1.0;
+  Problem.add_row p [ (x, 1.0) ] Problem.Le 1.0;
+  Problem.add_row p [ (y, 1.0) ] Problem.Le 1.0;
+  Problem.add_row p [ (x, 2.0); (y, 2.0) ] Problem.Le 2.0;
+  let s = solve_revised_optimal p in
+  check_obj "objective" 1.0 s
+
+(* ------------------ randomized oracle cross-check ----------------- *)
+
+(* Random LPs that are feasible by construction: draw x0 inside the
+   box, then write rows as a.x (cmp) a.x0 +/- slack so x0 satisfies
+   them. Seeds cover degenerate programs (duplicate rows, zero slack)
+   and upper-bound-tight optima (tiny boxes the objective pushes
+   into). *)
+let random_problem seed =
+  let rng = Rng.create (1000 + seed) in
+  let nv = 1 + Rng.int rng 9 in
+  let nr = Rng.int rng 12 in
+  let tight_uppers = seed mod 3 = 0 in
+  let degenerate = seed mod 4 = 0 in
+  let p = Problem.create () in
+  let x0 = Array.make nv 0.0 in
+  for i = 0 to nv - 1 do
+    let lower = if Rng.bernoulli rng 0.3 then Rng.float rng 1.5 else 0.0 in
+    let span = if tight_uppers then Rng.float rng 0.5 else 1.0 +. Rng.float rng 4.0 in
+    let upper = lower +. span in
+    let obj = Rng.float rng 6.0 -. 2.0 in
+    let v = Problem.add_var p ~upper ~obj () in
+    Problem.set_lower p v lower;
+    assert (v = i);
+    x0.(i) <-
+      (if degenerate && Rng.bool rng then if Rng.bool rng then lower else upper
+       else lower +. Rng.float rng span)
+  done;
+  let rows = ref [] in
+  for _ = 1 to nr do
+    let coeffs =
+      Array.init nv (fun _ ->
+          if Rng.bernoulli rng 0.5 then Rng.float rng 4.0 -. 1.0 else 0.0)
+    in
+    let at_x0 = ref 0.0 in
+    Array.iteri (fun i c -> at_x0 := !at_x0 +. (c *. x0.(i))) coeffs;
+    let slack = if degenerate && Rng.bool rng then 0.0 else Rng.float rng 2.0 in
+    let terms =
+      Array.to_list (Array.mapi (fun i c -> (i, c)) coeffs)
+      |> List.filter (fun (_, c) -> c <> 0.0)
+    in
+    if terms <> [] then begin
+      let row =
+        match Rng.int rng 3 with
+        | 0 -> (terms, Problem.Le, !at_x0 +. slack)
+        | 1 -> (terms, Problem.Ge, !at_x0 -. slack)
+        | _ -> (terms, Problem.Eq, !at_x0)
+      in
+      let terms, cmp, rhs = row in
+      Problem.add_row p terms cmp rhs;
+      rows := row :: !rows;
+      (* Sometimes duplicate the row verbatim: classic degeneracy. *)
+      if degenerate && Rng.bernoulli rng 0.3 then Problem.add_row p terms cmp rhs
+    end
+  done;
+  (p, x0)
+
+let test_random_cross_check () =
+  let checked = ref 0 in
+  for seed = 0 to 119 do
+    let p, x0 = random_problem seed in
+    let dense = Simplex.solve p in
+    let revised = Revised.solve p in
+    (match (dense, revised) with
+    | Simplex.Optimal d, Revised.Optimal r ->
+        if Float.abs (d.objective -. r.objective) > 1e-6 then
+          Alcotest.failf "seed %d: dense %.9f vs revised %.9f" seed d.objective
+            r.objective;
+        if not (Problem.check_feasible ~eps:1e-6 p r.x) then
+          Alcotest.failf "seed %d: revised solution infeasible" seed;
+        if r.objective < Problem.eval_objective p x0 -. 1e-6 then
+          Alcotest.failf "seed %d: revised below known feasible point" seed
+    | Simplex.Infeasible, Revised.Infeasible ->
+        Alcotest.failf "seed %d: feasible-by-construction LP reported infeasible"
+          seed
+    | Simplex.Unbounded, Revised.Unbounded -> ()
+    | _ -> Alcotest.failf "seed %d: status disagreement" seed);
+    incr checked
+  done;
+  Alcotest.(check bool) "at least 100 instances" true (!checked >= 100)
+
+(* ------------------ warm-start contract --------------------------- *)
+
+let test_warm_equals_cold () =
+  for seed = 0 to 39 do
+    let p, _ = random_problem seed in
+    match Revised.solve p with
+    | Revised.Infeasible | Revised.Unbounded -> ()
+    | Revised.Optimal first ->
+        (* Perturb bounds the way branch-and-bound does: clamp one
+           variable to one of its bounds, then re-solve warm and
+           cold. *)
+        let rng = Rng.create (7000 + seed) in
+        let v = Rng.int rng (Problem.num_vars p) in
+        let q = Problem.clone p in
+        (if Rng.bool rng then
+           Problem.set_upper q v (Some (Problem.lower_bound q v))
+         else
+           match Problem.upper_bound q v with
+           | Some u -> Problem.set_lower q v u
+           | None -> Problem.set_lower q v (Problem.lower_bound q v +. 1.0));
+        let cold = Revised.solve q in
+        let warm = Revised.solve ~basis:first.basis q in
+        (match (cold, warm) with
+        | Revised.Optimal c, Revised.Optimal w ->
+            if Float.abs (c.objective -. w.objective) > 1e-6 then
+              Alcotest.failf "seed %d: warm %.9f vs cold %.9f" seed w.objective
+                c.objective;
+            if not (Problem.check_feasible ~eps:1e-6 q w.x) then
+              Alcotest.failf "seed %d: warm solution infeasible" seed
+        | Revised.Infeasible, Revised.Infeasible -> ()
+        | Revised.Unbounded, Revised.Unbounded -> ()
+        | _ -> Alcotest.failf "seed %d: warm/cold status disagreement" seed)
+  done
+
+let test_warm_shape_mismatch_falls_back () =
+  let p, _ = random_problem 2 in
+  let s = solve_revised_optimal p in
+  (* A basis from a structurally different LP must be ignored, not
+     crash or corrupt the solve. *)
+  let q, _ = random_problem 3 in
+  match Revised.solve ~basis:s.basis q with
+  | Revised.Optimal w ->
+      let cold = solve_revised_optimal q in
+      Alcotest.(check (float 1e-6)) "same objective" cold.objective w.objective
+  | Revised.Infeasible | Revised.Unbounded ->
+      Alcotest.fail "expected optimal under fallback"
+
+(* ------------------ branch-and-bound regression ------------------- *)
+
+(* A knapsack with side constraints: fractional at the root and at
+   most internal nodes, so the tree is deep enough that warm starts
+   have something to reuse. *)
+let make_bb_problem () =
+  let rng = Rng.create 4711 in
+  let nv = 16 in
+  let p = Problem.create () in
+  let weights = Array.make nv 0.0 in
+  let vars =
+    Array.init nv (fun i ->
+        let w = 1.0 +. Rng.float rng 9.0 in
+        weights.(i) <- w;
+        (* Value correlated with weight: the classic hard knapsack
+           shape with fractional LP optima. *)
+        let value = w +. Rng.float rng 2.0 in
+        Problem.add_var p ~upper:1.0 ~obj:value ())
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  Problem.add_row p
+    (Array.to_list (Array.mapi (fun i v -> (v, weights.(i))) vars))
+    Problem.Le (0.45 *. total);
+  (* Pairwise conflicts between a few adjacent items. *)
+  for i = 0 to 4 do
+    Problem.add_row p
+      [ (vars.(2 * i), 1.0); (vars.((2 * i) + 1), 1.0) ]
+      Problem.Le 1.0
+  done;
+  (p, vars)
+
+let test_bb_warm_start_consistent () =
+  let problem, binaries = make_bb_problem () in
+  let run warm_start =
+    let options = { Branch_bound.default_options with warm_start } in
+    Branch_bound.solve ~options (Problem.clone problem) ~binary:binaries
+  in
+  let warm = run true in
+  let cold = run false in
+  (match (warm.Branch_bound.incumbent, cold.Branch_bound.incumbent) with
+  | Some _, Some _ -> ()
+  | _ -> Alcotest.fail "both runs must find an incumbent");
+  Alcotest.(check (float 1e-6))
+    "same incumbent objective" cold.Branch_bound.objective
+    warm.Branch_bound.objective;
+  Alcotest.(check bool) "warm proved" true warm.Branch_bound.proved_optimal;
+  Alcotest.(check bool) "cold proved" true cold.Branch_bound.proved_optimal;
+  if warm.Branch_bound.pivots >= cold.Branch_bound.pivots then
+    Alcotest.failf "warm starts should pivot less: warm %d vs cold %d"
+      warm.Branch_bound.pivots cold.Branch_bound.pivots
+
+(* ------------------ backend selection ----------------------------- *)
+
+let test_choose_backend_budget () =
+  let rng = Rng.create 99 in
+  let small =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:6 ~m:6 ~k:2
+      ~lambda:0.5
+  in
+  (match Svgic.Relaxation.choose_backend small with
+  | Svgic.Relaxation.Exact_simplex -> ()
+  | _ -> Alcotest.fail "small instance should solve exactly");
+  (* A paper-scale shape: >= 10k LP variables must still be exact now
+     that the revised engine carries the load. *)
+  let rng = Rng.create 100 in
+  let big =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:60 ~m:100 ~k:4
+      ~lambda:0.5
+  in
+  let vars =
+    (Svgic.Instance.n big + Array.length (Svgic.Instance.pairs big))
+    * Svgic.Instance.m big
+  in
+  Alcotest.(check bool) "shape is >= 10k vars" true (vars >= 10_000);
+  (match Svgic.Relaxation.choose_backend big with
+  | Svgic.Relaxation.Exact_simplex -> ()
+  | _ -> Alcotest.fail ">= 10k vars should still be exact");
+  (* The budget is configuration, not a constant: shrinking it must
+     push the same instance to Frank-Wolfe. *)
+  let saved = Svgic.Relaxation.backend_budget () in
+  Svgic.Relaxation.set_backend_budget
+    { Svgic.Relaxation.exact_vars = 100; exact_nnz = 1000; dense_vars = 10 };
+  (match Svgic.Relaxation.choose_backend big with
+  | Svgic.Relaxation.Frank_wolfe _ -> ()
+  | _ -> Alcotest.fail "tiny budget should select Frank-Wolfe");
+  Svgic.Relaxation.set_backend_budget saved
+
+let test_relaxation_exact_on_medium () =
+  (* End-to-end: an instance beyond the old 1500-variable budget now
+     solves exactly, and the exact objective dominates Frank-Wolfe. *)
+  let rng = Rng.create 321 in
+  let inst =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:30 ~m:40 ~k:3
+      ~lambda:0.5
+  in
+  let vars =
+    (Svgic.Instance.n inst + Array.length (Svgic.Instance.pairs inst))
+    * Svgic.Instance.m inst
+  in
+  Alcotest.(check bool) "beyond old budget" true (vars > 1500);
+  let exact = Svgic.Relaxation.solve inst in
+  let fw =
+    Svgic.Relaxation.solve
+      ~backend:(Svgic.Relaxation.Frank_wolfe { iterations = 300; smoothing = 0.05 })
+      inst
+  in
+  Alcotest.(check bool) "exact >= fw - tol" true
+    (exact.Svgic.Relaxation.scaled_objective
+    >= fw.Svgic.Relaxation.scaled_objective -. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "revised textbook" `Quick test_textbook;
+    Alcotest.test_case "revised equality+bounds" `Quick test_equality_and_bounds;
+    Alcotest.test_case "revised >= rows" `Quick test_ge_rows;
+    Alcotest.test_case "revised lower bounds" `Quick test_lower_bounds;
+    Alcotest.test_case "revised infeasible" `Quick test_infeasible;
+    Alcotest.test_case "revised infeasible box" `Quick test_infeasible_box;
+    Alcotest.test_case "revised unbounded" `Quick test_unbounded;
+    Alcotest.test_case "revised degenerate" `Quick test_degenerate;
+    Alcotest.test_case "revised vs dense oracle (120 seeds)" `Quick
+      test_random_cross_check;
+    Alcotest.test_case "warm start equals cold solve" `Quick
+      test_warm_equals_cold;
+    Alcotest.test_case "warm start shape fallback" `Quick
+      test_warm_shape_mismatch_falls_back;
+    Alcotest.test_case "bb warm start consistent" `Quick
+      test_bb_warm_start_consistent;
+    Alcotest.test_case "backend budget rule" `Quick test_choose_backend_budget;
+    Alcotest.test_case "relaxation exact beyond old budget" `Quick
+      test_relaxation_exact_on_medium;
+  ]

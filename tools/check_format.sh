@@ -1,0 +1,50 @@
+#!/bin/sh
+# Formatting gate for CI. ocamlformat is deliberately not a dependency
+# (DESIGN.md §6: container-preinstalled packages only), so this checks
+# the mechanical invariants an autoformatter would enforce:
+#
+#   - no tab characters in OCaml sources or dune files
+#   - no trailing whitespace
+#   - no CRLF line endings
+#   - every file ends with exactly one newline
+#
+# Exit status is the number of offending files (0 = clean).
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+report() {
+  echo "format: $1: $2"
+  fail=$((fail + 1))
+}
+
+files=$(find lib bin bench test examples tools -type f \
+  \( -name '*.ml' -o -name '*.mli' -o -name 'dune' -o -name '*.sh' \) |
+  sort)
+
+for f in $files; do
+  if grep -q "$(printf '\t')" "$f"; then
+    report "$f" "tab character"
+  fi
+  if grep -q ' $' "$f"; then
+    report "$f" "trailing whitespace"
+  fi
+  if grep -q "$(printf '\r')" "$f"; then
+    report "$f" "CRLF line ending"
+  fi
+  if [ -s "$f" ]; then
+    if [ "$(tail -c 1 "$f" | od -An -c | tr -d ' \n')" != '\n' ]; then
+      report "$f" "missing final newline"
+    elif [ "$(tail -c 2 "$f")" = "$(printf '\n')" ]; then
+      # tail -c 2 collapsing to a single newline means the last two
+      # bytes were "\n\n": a blank line at EOF.
+      report "$f" "blank line at end of file"
+    fi
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "format: all $(echo "$files" | wc -l | tr -d ' ') files clean"
+fi
+exit "$fail"
