@@ -42,7 +42,16 @@ type record = {
   variant : string;
   size : int; (* m·k for sampler/AVG-D kernels; repeats for the pool *)
   ns_per_op : float;
+  domains : int option;
+      (* worker count a parallel variant actually ran with; [Some 1]
+         flags a fan-out measured on a single-domain box, which the
+         speedup derivation skips (fan-out overhead is not a
+         regression) *)
+  note : string option; (* free-form context, e.g. objective quality *)
 }
+
+let mk ?domains ?note kernel variant size ns_per_op =
+  { kernel; variant; size; ns_per_op; domains; note }
 
 (* Best-of-[rounds] wall clock over [ops] iterations of [f]; the
    minimum is the standard noise-robust estimator for single-threaded
@@ -121,8 +130,8 @@ let weighted_draw_records ~sizes =
             Fenwick.set t idx (Fenwick.get t idx))
       in
       [
-        { kernel = "weighted_draw"; variant = "naive"; size; ns_per_op = naive };
-        { kernel = "weighted_draw"; variant = "fenwick"; size; ns_per_op = fenwick };
+        mk "weighted_draw" "naive" size naive;
+        mk "weighted_draw" "fenwick" size fenwick;
       ])
     sizes
 
@@ -214,13 +223,8 @@ let avg_d_select_records ~sizes =
             ignore !pick)
       in
       [
-        { kernel = "avg_d_select"; variant = "naive"; size; ns_per_op = naive };
-        {
-          kernel = "avg_d_select";
-          variant = "champion";
-          size;
-          ns_per_op = champion;
-        };
+        mk "avg_d_select" "naive" size naive;
+        mk "avg_d_select" "champion" size champion;
       ])
     sizes
 
@@ -243,13 +247,8 @@ let avg_d_end_to_end_records ~shapes =
       in
       let size = m * k in
       [
-        { kernel = "avg_d_full"; variant = "naive"; size; ns_per_op = reference };
-        {
-          kernel = "avg_d_full";
-          variant = "champion";
-          size;
-          ns_per_op = champion;
-        };
+        mk "avg_d_full" "naive" size reference;
+        mk "avg_d_full" "champion" size champion;
       ])
     shapes
 
@@ -277,8 +276,8 @@ let lp_solve_records ~pairs ~revised_only =
           (fun () -> ignore (Svgic_lp.Revised_simplex.solve problem))
       in
       [
-        { kernel = "lp_solve"; variant = "dense"; size; ns_per_op = dense };
-        { kernel = "lp_solve"; variant = "revised"; size; ns_per_op = revised };
+        mk "lp_solve" "dense" size dense;
+        mk "lp_solve" "revised" size revised;
       ])
     pairs
   @ List.map
@@ -289,7 +288,7 @@ let lp_solve_records ~pairs ~revised_only =
           time_kernel ~rounds:1 ~ops:1 (fun () ->
               ignore (Svgic_lp.Revised_simplex.solve problem))
         in
-        { kernel = "lp_solve"; variant = "revised"; size; ns_per_op = revised })
+        mk "lp_solve" "revised" size revised)
       revised_only
 
 (* ---------------- AVG phase split: LP solve vs rounding ----------- *)
@@ -314,8 +313,8 @@ let lp_phase_records ~shapes =
       in
       let size = m * k in
       [
-        { kernel = "lp_phase"; variant = "lp_solve"; size; ns_per_op = lp };
-        { kernel = "lp_phase"; variant = "rounding"; size; ns_per_op = rounding };
+        mk "lp_phase" "lp_solve" size lp;
+        mk "lp_phase" "rounding" size rounding;
       ])
     shapes
 
@@ -329,18 +328,137 @@ let pool_records ~repeats ~shape:(n, m, k) =
     ignore
       (Svgic.Algorithms.avg_best_of ~domains ~repeats (Rng.create 77) inst relax)
   in
+  let avail = Pool.available_domains () in
+  let serial, parallel = time_pair ~rounds:3 ~ops:2 (run 1) (run avail) in
+  [
+    mk ~domains:1 "pool_best_of" "serial" repeats serial;
+    mk ~domains:avail "pool_best_of" "parallel" repeats parallel;
+  ]
+
+(* ---------------- Frank-Wolfe engine ------------------------------ *)
+
+(* Synthetic sparse pairwise problem. The Timik generator's pair
+   weights are fully dense in the item dimension, so the regime the
+   CSR engine targets — most (pair, item) weights zero — is generated
+   directly: [density] of the weights are non-zero. *)
+let fw_sparse_problem seed ~n ~m ~k ~edges ~density =
+  let rng = Rng.create seed in
+  let linear =
+    Array.init n (fun _ -> Array.init m (fun _ -> Rng.float rng 1.0))
+  in
+  let pairs =
+    Array.init edges (fun _ ->
+        let u = Rng.int rng n in
+        let v = (u + 1 + Rng.int rng (n - 1)) mod n in
+        let w =
+          Array.init m (fun _ ->
+              if Rng.bernoulli rng density then Rng.float rng 0.6 else 0.0)
+        in
+        (min u v, max u v, w))
+  in
+  Svgic_lp.Pairwise_fw.{ n; m; k; linear; pairs }
+
+(* Dense prototype vs sparse engine, both serial, same iteration
+   schedule: isolates the CSR adjacency + fused sweep + masked-argmax
+   oracle from the fan-out. The size field is m·k, matching the other
+   config-phase kernels. *)
+let fw_solve_records ~shapes =
+  List.concat_map
+    (fun (n, m, k) ->
+      let p =
+        fw_sparse_problem (5100 + n + m + k) ~n ~m ~k ~edges:(4 * n)
+          ~density:0.1
+      in
+      let iterations = 40 in
+      let dense, sparse =
+        time_pair ~rounds:3 ~ops:1
+          (fun () ->
+            ignore (Svgic_lp.Pairwise_fw.Reference.solve ~iterations p))
+          (fun () -> ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1 p))
+      in
+      let size = m * k in
+      [ mk "fw_solve" "dense" size dense; mk "fw_solve" "sparse" size sparse ])
+    shapes
+
+(* Sparse engine serial vs fanned out over every available domain.
+   The [domains] field records what the parallel side actually ran
+   with: on a single-domain box the row measures fan-out overhead, not
+   parallelism, and the speedup derivation skips it. *)
+let fw_mc_records ~shape:(n, m, k) =
+  let p =
+    fw_sparse_problem (5200 + n + m + k) ~n ~m ~k ~edges:(4 * n) ~density:0.1
+  in
+  let iterations = 40 in
+  let avail = Pool.available_domains () in
   let serial, parallel =
-    time_pair ~rounds:3 ~ops:2 (run 1) (run (Pool.available_domains ()))
+    time_pair ~rounds:3 ~ops:1
+      (fun () -> ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1 p))
+      (fun () ->
+        ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:avail p))
+  in
+  let size = m * k in
+  let note =
+    if avail <= 1 then
+      Some "single-domain host: row measures fan-out overhead, not scaling"
+    else None
   in
   [
-    { kernel = "pool_best_of"; variant = "serial"; size = repeats; ns_per_op = serial };
-    {
-      kernel = "pool_best_of";
-      variant = "parallel";
-      size = repeats;
-      ns_per_op = parallel;
-    };
+    mk ~domains:1 "fw_solve_mc" "serial" size serial;
+    mk ~domains:avail ?note "fw_solve_mc" "parallel" size parallel;
   ]
+
+(* The full relaxation (scaled Timik instance) through the exact
+   revised simplex and through the first-order engine, at a scale past
+   the exact-solve time envelope. The note on the fw row records the
+   relative objective error against the exact optimum, and the
+   achieved duality gap. *)
+let fw_vs_exact_records ~shapes =
+  List.concat_map
+    (fun (n, m, k) ->
+      let rng = Rng.create (5300 + n + m + k) in
+      let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
+      let problem, _ = Svgic.Lp_build.simp_lp inst in
+      let size = Svgic_lp.Problem.num_vars problem in
+      let exact = ref None in
+      let t_exact =
+        time_kernel ~rounds:1 ~ops:1 (fun () ->
+            exact :=
+              Some
+                (Svgic.Relaxation.solve
+                   ~backend:Svgic.Relaxation.Exact_simplex inst))
+      in
+      let fw = ref None in
+      let t_fw =
+        time_kernel ~rounds:1 ~ops:1 (fun () ->
+            fw :=
+              Some
+                (Svgic.Relaxation.solve
+                   ~backend:
+                     (Svgic.Relaxation.Frank_wolfe
+                        {
+                          iterations = 1_200;
+                          smoothing = 0.005;
+                          gap_tol = Some 0.05;
+                          domains = Some 1;
+                        })
+                   inst))
+      in
+      let exact = Option.get !exact and fw = Option.get !fw in
+      let rel_err =
+        (exact.Svgic.Relaxation.scaled_objective
+        -. fw.Svgic.Relaxation.scaled_objective)
+        /. Float.max 1e-12 (Float.abs exact.Svgic.Relaxation.scaled_objective)
+      in
+      let note =
+        Printf.sprintf "objective %.3f%% below exact; duality gap %.3g"
+          (100.0 *. rel_err)
+          (Option.value ~default:Float.nan fw.Svgic.Relaxation.fw_gap)
+      in
+      [
+        mk "fw_vs_exact" "exact" size t_exact;
+        mk ~note "fw_vs_exact" "fw" size t_fw;
+      ])
+    shapes
 
 (* ---------------- reporting --------------------------------------- *)
 
@@ -353,12 +471,18 @@ let speedups records =
     | "champion" -> Some "naive"
     | "parallel" -> Some "serial"
     | "revised" -> Some "dense"
+    | "sparse" -> Some "dense"
+    | "fw" -> Some "exact"
     | _ -> None
   in
   List.filter_map
     (fun r ->
       match before_of r.variant with
       | None -> None
+      (* A fan-out measured with a single domain is overhead, not a
+         speedup; deriving a ratio for it would read as a parallel
+         regression. *)
+      | Some _ when r.variant = "parallel" && r.domains = Some 1 -> None
       | Some before -> (
           match
             List.find_opt
@@ -386,15 +510,26 @@ let write_json ~path ~smoke records =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"svgic.bench.kernels/v1\",\n";
+  out "  \"schema\": \"svgic.bench.kernels/v2\",\n";
   out "  \"generated_by\": \"dune exec bench/main.exe -- kernels\",\n";
   out "  \"smoke\": %b,\n" smoke;
   out "  \"available_domains\": %d,\n" (Pool.available_domains ());
   out "  \"kernels\": [\n";
   List.iteri
     (fun i r ->
-      out "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"size\": %d, \"ns_per_op\": %.1f}%s\n"
+      let domains =
+        match r.domains with
+        | Some d -> Printf.sprintf ", \"domains\": %d" d
+        | None -> ""
+      in
+      let note =
+        match r.note with
+        | Some s -> Printf.sprintf ", \"note\": \"%s\"" (json_escape s)
+        | None -> ""
+      in
+      out "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"size\": %d, \"ns_per_op\": %.1f%s%s}%s\n"
         (json_escape r.kernel) (json_escape r.variant) r.size r.ns_per_op
+        domains note
         (if i = List.length records - 1 then "" else ","))
     records;
   out "  ],\n";
@@ -415,8 +550,15 @@ let print_records records =
   Printf.printf "%s\n" (String.make 54 '-');
   List.iter
     (fun r ->
-      Printf.printf "%-14s %-10s %10d %16.1f\n" r.kernel r.variant r.size
-        r.ns_per_op)
+      Printf.printf "%-14s %-10s %10d %16.1f" r.kernel r.variant r.size
+        r.ns_per_op;
+      (match r.domains with
+      | Some d -> Printf.printf "  domains=%d" d
+      | None -> ());
+      (match r.note with
+      | Some s -> Printf.printf "  (%s)" s
+      | None -> ());
+      print_newline ())
     records;
   print_newline ();
   List.iter
@@ -500,7 +642,11 @@ let run () =
   (* Relaxation.backend_budget's dense_vars (1500) is where Auto stops
      picking the dense engine: the paired shapes straddle it (dense
      still *solves* ~1900 variables, just slowly — which is the
-     point), the revised-only shape shows the scale far past it. *)
+     point). The revised-only shape (~13k variables) is past both
+     dense_vars and exact_vars, i.e. the scale Auto now hands to the
+     Frank-Wolfe engine; its row documents what an exact solve costs
+     there, and the fw_vs_exact rows at the same shape document what
+     the first-order engine trades for that time. *)
   let lp_pairs =
     if smoke then [ (8, 12) ]
     else [ (8, 12); (12, 16); (20, 24); (19, 26); (24, 26) ]
@@ -509,6 +655,11 @@ let run () =
   let lp_phase_shapes =
     if smoke then [ (8, 8, 2) ] else [ (16, 12, 2); (20, 64, 4); (24, 128, 8) ]
   in
+  let fw_shapes =
+    if smoke then [ (16, 12, 2) ] else [ (96, 64, 6); (256, 128, 8) ]
+  in
+  let fw_mc_shape = if smoke then (16, 12, 2) else (256, 128, 8) in
+  let fw_exact_shapes = if smoke then [] else [ (50, 80, 4) ] in
   let records =
     weighted_draw_records ~sizes:sampler_sizes
     @ avg_d_select_records ~sizes:sampler_sizes
@@ -516,6 +667,9 @@ let run () =
     @ lp_solve_records ~pairs:lp_pairs ~revised_only:lp_revised_only
     @ lp_phase_records ~shapes:lp_phase_shapes
     @ pool_records ~repeats:pool_repeats ~shape:pool_shape
+    @ fw_solve_records ~shapes:fw_shapes
+    @ fw_mc_records ~shape:fw_mc_shape
+    @ fw_vs_exact_records ~shapes:fw_exact_shapes
   in
   print_records records;
   let path = "BENCH_kernels.json" in

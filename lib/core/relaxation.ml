@@ -2,13 +2,23 @@ module Revised = Svgic_lp.Revised_simplex
 
 type backend =
   | Exact_simplex
-  | Frank_wolfe of { iterations : int; smoothing : float }
+  | Frank_wolfe of {
+      iterations : int;
+      smoothing : float;
+      gap_tol : float option;
+      domains : int option;
+    }
   | Auto
 
 type budget = { exact_vars : int; exact_nnz : int; dense_vars : int }
 
+(* Calibrated against BENCH_kernels.json lp_solve rows (revised
+   engine): ~0.13 s at 1.9k variables, ~10.3 s at 13.3k. Fitting the
+   power law between those points puts the ~2 s exact-solve envelope
+   at ~6.5k variables / ~20k matrix nonzeros; instances beyond it go
+   to the certified Frank-Wolfe engine. *)
 let default_budget =
-  { exact_vars = 60_000; exact_nnz = 600_000; dense_vars = 1_500 }
+  { exact_vars = 6_000; exact_nnz = 20_000; dense_vars = 1_500 }
 
 let budget_ref = ref default_budget
 let backend_budget () = !budget_ref
@@ -18,6 +28,7 @@ type t = {
   xbar : float array array;
   scaled_objective : float;
   basis : Revised.vbasis option;
+  fw_gap : float option;
 }
 
 (* LP_SIMP shape without building the program: (n + np) * m variables,
@@ -31,11 +42,24 @@ let lp_simp_shape inst =
   let nnz = (n * m) + (4 * np * m) in
   (vars, rows, nnz)
 
+(* Default stopping tolerance for the Auto Frank-Wolfe path: per-user
+   utilities are O(1) per slot, so the objective scale is about n·k
+   and 1e-3 of it certifies the solve to a fraction of a percent. *)
+let default_fw_gap_tol inst =
+  1e-3 *. float_of_int (Instance.n inst * Instance.k inst)
+
 let choose_backend inst =
   let b = !budget_ref in
   let vars, _, nnz = lp_simp_shape inst in
   if vars <= b.exact_vars && nnz <= b.exact_nnz then Exact_simplex
-  else Frank_wolfe { iterations = 400; smoothing = 0.05 }
+  else
+    Frank_wolfe
+      {
+        iterations = 2_000;
+        smoothing = 0.02;
+        gap_tol = Some (default_fw_gap_tol inst);
+        domains = None;
+      }
 
 (* Exact solve of an arbitrary [Problem]: the dense tableau for small
    programs (the long-standing oracle path), the sparse revised
@@ -67,18 +91,27 @@ let solve_simplex ?warm inst =
   let x, objective, basis = solve_exact ?warm ~what:"LP_SIMP" problem in
   let n = Instance.n inst and m = Instance.m inst in
   let xbar = Array.init n (fun u -> Array.init m (fun c -> x.(x_var u c))) in
-  { xbar; scaled_objective = objective; basis }
+  { xbar; scaled_objective = objective; basis; fw_gap = None }
 
-let solve_fw ~iterations ~smoothing inst =
+let solve_fw ~iterations ~smoothing ~gap_tol ~domains inst =
   let problem = Lp_build.fw_problem inst in
-  let solution = Svgic_lp.Pairwise_fw.solve ~iterations ~smoothing problem in
-  { xbar = solution.x; scaled_objective = solution.objective; basis = None }
+  let solution =
+    Svgic_lp.Pairwise_fw.solve ~iterations ~smoothing ?gap_tol ?domains
+      ~swap_steps:true problem
+  in
+  {
+    xbar = solution.x;
+    scaled_objective = solution.objective;
+    basis = None;
+    fw_gap = Some solution.gap;
+  }
 
 let solve ?(backend = Auto) ?warm inst =
   let backend = match backend with Auto -> choose_backend inst | b -> b in
   match backend with
   | Exact_simplex -> solve_simplex ?warm inst
-  | Frank_wolfe { iterations; smoothing } -> solve_fw ~iterations ~smoothing inst
+  | Frank_wolfe { iterations; smoothing; gap_tol; domains } ->
+      solve_fw ~iterations ~smoothing ~gap_tol ~domains inst
   | Auto -> assert false
 
 let solve_without_transform inst =
@@ -96,7 +129,7 @@ let solve_without_transform inst =
             done;
             !acc))
   in
-  { xbar; scaled_objective = objective; basis }
+  { xbar; scaled_objective = objective; basis; fw_gap = None }
 
 let upper_bound inst r = Instance.objective_scale inst *. r.scaled_objective
 

@@ -9,8 +9,19 @@ type backend =
       (** exact simplex on [LP_SIMP] — the dense tableau for small
           programs, the sparse revised simplex beyond
           [budget.dense_vars] *)
-  | Frank_wolfe of { iterations : int; smoothing : float }
-      (** scalable approximate solver (Corollary 4.2 applies) *)
+  | Frank_wolfe of {
+      iterations : int;  (** iteration cap *)
+      smoothing : float;  (** soft-min temperature *)
+      gap_tol : float option;
+          (** stop at this smoothed duality gap; [None] runs the full
+              iteration budget *)
+      domains : int option;
+          (** [Pool] fan-out cap; [None] lets the engine decide.
+              Bit-identical results for every value. *)
+    }
+      (** scalable first-order solver with a duality-gap certificate
+          (Corollary 4.2 applies: a gap-certified β-approximate
+          fractional solution rounds to a 4β-approximation) *)
   | Auto  (** exact within {!backend_budget}, Frank–Wolfe otherwise *)
 
 type budget = {
@@ -18,11 +29,14 @@ type budget = {
   exact_nnz : int;  (** largest LP (matrix nonzeros) solved exactly *)
   dense_vars : int;  (** dense-tableau ceiling inside the exact path *)
 }
-(** Backend-selection thresholds. The defaults
-    ([exact_vars = 60_000], [exact_nnz = 600_000],
-    [dense_vars = 1_500]) keep paper-scale instances (tens of
-    thousands of LP variables) on the exact revised simplex and
-    reserve Frank–Wolfe for programs beyond it. *)
+(** Backend-selection thresholds, calibrated from the committed
+    BENCH_kernels.json [lp_solve] rows so that [Auto]'s exact solves
+    stay inside a ~2 s envelope: the revised simplex measured ~0.13 s
+    at 1.9k LP variables and ~10.3 s at 13.3k, and the fitted power
+    law crosses 2 s near 6.5k variables / 20k nonzeros. Defaults:
+    [exact_vars = 6_000], [exact_nnz = 20_000], [dense_vars = 1_500].
+    Instances beyond the envelope route to the Frank–Wolfe engine,
+    which reports its achieved gap in {!t.fw_gap}. *)
 
 val backend_budget : unit -> budget
 val set_backend_budget : budget -> unit
@@ -32,7 +46,9 @@ val set_backend_budget : budget -> unit
 val choose_backend : Instance.t -> backend
 (** The backend [Auto] resolves to, from the instance's [LP_SIMP]
     shape (variables, rows, nonzeros) and the current
-    {!backend_budget}. Never returns [Auto]. *)
+    {!backend_budget}. Never returns [Auto]. The Frank–Wolfe fallback
+    carries a default [gap_tol] of [1e-3 · n · k] (the objective's
+    natural scale), so Auto solves are certified, not fixed-budget. *)
 
 type t = {
   xbar : float array array;  (** [n x m] utility factors, rows sum to k *)
@@ -40,6 +56,11 @@ type t = {
   basis : Svgic_lp.Revised_simplex.vbasis option;
       (** final simplex basis when the revised engine solved the
           program; reusable via [solve ~warm] *)
+  fw_gap : float option;
+      (** achieved smoothed duality gap when the Frank–Wolfe engine
+          solved the program ([None] on the exact paths):
+          [scaled_objective >= OPT_relax - fw_gap - smoothing·ln 2·W]
+          with [W] the total pair-weight mass *)
 }
 
 val solve : ?backend:backend -> ?warm:Svgic_lp.Revised_simplex.vbasis -> Instance.t -> t
@@ -58,7 +79,9 @@ val solve_without_transform : Instance.t -> t
 
 val upper_bound : Instance.t -> t -> float
 (** The relaxation objective in original SAVG-utility units — an upper
-    bound on OPT when the backend was exact. *)
+    bound on OPT when the backend was exact. For a Frank–Wolfe solve
+    it is a lower bound on the relaxation optimum instead; add the
+    certificate slack from {!t.fw_gap} to recover an upper bound. *)
 
 val factor : Instance.t -> t -> int -> int -> float
 (** [factor inst r u c] = the per-slot utility factor

@@ -1,3 +1,6 @@
+module Pool = Svgic_util.Pool
+module Select = Svgic_util.Select
+
 type problem = {
   n : int;
   m : int;
@@ -10,77 +13,321 @@ type solution = {
   x : float array array;
   objective : float;
   iterations : int;
+  gap : float;
 }
-
-let objective p x =
-  let acc = ref 0.0 in
-  for u = 0 to p.n - 1 do
-    let lin = p.linear.(u) and xu = x.(u) in
-    for c = 0 to p.m - 1 do
-      acc := !acc +. (lin.(c) *. xu.(c))
-    done
-  done;
-  Array.iter
-    (fun (u, v, w) ->
-      let xu = x.(u) and xv = x.(v) in
-      for c = 0 to p.m - 1 do
-        if w.(c) <> 0.0 then acc := !acc +. (w.(c) *. Float.min xu.(c) xv.(c))
-      done)
-    p.pairs;
-  !acc
 
 (* Logistic weight of the soft-min gradient, numerically stable. *)
 let sigmoid z = if z >= 0.0 then 1.0 /. (1.0 +. exp (-.z)) else exp z /. (1.0 +. exp z)
 
-let gradient p ~smoothing x grad =
-  for u = 0 to p.n - 1 do
-    Array.blit p.linear.(u) 0 grad.(u) 0 p.m
-  done;
+(* The seed prototype, retained verbatim as the dense-gradient oracle:
+   tests pin the sparse engine's gradient and objective to it, and the
+   fw_solve bench rows use it as the "before" side. *)
+module Reference = struct
+  let objective p x =
+    let acc = ref 0.0 in
+    for u = 0 to p.n - 1 do
+      let lin = p.linear.(u) and xu = x.(u) in
+      for c = 0 to p.m - 1 do
+        acc := !acc +. (lin.(c) *. xu.(c))
+      done
+    done;
+    Array.iter
+      (fun (u, v, w) ->
+        let xu = x.(u) and xv = x.(v) in
+        for c = 0 to p.m - 1 do
+          if w.(c) <> 0.0 then acc := !acc +. (w.(c) *. Float.min xu.(c) xv.(c))
+        done)
+      p.pairs;
+    !acc
+
+  let gradient p ~smoothing x grad =
+    for u = 0 to p.n - 1 do
+      Array.blit p.linear.(u) 0 grad.(u) 0 p.m
+    done;
+    Array.iter
+      (fun (u, v, w) ->
+        let xu = x.(u) and xv = x.(v) in
+        let gu = grad.(u) and gv = grad.(v) in
+        for c = 0 to p.m - 1 do
+          if w.(c) <> 0.0 then begin
+            let share_u = sigmoid ((xv.(c) -. xu.(c)) /. smoothing) in
+            gu.(c) <- gu.(c) +. (w.(c) *. share_u);
+            gv.(c) <- gv.(c) +. (w.(c) *. (1.0 -. share_u))
+          end
+        done)
+      p.pairs;
+    ()
+
+  (* Linear maximization oracle over the capped simplex: an indicator
+     vector of the k largest gradient coordinates. *)
+  let oracle p grad_row vertex =
+    let top = Select.top_k p.k grad_row in
+    Array.fill vertex 0 p.m 0.0;
+    Array.iter (fun c -> vertex.(c) <- 1.0) top
+
+  let solve ?(iterations = 400) ?(smoothing = 0.05) p =
+    assert (p.k >= 1 && p.k <= p.m);
+    assert (smoothing > 0.0);
+    let x = Array.init p.n (fun _ -> Array.make p.m (float_of_int p.k /. float_of_int p.m)) in
+    let grad = Array.init p.n (fun _ -> Array.make p.m 0.0) in
+    let vertex = Array.make p.m 0.0 in
+    let best = Array.init p.n (fun u -> Array.copy x.(u)) in
+    let best_obj = ref (objective p x) in
+    for t = 0 to iterations - 1 do
+      gradient p ~smoothing x grad;
+      let gamma = 2.0 /. float_of_int (t + 2) in
+      for u = 0 to p.n - 1 do
+        oracle p grad.(u) vertex;
+        let xu = x.(u) in
+        for c = 0 to p.m - 1 do
+          xu.(c) <- ((1.0 -. gamma) *. xu.(c)) +. (gamma *. vertex.(c))
+        done
+      done;
+      let obj = objective p x in
+      if obj > !best_obj then begin
+        best_obj := obj;
+        for u = 0 to p.n - 1 do
+          Array.blit x.(u) 0 best.(u) 0 p.m
+        done
+      end
+    done;
+    { x = best; objective = !best_obj; iterations; gap = infinity }
+end
+
+let objective = Reference.objective
+
+(* ------------------------------------------------------------------ *)
+(* Sparse pair storage: per-user CSR adjacency of (neighbor, item,
+   weight) triples. Each undirected pair (u, v, w) contributes one
+   entry to u's list and one to v's list per item with w_c <> 0, so a
+   full gradient/objective sweep costs O(n·m + nnz) instead of the
+   prototype's O(n·m + |pairs|·m). Entry order is fixed by the pair
+   array (pair-major, then item), which pins the float accumulation
+   order per user independently of how users are assigned to
+   workers. *)
+
+type csr = {
+  ptr : int array;  (* n + 1 *)
+  nbr : int array;  (* nnz: the other endpoint *)
+  item : int array;  (* nnz *)
+  wgt : float array;  (* nnz *)
+}
+
+let build_csr p =
+  let count = Array.make p.n 0 in
   Array.iter
     (fun (u, v, w) ->
-      let xu = x.(u) and xv = x.(v) in
-      let gu = grad.(u) and gv = grad.(v) in
+      if u = v then invalid_arg "Pairwise_fw: self-pair";
+      if u < 0 || u >= p.n || v < 0 || v >= p.n then
+        invalid_arg "Pairwise_fw: pair endpoint out of range";
+      let nz = ref 0 in
+      Array.iter (fun wc -> if wc <> 0.0 then incr nz) w;
+      count.(u) <- count.(u) + !nz;
+      count.(v) <- count.(v) + !nz)
+    p.pairs;
+  let ptr = Array.make (p.n + 1) 0 in
+  for u = 0 to p.n - 1 do
+    ptr.(u + 1) <- ptr.(u) + count.(u)
+  done;
+  let nnz = ptr.(p.n) in
+  let nbr = Array.make nnz 0 in
+  let item = Array.make nnz 0 in
+  let wgt = Array.make nnz 0.0 in
+  let fill = Array.sub ptr 0 p.n in
+  Array.iter
+    (fun (u, v, w) ->
       for c = 0 to p.m - 1 do
-        if w.(c) <> 0.0 then begin
-          let share_u = sigmoid ((xv.(c) -. xu.(c)) /. smoothing) in
-          gu.(c) <- gu.(c) +. (w.(c) *. share_u);
-          gv.(c) <- gv.(c) +. (w.(c) *. (1.0 -. share_u))
+        let wc = w.(c) in
+        if wc <> 0.0 then begin
+          let iu = fill.(u) in
+          nbr.(iu) <- v;
+          item.(iu) <- c;
+          wgt.(iu) <- wc;
+          fill.(u) <- iu + 1;
+          let iv = fill.(v) in
+          nbr.(iv) <- u;
+          item.(iv) <- c;
+          wgt.(iv) <- wc;
+          fill.(v) <- iv + 1
         end
       done)
     p.pairs;
-  ()
+  { ptr; nbr; item; wgt }
 
-(* Linear maximization oracle over the capped simplex: an indicator
-   vector of the k largest gradient coordinates. *)
-let oracle p grad_row vertex =
-  let top = Svgic_util.Select.top_k p.k grad_row in
-  Array.fill vertex 0 p.m 0.0;
-  Array.iter (fun c -> vertex.(c) <- 1.0) top
+let gradient ?(smoothing = 0.05) p x =
+  let adj = build_csr p in
+  Array.init p.n (fun u ->
+      let g = Array.copy p.linear.(u) in
+      let xu = x.(u) in
+      for e = adj.ptr.(u) to adj.ptr.(u + 1) - 1 do
+        let c = adj.item.(e) in
+        let share = sigmoid ((x.(adj.nbr.(e)).(c) -. xu.(c)) /. smoothing) in
+        g.(c) <- g.(c) +. (adj.wgt.(e) *. share)
+      done;
+      g)
 
-let solve ?(iterations = 400) ?(smoothing = 0.05) p =
+(* ------------------------------------------------------------------ *)
+(* The production engine. One fused sweep per iteration computes, per
+   user: the exact objective contribution, the soft-min gradient, the
+   top-k oracle vertex, the Frank-Wolfe gap contribution
+   <grad, v - x>, and (in swap mode) the best mass-swap move. The
+   sweep only reads the frozen iterate and writes per-user slots, so
+   fanning users out over Pool blocks is bit-identical to the serial
+   run for every worker count; the objective and gap are reduced
+   serially by user index afterwards. A second per-user pass applies
+   the updates (it must not run concurrently with gradient reads). *)
+
+(* Default fan-out: parallel only when the per-sweep work can amortize
+   the per-iteration domain spawns. *)
+let auto_domains p =
+  if p.n > 1 && p.n * p.m >= 16_384 then Pool.available_domains () else 1
+
+let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains
+    ?(swap_steps = false) p =
   assert (p.k >= 1 && p.k <= p.m);
   assert (smoothing > 0.0);
-  let x = Array.init p.n (fun _ -> Array.make p.m (float_of_int p.k /. float_of_int p.m)) in
-  let grad = Array.init p.n (fun _ -> Array.make p.m 0.0) in
-  let vertex = Array.make p.m 0.0 in
-  let best = Array.init p.n (fun u -> Array.copy x.(u)) in
-  let best_obj = ref (objective p x) in
-  for t = 0 to iterations - 1 do
-    gradient p ~smoothing x grad;
-    let gamma = 2.0 /. float_of_int (t + 2) in
-    for u = 0 to p.n - 1 do
-      oracle p grad.(u) vertex;
-      let xu = x.(u) in
-      for c = 0 to p.m - 1 do
-        xu.(c) <- ((1.0 -. gamma) *. xu.(c)) +. (gamma *. vertex.(c))
-      done
+  let n = p.n and m = p.m and k = p.k in
+  let domains = match domains with Some d -> d | None -> auto_domains p in
+  let adj = build_csr p in
+  let x = Array.init n (fun _ -> Array.make m (float_of_int k /. float_of_int m)) in
+  let best = Array.init n (fun u -> Array.copy x.(u)) in
+  let best_obj = ref neg_infinity in
+  let best_gap = ref infinity in
+  (* Per-user slots written by the sweep. *)
+  let obj_u = Array.make n 0.0 in
+  let gap_u = Array.make n 0.0 in
+  let tops = Array.init n (fun _ -> Array.make k 0) in
+  let swap_to = Array.make n (-1) in
+  let swap_from = Array.make n (-1) in
+  let swap_cap = Array.make n 0.0 in
+  let swap_gain = Array.make n 0.0 in
+  (* Select.top_k sorts the whole row; for the small k of display
+     configurations, k masked argmax passes over the scratch gradient
+     are cheaper and allocation-free. Both paths keep the lowest-index
+     tie-break. *)
+  let small_k = k <= 16 in
+  let sweep_user g u =
+    let xu = x.(u) and lin = p.linear.(u) in
+    Array.blit lin 0 g 0 m;
+    let lin_obj = ref 0.0 in
+    for c = 0 to m - 1 do
+      lin_obj := !lin_obj +. (lin.(c) *. xu.(c))
     done;
-    let obj = objective p x in
-    if obj > !best_obj then begin
-      best_obj := obj;
-      for u = 0 to p.n - 1 do
-        Array.blit x.(u) 0 best.(u) 0 p.m
+    let pair_obj = ref 0.0 in
+    for e = adj.ptr.(u) to adj.ptr.(u + 1) - 1 do
+      let c = adj.item.(e) in
+      let v = adj.nbr.(e) in
+      let xuc = xu.(c) and xvc = x.(v).(c) in
+      let share = sigmoid ((xvc -. xuc) /. smoothing) in
+      g.(c) <- g.(c) +. (adj.wgt.(e) *. share);
+      (* Each pair's exact min term is attributed to its lower
+         endpoint, so the serial by-index reduction counts it once. *)
+      if v > u then pair_obj := !pair_obj +. (adj.wgt.(e) *. Float.min xuc xvc)
+    done;
+    obj_u.(u) <- !lin_obj +. !pair_obj;
+    let dot = ref 0.0 in
+    for c = 0 to m - 1 do
+      dot := !dot +. (g.(c) *. xu.(c))
+    done;
+    if swap_steps then begin
+      (* Best single mass swap: move weight onto the best coordinate
+         with headroom from the worst coordinate with mass. *)
+      let hi = ref (-1) and lo = ref (-1) in
+      for c = 0 to m - 1 do
+        if xu.(c) < 1.0 -. 1e-12 && (!hi < 0 || g.(c) > g.(!hi)) then hi := c;
+        if xu.(c) > 1e-12 && (!lo < 0 || g.(c) < g.(!lo)) then lo := c
+      done;
+      if !hi >= 0 && !lo >= 0 && !hi <> !lo && g.(!hi) > g.(!lo) then begin
+        swap_to.(u) <- !hi;
+        swap_from.(u) <- !lo;
+        swap_cap.(u) <- Float.min (1.0 -. xu.(!hi)) xu.(!lo);
+        swap_gain.(u) <- g.(!hi) -. g.(!lo)
+      end
+      else begin
+        swap_to.(u) <- -1;
+        swap_from.(u) <- -1;
+        swap_cap.(u) <- 0.0;
+        swap_gain.(u) <- 0.0
+      end
+    end;
+    let top = tops.(u) in
+    let top_sum = ref 0.0 in
+    if small_k then
+      for slot = 0 to k - 1 do
+        let arg = ref 0 in
+        for c = 1 to m - 1 do
+          if g.(c) > g.(!arg) then arg := c
+        done;
+        top.(slot) <- !arg;
+        top_sum := !top_sum +. g.(!arg);
+        g.(!arg) <- neg_infinity
+      done
+    else begin
+      let sel = Select.top_k k g in
+      Array.blit sel 0 top 0 k;
+      Array.iter (fun c -> top_sum := !top_sum +. g.(c)) sel
+    end;
+    gap_u.(u) <- !top_sum -. !dot
+  in
+  let sweep () =
+    Pool.parallel_for_local ~domains n
+      ~local:(fun () -> Array.make m 0.0)
+      (fun g u -> sweep_user g u)
+  in
+  (* Applies the recorded step to user u. The swap step is taken when
+     its first-order progress beats the classic step's; both choices
+     depend only on per-user slots and gamma, so the decision is
+     identical for every worker count. *)
+  let apply gamma u =
+    let xu = x.(u) in
+    let t = Float.min swap_cap.(u) gamma in
+    if swap_steps && swap_to.(u) >= 0 && swap_gain.(u) *. t > gap_u.(u) *. gamma
+    then begin
+      xu.(swap_to.(u)) <- xu.(swap_to.(u)) +. t;
+      xu.(swap_from.(u)) <- xu.(swap_from.(u)) -. t
+    end
+    else begin
+      for c = 0 to m - 1 do
+        xu.(c) <- (1.0 -. gamma) *. xu.(c)
+      done;
+      let top = tops.(u) in
+      for slot = 0 to k - 1 do
+        let c = top.(slot) in
+        xu.(c) <- xu.(c) +. gamma
       done
     end
+  in
+  let record_iterate () =
+    let obj = ref 0.0 and gap = ref 0.0 in
+    for u = 0 to n - 1 do
+      obj := !obj +. obj_u.(u);
+      gap := !gap +. gap_u.(u)
+    done;
+    if !obj > !best_obj then begin
+      best_obj := !obj;
+      for u = 0 to n - 1 do
+        Array.blit x.(u) 0 best.(u) 0 m
+      done
+    end;
+    if !gap < !best_gap then best_gap := !gap;
+    !gap
+  in
+  let steps = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !steps < iterations do
+    sweep ();
+    let gap = record_iterate () in
+    match gap_tol with
+    | Some tol when gap <= tol -> stopped := true
+    | _ ->
+        let gamma = 2.0 /. float_of_int (!steps + 2) in
+        Pool.parallel_for ~domains n (apply gamma);
+        incr steps
   done;
-  { x = best; objective = !best_obj; iterations }
+  (* The last update left an unevaluated iterate; score it so the best
+     tracking covers every point visited. *)
+  if not !stopped then begin
+    sweep ();
+    ignore (record_iterate ())
+  end;
+  { x = best; objective = !best_obj; iterations = !steps; gap = !best_gap }

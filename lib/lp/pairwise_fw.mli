@@ -1,6 +1,6 @@
-(** Frank–Wolfe solver for the pairwise-concave relaxation shape shared
-    by [LP_SIMP] (the compact SVGIC relaxation, Section 4.4 of the
-    paper).
+(** Sparse multicore Frank–Wolfe engine for the pairwise-concave
+    relaxation shape shared by [LP_SIMP] (the compact SVGIC
+    relaxation, Section 4.4 of the paper).
 
     The program solved is
     {v
@@ -11,15 +11,31 @@
     [y] variables (at any optimum [y = min]). The feasible region is a
     product of capped simplices, so the linear maximization oracle is a
     per-user top-k selection — this is what makes the solver scale to
-    the paper's large configurations where a dense simplex tableau
-    would not.
+    configurations where even the sparse revised simplex would not.
+
+    Engine structure (DESIGN.md §5 "First-order config phase"):
+    - the social pairs are compiled once into a per-user CSR adjacency
+      of (neighbor, item, weight) triples, so a full gradient/objective
+      sweep costs O(n·m + nnz) instead of O(n·m + |pairs|·m);
+    - each iteration is one fused sweep over users (gradient, exact
+      objective, top-k oracle, duality-gap contribution, optional swap
+      move) fanned out over contiguous user blocks via
+      [Svgic_util.Pool] with one scratch gradient buffer per worker,
+      followed by a per-user update pass. All cross-user reductions
+      are by-index, so serial and parallel runs are bit-identical;
+    - the Frank–Wolfe gap [<grad f_s, v - x>] of the smoothed
+      objective [f_s] is accumulated every sweep; [gap_tol] stops the
+      solve as soon as it certifies the iterate.
 
     The [min] terms are smoothed with a soft-min of temperature
     [smoothing] to make the objective differentiable; the reported
     solution is the iterate with the best *exact* (unsmoothed)
-    objective. The result is a β-approximate fractional solution, which
-    Corollary 4.2 of the paper turns into a (4·β)-approximation for the
-    rounded configuration. *)
+    objective. Writing [W] for the total absolute pair-weight mass,
+    the smoothed objective brackets the exact one within
+    [smoothing · ln 2 · W], so a returned gap [g] certifies
+    [objective >= OPT - g - smoothing · ln 2 · W]: a β-approximate
+    fractional solution, which Corollary 4.2 of the paper turns into a
+    (4·β)-approximation for the rounded configuration. *)
 
 type problem = {
   n : int;  (** users *)
@@ -28,18 +44,67 @@ type problem = {
   linear : float array array;  (** [n x m] scaled preference utilities *)
   pairs : (int * int * float array) array;
       (** undirected pairs [(u, v, w)] with per-item combined social
-          weight [w] (length [m]) *)
+          weight [w] (length [m]); requires [u <> v] *)
 }
 
 type solution = {
   x : float array array;  (** [n x m] fractional utility factors *)
   objective : float;  (** exact (unsmoothed) objective of [x] *)
-  iterations : int;
+  iterations : int;  (** update steps actually applied *)
+  gap : float;
+      (** smallest smoothed Frank–Wolfe duality gap observed at any
+          iterate; certifies the returned [x] as described above
+          ([infinity] from {!Reference.solve}, which has no
+          certificate) *)
 }
 
 val objective : problem -> float array array -> float
 (** Exact objective (with true [min]) of a feasible point. *)
 
-val solve : ?iterations:int -> ?smoothing:float -> problem -> solution
-(** [solve p] runs [iterations] (default 400) Frank–Wolfe steps with
-    soft-min temperature [smoothing] (default 0.05). *)
+val gradient : ?smoothing:float -> problem -> float array array -> float array array
+(** Dense [n x m] soft-min gradient at a point, computed through the
+    CSR adjacency. Exposed so tests can pin the sparse accumulation
+    against {!Reference.gradient}. *)
+
+val solve :
+  ?iterations:int ->
+  ?smoothing:float ->
+  ?gap_tol:float ->
+  ?domains:int ->
+  ?swap_steps:bool ->
+  problem ->
+  solution
+(** [solve p] runs at most [iterations] (default 400) Frank–Wolfe
+    steps with soft-min temperature [smoothing] (default 0.05).
+
+    [gap_tol] stops the solve at the first iterate whose smoothed
+    duality gap is at or below the (absolute) tolerance; without it
+    the engine runs the full iteration budget and still reports the
+    best gap observed.
+
+    [domains] caps the [Pool] fan-out (default: all available domains
+    once [n·m] is large enough to amortize the per-iteration spawns,
+    serial below that). Results are bit-identical for every value.
+
+    [swap_steps] (default false) enables a pairwise-style move: when
+    swapping mass from the user's worst loaded coordinate onto its
+    best unsaturated one makes more first-order progress than the
+    classic convex-combination step, the swap is taken instead. This
+    sidesteps the late-stage zig-zag of vanilla Frank–Wolfe; the
+    returned iterate is still the best exact-objective point visited,
+    so enabling it never degrades the reported solution. *)
+
+(** The seed prototype — dense per-pair weight scans, fixed iteration
+    count, no certificate — retained verbatim as the equivalence
+    oracle for tests and the "before" side of the [fw_solve] bench
+    rows. *)
+module Reference : sig
+  val objective : problem -> float array array -> float
+
+  val gradient :
+    problem -> smoothing:float -> float array array -> float array array -> unit
+  (** [gradient p ~smoothing x grad] fills the preallocated [grad]. *)
+
+  val solve : ?iterations:int -> ?smoothing:float -> problem -> solution
+  (** Fixed-iteration dense solve; [gap] is [infinity]. *)
+end

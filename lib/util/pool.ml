@@ -54,6 +54,23 @@ let parallel_for ?domains n f =
         f i
       done)
 
+let parallel_for_local ?domains n ~local f =
+  let workers = resolve_workers ?domains n in
+  if workers <= 1 then begin
+    if n > 0 then begin
+      let l = local () in
+      for i = 0 to n - 1 do
+        f l i
+      done
+    end
+  end
+  else
+    run_blocks ~workers n (fun lo hi ->
+        let l = local () in
+        for i = lo to hi - 1 do
+          f l i
+        done)
+
 let parallel_map_local ?domains n ~local f =
   if n = 0 then [||]
   else begin

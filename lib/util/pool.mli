@@ -27,6 +27,14 @@ val parallel_for : ?domains:int -> int -> (int -> unit) -> unit
     over [min domains n] workers ([domains] defaults to
     [available_domains ()]). *)
 
+val parallel_for_local :
+  ?domains:int -> int -> local:(unit -> 'l) -> ('l -> int -> unit) -> unit
+(** [parallel_for_local n ~local f] is [parallel_for] where each worker
+    first builds private scratch [l = local ()] and runs [f l i] over
+    its block — the allocation-free way to give every domain its own
+    mutable workspace (the Frank–Wolfe sweep's per-worker gradient
+    buffer). The serial fallback builds [local ()] exactly once. *)
+
 val parallel_map : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_map n f] is [| f 0; …; f (n-1) |]. *)
 

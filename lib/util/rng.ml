@@ -7,6 +7,10 @@ let split st =
   let b = Random.State.bits st in
   Random.State.make [| a; b; a lxor (b lsl 7) |]
 
+let split_n st count =
+  assert (count >= 0);
+  Array.init count (fun _ -> split st)
+
 let int st bound =
   assert (bound > 0);
   Random.State.int st bound

@@ -13,6 +13,15 @@ val split : t -> t
 (** [split st] derives an independent child state from [st], advancing
     [st]. Used to give sub-components their own streams. *)
 
+val split_n : t -> int -> t array
+(** [split_n st count] derives [count] independent child states, one
+    per index — the reproducible RNG story for parallel sampling
+    inside [Pool] blocks: derive the streams serially *before* fanning
+    out, then hand stream [i] to block [i]. The streams depend only on
+    the parent's state and the index, never on worker count or
+    scheduling, so parallel runs replay the serial ones exactly.
+    Equivalent to [count] successive {!split} calls (advances [st]). *)
+
 val int : t -> int -> int
 (** [int st bound] draws uniformly from [0, bound). [bound] must be
     positive. *)

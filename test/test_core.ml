@@ -241,7 +241,9 @@ let test_fw_backend_close_to_exact () =
   let exact = Relaxation.solve ~backend:Relaxation.Exact_simplex inst in
   let fw =
     Relaxation.solve
-      ~backend:(Relaxation.Frank_wolfe { iterations = 600; smoothing = 0.03 })
+      ~backend:
+        (Relaxation.Frank_wolfe
+           { iterations = 600; smoothing = 0.03; gap_tol = None; domains = None })
       inst
   in
   Alcotest.(check bool) "FW below exact" true

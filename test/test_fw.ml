@@ -1,0 +1,265 @@
+(* Tests for the sparse multicore Frank-Wolfe engine (Pairwise_fw):
+   sparse-vs-dense gradient equivalence against the retained
+   prototype, objective agreement with the exact simplex across seeds,
+   serial-vs-parallel bit-identity, duality-gap stopping, and the
+   Relaxation-level gap report. *)
+
+module Problem = Svgic_lp.Problem
+module Simplex = Svgic_lp.Simplex
+module Fw = Svgic_lp.Pairwise_fw
+module Rng = Svgic_util.Rng
+
+let fw_random_problem rng ~n ~m ~k ~edges ~density =
+  let linear =
+    Array.init n (fun _ -> Array.init m (fun _ -> Rng.float rng 1.0))
+  in
+  let pairs =
+    Array.init edges (fun _ ->
+        let u = Rng.int rng n in
+        let v = (u + 1 + Rng.int rng (n - 1)) mod n in
+        let w =
+          Array.init m (fun _ ->
+              if Rng.bernoulli rng density then Rng.float rng 0.6 else 0.0)
+        in
+        (min u v, max u v, w))
+  in
+  Fw.{ n; m; k; linear; pairs }
+
+(* Exact value of the same program via the dense simplex (y-variables
+   explicit). *)
+let exact_pairwise_optimum (fw : Fw.problem) =
+  let p = Problem.create () in
+  let x =
+    Array.init fw.n (fun u ->
+        Array.init fw.m (fun c ->
+            Problem.add_var p ~upper:1.0 ~obj:fw.linear.(u).(c) ()))
+  in
+  Array.iter
+    (fun row ->
+      Problem.add_row p
+        (Array.to_list (Array.map (fun v -> (v, 1.0)) row))
+        Problem.Eq
+        (float_of_int fw.k))
+    x;
+  Array.iter
+    (fun (u, v, w) ->
+      Array.iteri
+        (fun c wc ->
+          if wc > 0.0 then begin
+            let y = Problem.add_var p ~upper:1.0 ~obj:wc () in
+            Problem.add_row p [ (y, 1.0); (x.(u).(c), -1.0) ] Problem.Le 0.0;
+            Problem.add_row p [ (y, 1.0); (x.(v).(c), -1.0) ] Problem.Le 0.0
+          end)
+        w)
+    fw.pairs;
+  match Simplex.solve p with
+  | Simplex.Optimal s -> s.objective
+  | Simplex.Infeasible | Simplex.Unbounded ->
+      Alcotest.fail "pairwise program must be feasible and bounded"
+
+let check_feasible ?(eps = 1e-6) (fw : Fw.problem) x =
+  Array.iter
+    (fun row ->
+      let total = Array.fold_left ( +. ) 0.0 row in
+      Alcotest.(check (float eps)) "row sums to k" (float_of_int fw.k) total;
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "bounds" true (v >= -.eps && v <= 1.0 +. eps))
+        row)
+    x
+
+(* ---- sparse-vs-dense gradient equivalence ------------------------- *)
+
+let test_gradient_matches_reference () =
+  let rng = Rng.create 71 in
+  for _trial = 1 to 10 do
+    let fw = fw_random_problem rng ~n:9 ~m:11 ~k:3 ~edges:20 ~density:0.4 in
+    let x =
+      Array.init fw.n (fun _ -> Array.init fw.m (fun _ -> Rng.float rng 1.0))
+    in
+    let smoothing = 0.03 in
+    let sparse = Fw.gradient ~smoothing fw x in
+    let dense = Array.init fw.n (fun _ -> Array.make fw.m 0.0) in
+    Fw.Reference.gradient fw ~smoothing x dense;
+    for u = 0 to fw.n - 1 do
+      for c = 0 to fw.m - 1 do
+        if Float.abs (sparse.(u).(c) -. dense.(u).(c)) > 1e-9 then
+          Alcotest.failf "gradient mismatch at (%d,%d): %.12f vs %.12f" u c
+            sparse.(u).(c) dense.(u).(c)
+      done
+    done
+  done
+
+(* ---- objective agreement with the exact simplex ------------------- *)
+
+let test_fw_matches_exact_across_seeds () =
+  for seed = 1 to 20 do
+    let rng = Rng.create (500 + seed) in
+    let fw = fw_random_problem rng ~n:5 ~m:6 ~k:2 ~edges:7 ~density:0.7 in
+    let s =
+      Fw.solve ~iterations:3000 ~smoothing:0.01 ~gap_tol:1e-4 ~swap_steps:true
+        fw
+    in
+    let exact = exact_pairwise_optimum fw in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: fw below exact (%.6f vs %.6f)" seed s.objective
+         exact)
+      true
+      (s.objective <= exact +. 1e-6);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: fw within tolerance (%.6f vs %.6f)" seed
+         s.objective exact)
+      true
+      (s.objective >= 0.97 *. exact)
+  done
+
+(* ---- serial-vs-parallel bit-identity ------------------------------ *)
+
+let test_serial_parallel_bit_identical () =
+  let solve_with ~swap domains =
+    (* Fresh problem per run so no shared mutable state can leak. *)
+    let rng = Rng.create 83 in
+    let fw = fw_random_problem rng ~n:37 ~m:24 ~k:4 ~edges:90 ~density:0.3 in
+    Fw.solve ~iterations:120 ~smoothing:0.02 ~gap_tol:1e-6 ~domains
+      ~swap_steps:swap fw
+  in
+  List.iter
+    (fun swap ->
+      let base = solve_with ~swap 1 in
+      List.iter
+        (fun domains ->
+          let s = solve_with ~swap domains in
+          Alcotest.(check bool)
+            (Printf.sprintf "identical iterate (domains=%d swap=%b)" domains
+               swap)
+            true (s.x = base.x);
+          Alcotest.(check bool) "identical objective" true
+            (s.objective = base.objective);
+          Alcotest.(check bool) "identical gap" true (s.gap = base.gap);
+          Alcotest.(check int) "identical iterations" base.iterations
+            s.iterations)
+        [ 2; 3; 7 ])
+    [ false; true ]
+
+(* ---- duality-gap stopping ----------------------------------------- *)
+
+let test_gap_tolerance_stopping () =
+  let rng = Rng.create 91 in
+  let fw = fw_random_problem rng ~n:12 ~m:10 ~k:3 ~edges:25 ~density:0.5 in
+  let budget = 8000 in
+  let solve tol =
+    Fw.solve ~iterations:budget ~smoothing:0.02 ~gap_tol:tol ~swap_steps:true
+      fw
+  in
+  let prev_obj = ref neg_infinity in
+  List.iter
+    (fun tol ->
+      let s = solve tol in
+      Alcotest.(check bool)
+        (Printf.sprintf "stopped inside budget at tol %.3f" tol)
+        true
+        (s.iterations < budget);
+      Alcotest.(check bool)
+        (Printf.sprintf "gap %.6f <= tol %.3f" s.gap tol)
+        true (s.gap <= tol);
+      Alcotest.(check bool)
+        (Printf.sprintf "tighter tol no worse (%.6f >= %.6f)" s.objective
+           !prev_obj)
+        true
+        (s.objective >= !prev_obj -. 1e-9);
+      prev_obj := s.objective)
+    [ 2.0; 0.5; 0.05 ]
+
+(* ---- feasibility (both step modes) -------------------------------- *)
+
+let test_feasibility_both_modes () =
+  let rng = Rng.create 97 in
+  let fw = fw_random_problem rng ~n:8 ~m:9 ~k:3 ~edges:16 ~density:0.4 in
+  List.iter
+    (fun swap ->
+      let s = Fw.solve ~iterations:200 ~smoothing:0.03 ~swap_steps:swap fw in
+      check_feasible fw s.x)
+    [ false; true ]
+
+(* ---- engine vs retained prototype --------------------------------- *)
+
+let test_engine_tracks_prototype () =
+  (* Same schedule, same oracle: the sparse engine differs from the
+     prototype only in float accumulation order, so the best exact
+     objectives must agree tightly. *)
+  let rng = Rng.create 103 in
+  for _trial = 1 to 3 do
+    let fw = fw_random_problem rng ~n:7 ~m:8 ~k:3 ~edges:12 ~density:0.6 in
+    let s = Fw.solve ~iterations:300 ~smoothing:0.05 ~domains:1 fw in
+    let r = Fw.Reference.solve ~iterations:300 ~smoothing:0.05 fw in
+    Alcotest.(check (float 1e-4)) "same best objective" r.objective s.objective
+  done
+
+(* ---- Relaxation reports the achieved gap -------------------------- *)
+
+let test_relaxation_reports_gap () =
+  let rng = Rng.create 109 in
+  let inst =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:12 ~m:10 ~k:3
+      ~lambda:0.5
+  in
+  let exact = Svgic.Relaxation.solve ~backend:Svgic.Relaxation.Exact_simplex inst in
+  Alcotest.(check bool) "exact path has no gap" true (exact.fw_gap = None);
+  let saved = Svgic.Relaxation.backend_budget () in
+  (* Shrink the budget so Auto must route this instance to FW. *)
+  Svgic.Relaxation.set_backend_budget
+    { Svgic.Relaxation.exact_vars = 10; exact_nnz = 10; dense_vars = 10 };
+  let fw = Svgic.Relaxation.solve inst in
+  Svgic.Relaxation.set_backend_budget saved;
+  (match fw.Svgic.Relaxation.fw_gap with
+  | Some g -> Alcotest.(check bool) "finite non-negative gap" true (g >= 0.0 && Float.is_finite g)
+  | None -> Alcotest.fail "Auto FW solve must report its gap");
+  Alcotest.(check bool) "fw below exact optimum" true
+    (fw.Svgic.Relaxation.scaled_objective
+    <= exact.Svgic.Relaxation.scaled_objective +. 1e-6);
+  (* Certificate soundness with a known smoothing: objective + gap +
+     smoothing·ln2·W must bracket the exact relaxation optimum, where
+     W is the total pair-weight mass. *)
+  let smoothing = 0.01 in
+  let fw2 =
+    Svgic.Relaxation.solve
+      ~backend:
+        (Svgic.Relaxation.Frank_wolfe
+           {
+             iterations = 2_000;
+             smoothing;
+             gap_tol = Some 0.01;
+             domains = None;
+           })
+      inst
+  in
+  let w_mass =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun a w -> a +. Float.abs w) acc row)
+      0.0
+      (Svgic.Instance.pair_weights inst)
+  in
+  let slack = smoothing *. Float.log 2.0 *. w_mass in
+  Alcotest.(check bool) "certificate brackets the optimum" true
+    (fw2.Svgic.Relaxation.scaled_objective
+     +. Option.get fw2.Svgic.Relaxation.fw_gap
+     +. slack +. 1e-6
+    >= exact.Svgic.Relaxation.scaled_objective)
+
+let suite =
+  [
+    Alcotest.test_case "sparse gradient = dense oracle" `Quick
+      test_gradient_matches_reference;
+    Alcotest.test_case "fw vs exact simplex (20 seeds)" `Quick
+      test_fw_matches_exact_across_seeds;
+    Alcotest.test_case "serial = parallel bit-identical" `Quick
+      test_serial_parallel_bit_identical;
+    Alcotest.test_case "gap-tolerance stopping" `Quick
+      test_gap_tolerance_stopping;
+    Alcotest.test_case "feasibility in both step modes" `Quick
+      test_feasibility_both_modes;
+    Alcotest.test_case "engine tracks prototype" `Quick
+      test_engine_tracks_prototype;
+    Alcotest.test_case "relaxation reports achieved gap" `Quick
+      test_relaxation_reports_gap;
+  ]

@@ -292,8 +292,8 @@ let test_choose_backend_budget () =
   (match Svgic.Relaxation.choose_backend small with
   | Svgic.Relaxation.Exact_simplex -> ()
   | _ -> Alcotest.fail "small instance should solve exactly");
-  (* A paper-scale shape: >= 10k LP variables must still be exact now
-     that the revised engine carries the load. *)
+  (* A shape past the calibrated ~2 s exact-solve envelope (>= 10k LP
+     variables) must route to the certified Frank-Wolfe engine. *)
   let rng = Rng.create 100 in
   let big =
     Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:60 ~m:100 ~k:4
@@ -305,16 +305,17 @@ let test_choose_backend_budget () =
   in
   Alcotest.(check bool) "shape is >= 10k vars" true (vars >= 10_000);
   (match Svgic.Relaxation.choose_backend big with
-  | Svgic.Relaxation.Exact_simplex -> ()
-  | _ -> Alcotest.fail ">= 10k vars should still be exact");
-  (* The budget is configuration, not a constant: shrinking it must
-     push the same instance to Frank-Wolfe. *)
+  | Svgic.Relaxation.Frank_wolfe { gap_tol = Some tol; _ } ->
+      Alcotest.(check bool) "auto FW carries a positive gap tol" true (tol > 0.0)
+  | _ -> Alcotest.fail "beyond the envelope should be certified Frank-Wolfe");
+  (* The budget is configuration, not a constant: growing it must pull
+     the same instance back onto the exact path. *)
   let saved = Svgic.Relaxation.backend_budget () in
   Svgic.Relaxation.set_backend_budget
-    { Svgic.Relaxation.exact_vars = 100; exact_nnz = 1000; dense_vars = 10 };
+    { Svgic.Relaxation.exact_vars = 100_000; exact_nnz = 600_000; dense_vars = 1_500 };
   (match Svgic.Relaxation.choose_backend big with
-  | Svgic.Relaxation.Frank_wolfe _ -> ()
-  | _ -> Alcotest.fail "tiny budget should select Frank-Wolfe");
+  | Svgic.Relaxation.Exact_simplex -> ()
+  | _ -> Alcotest.fail "grown budget should select the exact path");
   Svgic.Relaxation.set_backend_budget saved
 
 let test_relaxation_exact_on_medium () =
@@ -333,7 +334,9 @@ let test_relaxation_exact_on_medium () =
   let exact = Svgic.Relaxation.solve inst in
   let fw =
     Svgic.Relaxation.solve
-      ~backend:(Svgic.Relaxation.Frank_wolfe { iterations = 300; smoothing = 0.05 })
+      ~backend:
+        (Svgic.Relaxation.Frank_wolfe
+           { iterations = 300; smoothing = 0.05; gap_tol = None; domains = None })
       inst
   in
   Alcotest.(check bool) "exact >= fw - tol" true

@@ -30,6 +30,49 @@ let test_rng_split_independent () =
   let ys = Array.init 20 (fun _ -> Rng.int parent 1000) in
   Alcotest.(check bool) "child differs from parent" true (xs <> ys)
 
+let test_rng_split_n_deterministic () =
+  (* Same parent seed => the same family of child streams, index by
+     index — the reproducibility contract for per-block sampling. *)
+  let draw_children seed =
+    let parent = Rng.create seed in
+    Array.map
+      (fun child -> Array.init 16 (fun _ -> Rng.int child 1_000_000))
+      (Rng.split_n parent 6)
+  in
+  Alcotest.(check bool) "replayed family identical" true
+    (draw_children 42 = draw_children 42);
+  (* split_n is exactly repeated split: block i's stream does not
+     depend on how many siblings are derived after it. *)
+  let a = Rng.create 42 in
+  let first_of_three = (Rng.split_n a 3).(0) in
+  let b = Rng.create 42 in
+  let first_of_six = (Rng.split_n b 6).(0) in
+  Alcotest.(check bool) "prefix-stable across family size" true
+    (Array.init 16 (fun _ -> Rng.int first_of_three 1_000_000)
+    = Array.init 16 (fun _ -> Rng.int first_of_six 1_000_000))
+
+let test_rng_split_n_independent () =
+  let parent = Rng.create 7 in
+  let children = Rng.split_n parent 5 in
+  let streams =
+    Array.map (fun c -> Array.init 24 (fun _ -> Rng.int c 1_000_000)) children
+  in
+  Array.iteri
+    (fun i si ->
+      Array.iteri
+        (fun j sj ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "streams %d and %d differ" i j)
+              true (si <> sj))
+        streams)
+    streams;
+  (* The parent keeps drawing a distinct stream of its own. *)
+  let parent_draws = Array.init 24 (fun _ -> Rng.int parent 1_000_000) in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "parent differs" true (s <> parent_draws))
+    streams
+
 let test_rng_ranges () =
   let rng = Rng.create 11 in
   for _ = 1 to 500 do
@@ -304,6 +347,28 @@ let test_pool_local_scratch_private () =
       Alcotest.(check bool) "scratch counts positive" true (count >= 1))
     out
 
+let test_pool_for_local_scratch () =
+  (* parallel_for_local: every index is visited exactly once and each
+     worker's private scratch is reused within its block; results are
+     identical for every worker count. *)
+  let run domains =
+    let n = 96 in
+    let out = Array.make n 0 in
+    Pool.parallel_for_local ~domains n
+      ~local:(fun () -> Array.make 4 0)
+      (fun scratch i ->
+        scratch.(i mod 4) <- scratch.(i mod 4) + 1;
+        out.(i) <- (2 * i) + 1);
+    out
+  in
+  let serial = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "identical for %d workers" domains)
+        serial (run domains))
+    [ 2; 5 ]
+
 let test_pool_propagates_exceptions () =
   Alcotest.check_raises "worker exception surfaces" Exit (fun () ->
       Pool.parallel_for ~domains:3 9 (fun i -> if i = 7 then raise Exit))
@@ -411,6 +476,8 @@ let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
     Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng split_n deterministic" `Quick test_rng_split_n_deterministic;
+    Alcotest.test_case "rng split_n independent" `Quick test_rng_split_n_independent;
     Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
     Alcotest.test_case "rng bernoulli bias" `Quick test_rng_bernoulli_bias;
     Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
@@ -425,6 +492,7 @@ let suite =
     Alcotest.test_case "pool map matches serial" `Quick test_pool_map_matches_serial;
     Alcotest.test_case "pool for covers range" `Quick test_pool_for_covers_range;
     Alcotest.test_case "pool local scratch" `Quick test_pool_local_scratch_private;
+    Alcotest.test_case "pool for-local scratch" `Quick test_pool_for_local_scratch;
     Alcotest.test_case "pool exception propagation" `Quick test_pool_propagates_exceptions;
     Alcotest.test_case "stats basics" `Quick test_stats_basic;
     Alcotest.test_case "stats cdf" `Quick test_stats_cdf;
