@@ -460,6 +460,173 @@ let fw_vs_exact_records ~shapes =
       ])
     shapes
 
+(* ---------------- St.total_utility -------------------------------- *)
+
+(* Seed discipline: one fresh k-entry Hashtbl per user per call,
+   against the rewritten single reusable item->slot scratch array. *)
+let st_naive inst ~dtel cfg =
+  let n = Svgic.Instance.n inst and k = Svgic.Instance.k inst in
+  let lambda = Svgic.Instance.lambda inst in
+  let slot_of =
+    Array.init n (fun u ->
+        let table = Hashtbl.create k in
+        for s = 0 to k - 1 do
+          Hashtbl.replace table (Svgic.Config.item cfg ~user:u ~slot:s) s
+        done;
+        table)
+  in
+  let pref_part = ref 0.0 in
+  for u = 0 to n - 1 do
+    for s = 0 to k - 1 do
+      pref_part :=
+        !pref_part
+        +. Svgic.Instance.pref inst u (Svgic.Config.item cfg ~user:u ~slot:s)
+    done
+  done;
+  let social_part = ref 0.0 in
+  Array.iter
+    (fun (u, v) ->
+      for s = 0 to k - 1 do
+        let c = Svgic.Config.item cfg ~user:u ~slot:s in
+        match Hashtbl.find_opt slot_of.(v) c with
+        | Some s' when s' = s ->
+            social_part := !social_part +. Svgic.Instance.tau inst u v c
+        | Some _ ->
+            social_part := !social_part +. (dtel *. Svgic.Instance.tau inst u v c)
+        | None -> ()
+      done)
+    (Svgic_graph.Graph.edges (Svgic.Instance.graph inst));
+  ((1.0 -. lambda) *. !pref_part) +. (lambda *. !social_part)
+
+let st_total_utility_records ~shapes =
+  List.concat_map
+    (fun (n, m, k) ->
+      let rng = Rng.create (6400 + n + m + k) in
+      let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
+      let cfg = Svgic.Baselines.personalized inst in
+      let ops = max 20 (4_000_000 / (n * k * 8)) in
+      let naive, reuse =
+        time_pair ~rounds:5 ~ops
+          (fun () -> ignore (st_naive inst ~dtel:0.5 cfg))
+          (fun () -> ignore (Svgic.St.total_utility inst ~dtel:0.5 cfg))
+      in
+      let size = n * k in
+      [
+        mk "st_total_utility" "naive" size naive;
+        mk "st_total_utility" "reuse" size reuse;
+      ])
+    shapes
+
+(* ---------------- end-to-end pipeline: monolith vs sharded -------- *)
+
+(* Planted-community instance: [blobs] dense blobs bridged by one edge
+   per consecutive pair, so modularity sharding recovers the blobs and
+   the cut stays thin. The Timik generator is not used here because its
+   graphs have no community structure to exploit. *)
+let planted_instance seed ~blobs ~blob_size ~m ~k =
+  let rng = Rng.create seed in
+  let n = blobs * blob_size in
+  let edges = ref [] in
+  for b = 0 to blobs - 1 do
+    let base = b * blob_size in
+    for i = 0 to blob_size - 1 do
+      for j = i + 1 to blob_size - 1 do
+        if Rng.bernoulli rng 0.4 then begin
+          edges := (base + i, base + j) :: !edges;
+          if Rng.bool rng then edges := (base + j, base + i) :: !edges
+        end
+      done
+    done
+  done;
+  for b = 0 to blobs - 2 do
+    edges := (b * blob_size, (b + 1) * blob_size) :: !edges
+  done;
+  let g = Svgic_graph.Graph.of_edges ~n !edges in
+  let pref =
+    Array.init n (fun _ -> Array.init m (fun _ -> Rng.float rng 1.0))
+  in
+  let tau_tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (u, v) ->
+      Hashtbl.replace tau_tbl (u, v)
+        (Array.init m (fun _ -> Rng.float rng 0.5)))
+    (Svgic_graph.Graph.edges g);
+  let tau u v c =
+    match Hashtbl.find_opt tau_tbl (u, v) with
+    | Some row -> row.(c)
+    | None -> 0.0
+  in
+  Svgic.Instance.create ~graph:g ~m ~k ~lambda:0.5 ~pref ~tau
+
+let pipeline_rounding = Svgic.Shard.Avg_d { r = None }
+
+let run_sharded_pipeline ~domains inst () =
+  let part = Svgic.Shard.partition ~labelling:Svgic.Shard.Modularity inst in
+  ignore
+    (Svgic.Shard.solve_round ~domains ~rounding:pipeline_rounding
+       (Rng.create 7) part)
+
+(* Full config-phase + rounding cost, both sides serial: the speedup
+   here is purely the smaller per-shard LP programs (power-law solve
+   cost), not parallelism. The size field is the monolith's LP_SIMP
+   variable count. *)
+let pipeline_records ~shape:(blobs, blob_size, m, k) =
+  let inst =
+    planted_instance (6100 + (blobs * blob_size) + m + k) ~blobs ~blob_size ~m
+      ~k
+  in
+  let size = Svgic_lp.Problem.num_vars (fst (Svgic.Lp_build.simp_lp inst)) in
+  let part = Svgic.Shard.partition ~labelling:Svgic.Shard.Modularity inst in
+  let res =
+    Svgic.Shard.solve_round ~domains:1 ~rounding:pipeline_rounding
+      (Rng.create 7) part
+  in
+  let relax = Svgic.Relaxation.solve inst in
+  let mono_obj =
+    Svgic.Config.total_utility inst (Svgic.Algorithms.avg_d ~domains:1 inst relax)
+  in
+  let monolith, sharded =
+    time_pair ~rounds:3 ~ops:1
+      (fun () ->
+        let relax = Svgic.Relaxation.solve inst in
+        ignore (Svgic.Algorithms.avg_d ~domains:1 inst relax))
+      (run_sharded_pipeline ~domains:1 inst)
+  in
+  let note =
+    Printf.sprintf
+      "%d modularity shards, cut mass %.2f; objective %.4f vs monolith %.4f"
+      (Array.length part.Svgic.Shard.shards)
+      res.Svgic.Shard.cut_mass res.Svgic.Shard.objective mono_obj
+  in
+  [
+    mk "pipeline" "monolith" size monolith;
+    mk ~domains:1 ~note "pipeline" "sharded" size sharded;
+  ]
+
+(* The sharded pipeline serial vs fanned out over every available
+   domain (shard-level parallelism on top of the smaller programs). *)
+let pipeline_mc_records ~shape:(blobs, blob_size, m, k) =
+  let inst =
+    planted_instance (6200 + (blobs * blob_size) + m + k) ~blobs ~blob_size ~m
+      ~k
+  in
+  let size = Svgic_lp.Problem.num_vars (fst (Svgic.Lp_build.simp_lp inst)) in
+  let avail = Pool.available_domains () in
+  let serial, parallel =
+    time_pair ~rounds:3 ~ops:1
+      (run_sharded_pipeline ~domains:1 inst)
+      (run_sharded_pipeline ~domains:avail inst)
+  in
+  let note =
+    if avail <= 1 then
+      Some "single-domain host: row measures fan-out overhead, not scaling"
+    else None
+  in
+  [
+    mk ~domains:1 "pipeline_mc" "serial" size serial;
+    mk ~domains:avail ?note "pipeline_mc" "parallel" size parallel;
+  ]
+
 (* ---------------- reporting --------------------------------------- *)
 
 let speedups records =
@@ -473,6 +640,8 @@ let speedups records =
     | "revised" -> Some "dense"
     | "sparse" -> Some "dense"
     | "fw" -> Some "exact"
+    | "sharded" -> Some "monolith"
+    | "reuse" -> Some "naive"
     | _ -> None
   in
   List.filter_map
@@ -639,14 +808,14 @@ let run () =
   in
   let pool_shape = if smoke then (8, 8, 2) else (20, 24, 4) in
   let pool_repeats = if smoke then 2 else 8 in
-  (* Relaxation.backend_budget's dense_vars (1500) is where Auto stops
-     picking the dense engine: the paired shapes straddle it (dense
-     still *solves* ~1900 variables, just slowly — which is the
-     point). The revised-only shape (~13k variables) is past both
-     dense_vars and exact_vars, i.e. the scale Auto now hands to the
-     Frank-Wolfe engine; its row documents what an exact solve costs
-     there, and the fw_vs_exact rows at the same shape document what
-     the first-order engine trades for that time. *)
+  (* The paired shapes range from just above Relaxation's dense_vars
+     ceiling (256) to ~1900 variables: the dense tableau still *solves*
+     all of them, just slowly — which is the point; these rows are what
+     calibrated the ceiling. The revised-only shape (~13k variables) is
+     past exact_vars, i.e. the scale Auto now hands to the Frank-Wolfe
+     engine; its row documents what an exact solve costs there, and the
+     fw_vs_exact rows at the same shape document what the first-order
+     engine trades for that time. *)
   let lp_pairs =
     if smoke then [ (8, 12) ]
     else [ (8, 12); (12, 16); (20, 24); (19, 26); (24, 26) ]
@@ -660,6 +829,14 @@ let run () =
   in
   let fw_mc_shape = if smoke then (16, 12, 2) else (256, 128, 8) in
   let fw_exact_shapes = if smoke then [] else [ (50, 80, 4) ] in
+  let st_shapes =
+    if smoke then [ (8, 8, 2) ] else [ (16, 12, 2); (40, 64, 4); (80, 96, 6) ]
+  in
+  (* The monolith must sit in the exact-solve regime for the serial
+     comparison to isolate the power-law LP cost: (blobs, blob_size,
+     m, k) below gives ~3.5k monolith LP variables against four
+     ~900-variable shard programs, all on the revised simplex. *)
+  let pipeline_shape = if smoke then (4, 4, 8, 2) else (4, 10, 30, 4) in
   let records =
     weighted_draw_records ~sizes:sampler_sizes
     @ avg_d_select_records ~sizes:sampler_sizes
@@ -670,6 +847,9 @@ let run () =
     @ fw_solve_records ~shapes:fw_shapes
     @ fw_mc_records ~shape:fw_mc_shape
     @ fw_vs_exact_records ~shapes:fw_exact_shapes
+    @ st_total_utility_records ~shapes:st_shapes
+    @ pipeline_records ~shape:pipeline_shape
+    @ pipeline_mc_records ~shape:pipeline_shape
   in
   print_records records;
   let path = "BENCH_kernels.json" in

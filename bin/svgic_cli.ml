@@ -40,6 +40,15 @@ let method_arg =
     & opt string "avg"
     & info [ "method" ] ~doc:"avg | avg-d | per | fmg | sdp | grf | ip")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shards" ]
+        ~doc:
+          "Run avg/avg-d through the community-sharded pipeline: 'components', \
+           'modularity', or an integer (balanced parts)")
+
 let load_arg =
   Arg.(
     value
@@ -61,20 +70,56 @@ let make_instance ?load preset seed ~n ~m ~k ~lambda =
       let rng = Rng.create seed in
       Datasets.make preset rng ~n ~m ~k ~lambda
 
-let run_method name ?cap seed inst =
+let parse_labelling = function
+  | "components" -> Ok Svgic.Shard.Components
+  | "modularity" -> Ok Svgic.Shard.Modularity
+  | s -> (
+      match int_of_string_opt s with
+      | Some parts when parts >= 1 -> Ok (Svgic.Shard.Balanced parts)
+      | Some _ | None -> Error (Printf.sprintf "bad --shards value %S" s))
+
+let run_sharded spec rounding ?cap seed inst =
+  match parse_labelling spec with
+  | Error _ as e -> e
+  | Ok labelling ->
+      let part =
+        Svgic.Shard.partition ~rng:(Rng.create seed) ~labelling inst
+      in
+      let res =
+        Svgic.Shard.solve_round ?size_cap:cap ~rounding
+          (Rng.create (seed + 1))
+          part
+      in
+      Printf.printf
+        "sharded pipeline   : %d shards, cut mass %.4f, certified >= %.4f, \
+         repair gain %.4f\n"
+        (Array.length part.Svgic.Shard.shards)
+        res.Svgic.Shard.cut_mass res.Svgic.Shard.bound
+        res.Svgic.Shard.repair_gain;
+      Ok res.Svgic.Shard.config
+
+let run_method name ?cap ?shards seed inst =
   let rng = Rng.create (seed + 1) in
-  match name with
-  | "avg" ->
+  match (name, shards) with
+  | "avg", Some spec ->
+      run_sharded spec
+        (Svgic.Shard.Avg { repeats = 9; advanced_sampling = true })
+        ?cap seed inst
+  | "avg-d", Some spec ->
+      run_sharded spec (Svgic.Shard.Avg_d { r = None }) ?cap seed inst
+  | "avg", None ->
       let relax = Svgic.Relaxation.solve inst in
       Ok (Svgic.Algorithms.avg_best_of ~repeats:9 ?size_cap:cap rng inst relax)
-  | "avg-d" ->
+  | "avg-d", None ->
       let relax = Svgic.Relaxation.solve inst in
       Ok (Svgic.Algorithms.avg_d ?size_cap:cap inst relax)
-  | "per" -> Ok (Svgic.Baselines.personalized inst)
-  | "fmg" -> Ok (Svgic.Baselines.group inst)
-  | "sdp" -> Ok (Svgic.Baselines.subgroup_by_friendship rng inst)
-  | "grf" -> Ok (Svgic.Baselines.subgroup_by_preference rng inst)
-  | "ip" -> (
+  | _, Some _ ->
+      Error (Printf.sprintf "--shards only applies to avg/avg-d, not %S" name)
+  | "per", None -> Ok (Svgic.Baselines.personalized inst)
+  | "fmg", None -> Ok (Svgic.Baselines.group inst)
+  | "sdp", None -> Ok (Svgic.Baselines.subgroup_by_friendship rng inst)
+  | "grf", None -> Ok (Svgic.Baselines.subgroup_by_preference rng inst)
+  | "ip", None -> (
       let options =
         {
           Svgic_lp.Branch_bound.default_options with
@@ -84,7 +129,7 @@ let run_method name ?cap seed inst =
       match Svgic.Baselines.exact_ip ~options inst with
       | Some cfg, _ -> Ok cfg
       | None, _ -> Error "IP found no incumbent within the budget")
-  | other -> Error (Printf.sprintf "unknown method %S" other)
+  | other, None -> Error (Printf.sprintf "unknown method %S" other)
 
 let report inst cfg =
   let pref, social = Metrics.utility_split inst cfg in
@@ -112,13 +157,13 @@ let generate_cmd =
       $ out_arg)
 
 let solve_cmd =
-  let run preset n m k lambda seed method_name cap load =
+  let run preset n m k lambda seed method_name cap shards load =
     let inst = make_instance ?load preset seed ~n ~m ~k ~lambda in
     Printf.printf "%s instance: n=%d m=%d k=%d lambda=%.2f\n\n"
       (match load with Some path -> path | None -> Datasets.name preset ^ "-like")
       (Svgic.Instance.n inst) (Svgic.Instance.m inst) (Svgic.Instance.k inst)
       (Svgic.Instance.lambda inst);
-    match run_method method_name ?cap seed inst with
+    match run_method method_name ?cap ?shards seed inst with
     | Error msg ->
         prerr_endline msg;
         exit 1
@@ -146,7 +191,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve one instance with a chosen method")
     Term.(
       const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
-      $ method_arg $ cap_arg $ load_arg)
+      $ method_arg $ cap_arg $ shards_arg $ load_arg)
 
 let compare_cmd =
   let run preset n m k lambda seed cap =

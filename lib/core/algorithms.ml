@@ -6,9 +6,12 @@ module Pool = Svgic_util.Pool
 (* AVG: randomized rounding                                            *)
 (* ------------------------------------------------------------------ *)
 
-let avg_advanced ?size_cap rng inst relax =
+(* The rounding loops take a fresh [state] from the caller so that
+   best-of-N repeats can share one [Csf.prep] (factor table + user
+   ordering) across all N states. *)
+let avg_advanced_state rng state =
+  let inst = Csf.instance state in
   let m = Instance.m inst and k = Instance.k inst in
-  let state = Csf.create ?size_cap inst relax in
   (* Cached advanced-sampling weights x̄*(c,s), kept in a Fenwick tree
      so one draw costs O(log(m·k)) instead of a full rescan. Caches are
      only ever stale-high (assignments can't raise a maximum), so a
@@ -75,9 +78,9 @@ let avg_advanced ?size_cap rng inst relax =
   done;
   Csf.to_config state
 
-let avg_plain ?size_cap rng inst relax =
+let avg_plain_state rng state =
+  let inst = Csf.instance state in
   let m = Instance.m inst and k = Instance.k inst in
-  let state = Csf.create ?size_cap inst relax in
   let cap = 500 * Instance.n inst * k in
   let iterations = ref 0 in
   while (not (Csf.complete state)) && !iterations < cap do
@@ -103,28 +106,38 @@ let lambda_zero_topk inst =
 
 let avg ?(advanced_sampling = true) ?size_cap rng inst relax =
   if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
-  else if advanced_sampling then avg_advanced ?size_cap rng inst relax
-  else avg_plain ?size_cap rng inst relax
+  else
+    let state = Csf.create ?size_cap inst relax in
+    if advanced_sampling then avg_advanced_state rng state
+    else avg_plain_state rng state
 
-let avg_best_of ?advanced_sampling ?size_cap ?domains ~repeats rng inst relax =
+let avg_best_of ?(advanced_sampling = true) ?size_cap ?domains ~repeats rng inst
+    relax =
   assert (repeats >= 1);
   (* Each repeat gets its own stream split off the root serially, so
      the per-repeat configurations — and hence the by-index reduction —
      are identical for every worker count. *)
   let streams = Array.init repeats (fun _ -> Rng.split rng) in
-  (* Force the instance's shared lazy tables before fanning out:
-     Lazy.force is not domain-safe. *)
-  ignore (Instance.scaled_pref inst);
-  let scored =
-    Pool.parallel_map ?domains repeats (fun i ->
-        let cfg = avg ?advanced_sampling ?size_cap streams.(i) inst relax in
-        (cfg, Config.total_utility inst cfg))
-  in
-  let best = ref 0 in
-  for i = 1 to repeats - 1 do
-    if snd scored.(i) > snd scored.(!best) then best := i
-  done;
-  fst scored.(!best)
+  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  else begin
+    (* One shared factor table + user ordering for all repeats
+       ([prepare] also forces the instance lazies, as Pool requires). *)
+    let prep = Csf.prepare inst relax in
+    let scored =
+      Pool.parallel_map ?domains repeats (fun i ->
+          let state = Csf.of_prep ?size_cap prep in
+          let cfg =
+            if advanced_sampling then avg_advanced_state streams.(i) state
+            else avg_plain_state streams.(i) state
+          in
+          (cfg, Config.total_utility inst cfg))
+    in
+    let best = ref 0 in
+    for i = 1 to repeats - 1 do
+      if snd scored.(i) > snd scored.(!best) then best := i
+    done;
+    fst scored.(!best)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* AVG-D: derandomized rounding                                        *)

@@ -1,22 +1,25 @@
-type t = {
+(* The utility factors and the per-item user ordering are read-only
+   once built; [prep] shares them across the CSF states of repeated
+   roundings (AVG best-of-N, per-shard repeats) instead of paying the
+   n·m factor materialization and m sorts per state. *)
+type prep = {
   inst : Instance.t;
   factor_table : float array array; (* n x m *)
+  sorted : int array array lazy_t; (* m x n: users by decreasing factor *)
+}
+
+type t = {
+  prep : prep;
   assign : int array array; (* n x k, -1 = empty *)
   used : bool array array; (* n x m *)
   sizes : int array array; (* m x k *)
   lock_table : bool array array; (* m x k *)
-  sorted : int array array lazy_t; (* m x n: users by decreasing factor *)
   size_cap : int option;
   mutable empty_cells : int;
 }
 
-let create ?size_cap inst relax =
-  let n = Instance.n inst
-  and m = Instance.m inst
-  and k = Instance.k inst in
-  (match size_cap with
-  | Some cap when cap < 1 -> invalid_arg "Csf.create: size_cap must be >= 1"
-  | Some _ | None -> ());
+let make_prep inst relax =
+  let n = Instance.n inst and m = Instance.m inst in
   let factor_table =
     Array.init n (fun u ->
         Array.init m (fun c -> Relaxation.factor inst relax u c))
@@ -32,20 +35,39 @@ let create ?size_cap inst relax =
              order;
            order))
   in
+  { inst; factor_table; sorted }
+
+let prepare inst relax =
+  let prep = make_prep inst relax in
+  (* Forced eagerly: [prepare] exists for fan-out sharing, and
+     [Lazy.force] is not domain-safe. The instance's own shared lazy
+     is forced for the same reason. *)
+  ignore (Lazy.force prep.sorted);
+  ignore (Instance.scaled_pref inst);
+  prep
+
+let of_prep ?size_cap prep =
+  let inst = prep.inst in
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  (match size_cap with
+  | Some cap when cap < 1 -> invalid_arg "Csf.create: size_cap must be >= 1"
+  | Some _ | None -> ());
   {
-    inst;
-    factor_table;
+    prep;
     assign = Array.make_matrix n k (-1);
     used = Array.make_matrix n m false;
     sizes = Array.make_matrix m k 0;
     lock_table = Array.make_matrix m k false;
-    sorted;
     size_cap;
     empty_cells = n * k;
   }
 
-let instance t = t.inst
-let factors t = t.factor_table
+let create ?size_cap inst relax = of_prep ?size_cap (make_prep inst relax)
+
+let instance t = t.prep.inst
+let factors t = t.prep.factor_table
 let remaining t = t.empty_cells
 let complete t = t.empty_cells = 0
 
@@ -64,7 +86,7 @@ let eligible t ~user ~item ~slot =
 
 let group_size t ~item ~slot = t.sizes.(item).(slot)
 let locked t ~item ~slot = t.lock_table.(item).(slot)
-let sorted_users t c = (Lazy.force t.sorted).(c)
+let sorted_users t c = (Lazy.force t.prep.sorted).(c)
 
 let assign_cell t ~user ~item ~slot =
   if t.assign.(user).(slot) <> -1 then invalid_arg "Csf.assign_cell: cell taken";
@@ -91,7 +113,7 @@ let apply t ~item ~slot ~alpha =
     (try
        Array.iter
          (fun u ->
-           if t.factor_table.(u).(item) < alpha then raise Exit;
+           if t.prep.factor_table.(u).(item) < alpha then raise Exit;
            if !count >= budget then raise Exit;
            if eligible t ~user:u ~item ~slot then begin
              assign_cell t ~user:u ~item ~slot;
@@ -117,17 +139,19 @@ let max_eligible_factor t ~item ~slot =
       if i >= n then -1.0
       else
         let u = order.(i) in
-        if eligible t ~user:u ~item ~slot then t.factor_table.(u).(item)
+        if eligible t ~user:u ~item ~slot then t.prep.factor_table.(u).(item)
         else scan (i + 1)
     in
     scan 0
   end
 
 let greedy_complete t =
-  let n = Instance.n t.inst
-  and m = Instance.m t.inst
-  and k = Instance.k t.inst in
-  let p' = Instance.scaled_pref t.inst in
+  let inst = t.prep.inst in
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let p' = Instance.scaled_pref inst in
+  let factor_table = t.prep.factor_table in
   for u = 0 to n - 1 do
     for s = 0 to k - 1 do
       if t.assign.(u).(s) = -1 then begin
@@ -136,8 +160,8 @@ let greedy_complete t =
           if (not t.used.(u).(c)) && not t.lock_table.(c).(s) then
             if
               !best = -1
-              || t.factor_table.(u).(c) > t.factor_table.(u).(!best)
-              || (t.factor_table.(u).(c) = t.factor_table.(u).(!best)
+              || factor_table.(u).(c) > factor_table.(u).(!best)
+              || (factor_table.(u).(c) = factor_table.(u).(!best)
                  && p'.(u).(c) > p'.(u).(!best))
             then best := c
         done;
@@ -161,4 +185,4 @@ let greedy_complete t =
 
 let to_config t =
   if t.empty_cells > 0 then invalid_arg "Csf.to_config: incomplete configuration";
-  Config.make t.inst t.assign
+  Config.make t.prep.inst t.assign

@@ -11,9 +11,29 @@
 
 type t
 
+type prep
+(** The immutable part of a CSF state: the n×m utility-factor table
+    and the per-item user ordering, both derived once from a solved
+    relaxation. One [prep] can back any number of states, so repeated
+    roundings over the same relaxation (AVG best-of-N, per-shard
+    repeats) share the factor materialization instead of paying it per
+    rounding. *)
+
+val prepare : Instance.t -> Relaxation.t -> prep
+(** Builds the shared read-only tables and forces every lazy they (or
+    the rounding paths) touch — the user ordering and the instance's
+    scaled preferences — so the result is safe to share across
+    [Svgic_util.Pool] domains. *)
+
+val of_prep : ?size_cap:int -> prep -> t
+(** Fresh state with every cell empty over shared tables. [size_cap]
+    is the SVGIC-ST subgroup size constraint [M]; omitted means
+    unconstrained. *)
+
 val create : ?size_cap:int -> Instance.t -> Relaxation.t -> t
-(** Fresh state with every cell empty. [size_cap] is the SVGIC-ST
-    subgroup size constraint [M]; omitted means unconstrained. *)
+(** [of_prep] over a private [prep] (with the user ordering computed
+    lazily — single-state callers that never consult it don't pay for
+    it). *)
 
 val instance : t -> Instance.t
 val factors : t -> float array array

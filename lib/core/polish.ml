@@ -58,6 +58,17 @@ let improve ?(max_passes = 8) inst cfg =
   done;
   Config.make inst assign
 
+let improve_users ?(max_passes = 8) inst cfg users =
+  let assign = Config.assignment cfg in
+  let pass = ref 0 in
+  let moved = ref true in
+  while !moved && !pass < max_passes do
+    incr pass;
+    moved := false;
+    Array.iter (fun u -> if sweep_user inst assign u then moved := true) users
+  done;
+  Config.make inst assign
+
 let improve_user inst cfg u =
   let assign = Config.assignment cfg in
   ignore (sweep_user inst assign u);

@@ -13,6 +13,13 @@ val improve : ?max_passes:int -> Instance.t -> Config.t -> Config.t
     improved configuration. The result's total utility is >= the
     input's. *)
 
+val improve_users :
+  ?max_passes:int -> Instance.t -> Config.t -> int array -> Config.t
+(** Best-response passes restricted to the given users (in the given
+    order), everyone else frozen. Drives the sharded pipeline's
+    cut-repair: only cut-edge endpoints can have mispriced cells, so
+    only they are swept. The objective never decreases. *)
+
 val improve_user : Instance.t -> Config.t -> int -> Config.t
 (** Re-optimizes only one user's row against the frozen rest (the
     dynamic-scenario primitive). *)

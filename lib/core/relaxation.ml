@@ -16,9 +16,14 @@ type budget = { exact_vars : int; exact_nnz : int; dense_vars : int }
    engine): ~0.13 s at 1.9k variables, ~10.3 s at 13.3k. Fitting the
    power law between those points puts the ~2 s exact-solve envelope
    at ~6.5k variables / ~20k matrix nonzeros; instances beyond it go
-   to the certified Frank-Wolfe engine. *)
+   to the certified Frank-Wolfe engine. The dense-tableau window stops
+   at the measured engine crossover: the paired lp_solve rows show the
+   revised engine ahead from ~290 variables (2.4x) through the old 1.5k
+   ceiling (4.5-6.8x), so dense is only picked for the tiny programs
+   below that — which matters doubly for the sharded pipeline, whose
+   per-shard programs land exactly in the former dense window. *)
 let default_budget =
-  { exact_vars = 6_000; exact_nnz = 20_000; dense_vars = 1_500 }
+  { exact_vars = 6_000; exact_nnz = 20_000; dense_vars = 256 }
 
 let budget_ref = ref default_budget
 let backend_budget () = !budget_ref

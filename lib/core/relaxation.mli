@@ -34,9 +34,12 @@ type budget = {
     stay inside a ~2 s envelope: the revised simplex measured ~0.13 s
     at 1.9k LP variables and ~10.3 s at 13.3k, and the fitted power
     law crosses 2 s near 6.5k variables / 20k nonzeros. Defaults:
-    [exact_vars = 6_000], [exact_nnz = 20_000], [dense_vars = 1_500].
-    Instances beyond the envelope route to the Frank–Wolfe engine,
-    which reports its achieved gap in {!t.fw_gap}. *)
+    [exact_vars = 6_000], [exact_nnz = 20_000], [dense_vars = 256] —
+    the dense tableau is only picked below the measured engine
+    crossover (the paired rows show the revised engine 2.4x ahead
+    already at ~290 variables). Instances beyond the envelope route to
+    the Frank–Wolfe engine, which reports its achieved gap in
+    {!t.fw_gap}. *)
 
 val backend_budget : unit -> budget
 val set_backend_budget : budget -> unit

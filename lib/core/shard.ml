@@ -1,0 +1,200 @@
+module Graph = Svgic_graph.Graph
+module Community = Svgic_graph.Community
+module Rng = Svgic_util.Rng
+module Pool = Svgic_util.Pool
+module Select = Svgic_util.Select
+
+type labelling =
+  | Components
+  | Modularity
+  | Balanced of int
+  | Labels of int array
+
+type shard = { inst : Instance.t; users : int array }
+
+type partition = {
+  source : Instance.t;
+  shards : shard array;
+  cut_pairs : (int * int) array;
+  cut_mass : float;
+}
+
+let labels_of inst rng = function
+  | Components ->
+      let g = Instance.graph inst in
+      let label = Array.make (Graph.n g) 0 in
+      Array.iteri
+        (fun i members -> List.iter (fun v -> label.(v) <- i) members)
+        (Graph.connected_components g);
+      label
+  | Modularity -> Community.greedy_modularity (Instance.graph inst)
+  | Balanced parts ->
+      if parts < 1 then invalid_arg "Shard.partition: parts must be >= 1";
+      Community.balanced_partition rng (Instance.graph inst) ~parts
+  | Labels l ->
+      if Array.length l <> Instance.n inst then
+        invalid_arg "Shard.partition: labels length <> n";
+      l
+
+let partition ?rng ?(labelling = Components) inst =
+  let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  let n = Instance.n inst and m = Instance.m inst in
+  let label = Community.compact_labels (labels_of inst rng labelling) in
+  let groups = Community.groups_of_labels label in
+  let nshards = Array.length groups in
+  (* Global -> shard-local id. [groups_of_labels] lists members in
+     increasing global id, which becomes the local numbering. *)
+  let local = Array.make n (-1) in
+  Array.iter (Array.iteri (fun i v -> local.(v) <- i)) groups;
+  (* One pass over the source edge list buckets every intra-shard edge
+     (remapped to local ids); one pass over the pair list collects the
+     cut and its mass. *)
+  let edge_buckets = Array.make nshards [] in
+  Array.iter
+    (fun (u, v) ->
+      if label.(u) = label.(v) then
+        edge_buckets.(label.(u)) <-
+          (local.(u), local.(v)) :: edge_buckets.(label.(u)))
+    (Graph.edges (Instance.graph inst));
+  let lambda = Instance.lambda inst in
+  let cut = ref [] and cut_mass = ref 0.0 in
+  Array.iter
+    (fun (u, v) ->
+      if label.(u) <> label.(v) then begin
+        cut := (u, v) :: !cut;
+        for c = 0 to m - 1 do
+          cut_mass :=
+            !cut_mass +. Instance.tau inst u v c +. Instance.tau inst v u c
+        done
+      end)
+    (Instance.pairs inst);
+  let shards =
+    Array.mapi
+      (fun s users ->
+        let graph = Graph.of_edges ~n:(Array.length users) edge_buckets.(s) in
+        let pref =
+          Array.map
+            (fun g -> Array.init m (fun c -> Instance.pref inst g c))
+            users
+        in
+        let sub =
+          Instance.create ~graph ~m ~k:(Instance.k inst) ~lambda ~pref
+            ~tau:(fun lu lv c -> Instance.tau inst users.(lu) users.(lv) c)
+        in
+        { inst = sub; users })
+      groups
+  in
+  {
+    source = inst;
+    shards;
+    cut_pairs = Array.of_list (List.rev !cut);
+    cut_mass = lambda *. !cut_mass;
+  }
+
+type rounding =
+  | Avg of { repeats : int; advanced_sampling : bool }
+  | Avg_d of { r : float option }
+
+type result = {
+  config : Config.t;
+  objective : float;
+  bound : float;
+  shard_objectives : float array;
+  cut_mass : float;
+  repair_gain : float;
+}
+
+(* Exact optimum of an edge-free shard: no social coupling, so each
+   user independently takes her k preferred items (the λ = 0 argument
+   of Section 4.4 applies per shard regardless of λ). *)
+let top_k_pref inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  Config.make inst
+    (Array.init n (fun u ->
+         Select.top_k k (Array.init m (fun c -> Instance.pref inst u c))))
+
+(* Inner parallelism must not nest inside the shard fan-out: force the
+   rounding serial and pin an unresolved FW backend to one domain. *)
+let serial_backend inst = function
+  | Relaxation.Auto -> (
+      match Relaxation.choose_backend inst with
+      | Relaxation.Frank_wolfe ({ domains = None; _ } as fw) ->
+          Relaxation.Frank_wolfe { fw with domains = Some 1 }
+      | b -> b)
+  | Relaxation.Frank_wolfe ({ domains = None; _ } as fw) ->
+      Relaxation.Frank_wolfe { fw with domains = Some 1 }
+  | b -> b
+
+let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
+    ?(repair_passes = 2) ~rounding rng part =
+  let src = part.source in
+  let nshards = Array.length part.shards in
+  (* Per-shard streams derived serially before the fan-out, results
+     reduced by index: bit-identical for every [domains] value. *)
+  let streams = Rng.split_n rng nshards in
+  let solved =
+    Pool.parallel_map ?domains nshards (fun i ->
+        let inst = part.shards.(i).inst in
+        let cfg =
+          if Array.length (Instance.pairs inst) = 0 && size_cap = None then
+            top_k_pref inst
+          else
+            let relax =
+              Relaxation.solve ~backend:(serial_backend inst backend) inst
+            in
+            match rounding with
+            | Avg { repeats; advanced_sampling } ->
+                Algorithms.avg_best_of ~advanced_sampling ?size_cap ~domains:1
+                  ~repeats streams.(i) inst relax
+            | Avg_d { r } -> Algorithms.avg_d ?r ?size_cap ~domains:1 inst relax
+        in
+        (cfg, Config.total_utility inst cfg))
+  in
+  let n = Instance.n src and k = Instance.k src in
+  let assign = Array.make_matrix n k (-1) in
+  Array.iteri
+    (fun i { users; _ } ->
+      let cfg = fst solved.(i) in
+      Array.iteri
+        (fun lu g ->
+          for s = 0 to k - 1 do
+            assign.(g).(s) <- Config.item cfg ~user:lu ~slot:s
+          done)
+        users)
+    part.shards;
+  let stitched = Config.make src assign in
+  let before = Config.total_utility src stitched in
+  let config =
+    if repair_passes <= 0 || Array.length part.cut_pairs = 0 then stitched
+    else begin
+      (* Only cut-edge endpoints were priced without their cross-shard
+         friends; best-response sweeps over them never decrease the
+         objective (each move is a strict marginal improvement against
+         the frozen rest). *)
+      let seen = Array.make n false in
+      Array.iter
+        (fun (u, v) ->
+          seen.(u) <- true;
+          seen.(v) <- true)
+        part.cut_pairs;
+      let endpoints = ref [] in
+      for u = n - 1 downto 0 do
+        if seen.(u) then endpoints := u :: !endpoints
+      done;
+      Polish.improve_users ~max_passes:repair_passes src stitched
+        (Array.of_list !endpoints)
+    end
+  in
+  let objective = Config.total_utility src config in
+  let shard_objectives = Array.map snd solved in
+  let bound = Array.fold_left ( +. ) 0.0 shard_objectives -. part.cut_mass in
+  {
+    config;
+    objective;
+    bound;
+    shard_objectives;
+    cut_mass = part.cut_mass;
+    repair_gain = objective -. before;
+  }

@@ -1,0 +1,96 @@
+(** Community-sharded end-to-end pipeline: partition the instance
+    along its social structure, solve + round every shard independently
+    (in parallel), stitch the shard configurations back together and
+    repair the cut.
+
+    The social term of the SVGIC objective (Definition 3) only couples
+    users across edges of [E], so the objective factors *exactly* over
+    connected components and near-exactly over modular communities: for
+    any partition of the users, the only objective mass a per-shard
+    solve cannot see is the λ-weighted τ mass of the cut edges. That
+    gives both the speedup (per-shard LP/FW programs are far smaller
+    than the monolith's [(n + n·p)·m] variables) and the certificate
+    ([objective >= Σ_shard shard_objective − cut_mass], exact equality
+    when the cut is empty). *)
+
+type labelling =
+  | Components  (** connected components — sharding is exact *)
+  | Modularity  (** [Community.greedy_modularity] (deterministic) *)
+  | Balanced of int
+      (** [Community.balanced_partition] into the given number of
+          equal-size parts (takes the partition call's [rng]) *)
+  | Labels of int array
+      (** caller-supplied community label per user (arbitrary ints) *)
+
+type shard = {
+  inst : Instance.t;  (** sub-instance with users renumbered [0..] *)
+  users : int array;  (** shard-local id -> global id (increasing) *)
+}
+
+type partition = {
+  source : Instance.t;
+  shards : shard array;  (** ordered by smallest global member id *)
+  cut_pairs : (int * int) array;
+      (** friend pairs (global ids, [u < v]) whose endpoints landed in
+          different shards — the edges no shard can see *)
+  cut_mass : float;
+      (** [λ · Σ_{(u,v) cut} Σ_c (τ(u,v,c) + τ(v,u,c))]: the total
+          objective mass carried by the cut, i.e. the largest
+          cross-shard social utility any configuration could realize *)
+}
+
+val partition :
+  ?rng:Svgic_util.Rng.t -> ?labelling:labelling -> Instance.t -> partition
+(** Materializes one sub-instance per community of the labelling
+    (default [Components]): the restricted graph with remapped ids and
+    the sliced pref/τ closures, built from a single pass over the
+    source edge and pair lists. [rng] is consumed only by [Balanced]
+    (default seed 0 — the split is then deterministic). *)
+
+type rounding =
+  | Avg of { repeats : int; advanced_sampling : bool }
+      (** [Algorithms.avg_best_of] per shard *)
+  | Avg_d of { r : float option }  (** deterministic AVG-D per shard *)
+
+type result = {
+  config : Config.t;  (** stitched + repaired global configuration *)
+  objective : float;  (** its total SAVG utility on [source] *)
+  bound : float;
+      (** the certificate [Σ_shard shard_objective − cut_mass]; always
+          [<= objective] (τ is non-negative, repair never decreases the
+          objective), and [= objective] up to float summation order
+          when the cut is empty *)
+  shard_objectives : float array;  (** per shard, in shard order *)
+  cut_mass : float;  (** copied from the partition *)
+  repair_gain : float;
+      (** objective gained by the cut-repair pass (0 when the cut is
+          empty or [repair_passes = 0]) *)
+}
+
+val solve_round :
+  ?backend:Relaxation.backend ->
+  ?size_cap:int ->
+  ?domains:int ->
+  ?repair_passes:int ->
+  rounding:rounding ->
+  Svgic_util.Rng.t ->
+  partition ->
+  result
+(** Runs the full config-phase backend selection ([Auto] resolves per
+    shard against the current {!Relaxation.backend_budget}, so small
+    shards get exact solves even when the monolith would not) and the
+    chosen rounding on every shard inside a [Pool.parallel_map] fan-out
+    ([domains] as in [Algorithms.avg_best_of]). Each shard draws from
+    its own [Rng.split_n] stream and all inner parallelism is forced
+    serial, so the result is bit-identical for every [domains] value.
+    An edge-free shard skips the LP entirely: with no social coupling
+    its exact optimum is each user's top-k preferred items (the λ = 0
+    argument of Section 4.4, per shard).
+
+    Stitching maps shard rows back to global ids; then cut repair runs
+    [Polish.improve_users] best-response sweeps (at most
+    [repair_passes], default 2) restricted to the cut-edge endpoints —
+    the only users whose cells were priced without their cross-shard
+    friends — so the objective never decreases. [repair_passes:0]
+    disables repair (the pure stitched configuration, which the
+    exactness tests compare against the monolith). *)

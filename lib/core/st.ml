@@ -2,17 +2,10 @@ module Graph = Svgic_graph.Graph
 
 let total_utility inst ~dtel cfg =
   if dtel < 0.0 || dtel > 1.0 then invalid_arg "St.total_utility: dtel out of [0,1]";
-  let n = Instance.n inst and k = Instance.k inst in
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
   let lambda = Instance.lambda inst in
-  (* slot_of.(u) maps item -> slot for user u. *)
-  let slot_of =
-    Array.init n (fun u ->
-        let table = Hashtbl.create k in
-        for s = 0 to k - 1 do
-          Hashtbl.replace table (Config.item cfg ~user:u ~slot:s) s
-        done;
-        table)
-  in
   let pref_part = ref 0.0 in
   for u = 0 to n - 1 do
     for s = 0 to k - 1 do
@@ -20,16 +13,34 @@ let total_utility inst ~dtel cfg =
     done
   done;
   let social_part = ref 0.0 in
-  Array.iter
-    (fun (u, v) ->
+  (* Item -> slot of the current target user; the scratch is m-sized
+     but only the k touched entries are written and reset per user, so
+     one array serves the whole sweep. Edges (u, v) are grouped by
+     their target [v] (via [in_neighbors]) to make that sharing
+     possible. *)
+  let slot_of = Array.make m (-1) in
+  let g = Instance.graph inst in
+  for v = 0 to n - 1 do
+    let in_nbrs = Graph.in_neighbors g v in
+    if Array.length in_nbrs > 0 then begin
       for s = 0 to k - 1 do
-        let c = Config.item cfg ~user:u ~slot:s in
-        match Hashtbl.find_opt slot_of.(v) c with
-        | Some s' when s' = s -> social_part := !social_part +. Instance.tau inst u v c
-        | Some _ -> social_part := !social_part +. (dtel *. Instance.tau inst u v c)
-        | None -> ()
-      done)
-    (Graph.edges (Instance.graph inst));
+        slot_of.(Config.item cfg ~user:v ~slot:s) <- s
+      done;
+      Array.iter
+        (fun u ->
+          for s = 0 to k - 1 do
+            let c = Config.item cfg ~user:u ~slot:s in
+            let s' = slot_of.(c) in
+            if s' = s then social_part := !social_part +. Instance.tau inst u v c
+            else if s' >= 0 then
+              social_part := !social_part +. (dtel *. Instance.tau inst u v c)
+          done)
+        in_nbrs;
+      for s = 0 to k - 1 do
+        slot_of.(Config.item cfg ~user:v ~slot:s) <- -1
+      done
+    end
+  done;
   ((1.0 -. lambda) *. !pref_part) +. (lambda *. !social_part)
 
 let violations inst ~m_cap cfg =

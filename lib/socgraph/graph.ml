@@ -8,51 +8,81 @@ type t = {
   all_pairs : (int * int) array;
 }
 
+(* Sorted array with the duplicates squeezed out in place (the write
+   index never passes the read index). *)
+let sort_dedup arr =
+  Array.sort compare arr;
+  let len = Array.length arr in
+  if len = 0 then arr
+  else begin
+    let w = ref 1 in
+    for r = 1 to len - 1 do
+      if arr.(r) <> arr.(!w - 1) then begin
+        arr.(!w) <- arr.(r);
+        incr w
+      end
+    done;
+    if !w = len then arr else Array.sub arr 0 !w
+  end
+
 let of_edges ~n edge_list =
   List.iter
     (fun (u, v) ->
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg "Graph.of_edges: endpoint out of range")
     edge_list;
-  let edge_set = Hashtbl.create (max 16 (2 * List.length edge_list)) in
-  List.iter
-    (fun (u, v) ->
-      if u <> v && not (Hashtbl.mem edge_set (u, v)) then
-        Hashtbl.add edge_set (u, v) ())
-    edge_list;
   let all_edges =
-    Hashtbl.fold (fun e () acc -> e :: acc) edge_set []
-    |> List.sort compare |> Array.of_list
+    sort_dedup (Array.of_list (List.filter (fun (u, v) -> u <> v) edge_list))
   in
-  let out_lists = Array.make n [] and in_lists = Array.make n [] in
-  let pair_set = Hashtbl.create (Array.length all_edges) in
-  Array.iter
-    (fun (u, v) ->
-      out_lists.(u) <- v :: out_lists.(u);
-      in_lists.(v) <- u :: in_lists.(v);
-      let key = (min u v, max u v) in
-      if not (Hashtbl.mem pair_set key) then Hashtbl.add pair_set key ())
-    all_edges;
   let all_pairs =
-    Hashtbl.fold (fun p () acc -> p :: acc) pair_set []
-    |> List.sort compare |> Array.of_list
+    sort_dedup
+      (Array.map (fun (u, v) -> if u < v then (u, v) else (v, u)) all_edges)
   in
-  let und_lists = Array.make n [] in
+  let edge_set = Hashtbl.create (max 16 (2 * Array.length all_edges)) in
+  Array.iter (fun e -> Hashtbl.add edge_set e ()) all_edges;
+  (* Counting-sort adjacency fill. [all_edges] is sorted by (u, v), so
+     out rows fill in increasing v directly, and in rows in increasing
+     u (u is the major sort key, so for any fixed target the sources
+     arrive in order). *)
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
   Array.iter
     (fun (u, v) ->
-      und_lists.(u) <- v :: und_lists.(u);
-      und_lists.(v) <- u :: und_lists.(v))
-    all_pairs;
-  let sorted_array l = Array.of_list (List.sort_uniq compare l) in
-  {
-    size = n;
-    out_adj = Array.map sorted_array out_lists;
-    in_adj = Array.map sorted_array in_lists;
-    und_adj = Array.map sorted_array und_lists;
-    edge_set;
+      out_deg.(u) <- out_deg.(u) + 1;
+      in_deg.(v) <- in_deg.(v) + 1)
     all_edges;
+  let out_adj = Array.init n (fun u -> Array.make out_deg.(u) 0)
+  and in_adj = Array.init n (fun v -> Array.make in_deg.(v) 0) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      out_adj.(u).(out_fill.(u)) <- v;
+      out_fill.(u) <- out_fill.(u) + 1;
+      in_adj.(v).(in_fill.(v)) <- u;
+      in_fill.(v) <- in_fill.(v) + 1)
+    all_edges;
+  (* Undirected rows in two passes over the sorted pairs (a < b): the
+     first appends each vertex's smaller neighbors (in order, a being
+     the major key), the second its larger ones — so every row comes
+     out sorted without a per-vertex sort. *)
+  let und_deg = Array.make n 0 in
+  Array.iter
+    (fun (a, b) ->
+      und_deg.(a) <- und_deg.(a) + 1;
+      und_deg.(b) <- und_deg.(b) + 1)
     all_pairs;
-  }
+  let und_adj = Array.init n (fun x -> Array.make und_deg.(x) 0) in
+  let und_fill = Array.make n 0 in
+  Array.iter
+    (fun (a, b) ->
+      und_adj.(b).(und_fill.(b)) <- a;
+      und_fill.(b) <- und_fill.(b) + 1)
+    all_pairs;
+  Array.iter
+    (fun (a, b) ->
+      und_adj.(a).(und_fill.(a)) <- b;
+      und_fill.(a) <- und_fill.(a) + 1)
+    all_pairs;
+  { size = n; out_adj; in_adj; und_adj; edge_set; all_edges; all_pairs }
 
 let n g = g.size
 let num_edges g = Array.length g.all_edges

@@ -16,5 +16,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("polish+serialize", Test_polish_serialize.suite);
       ("reductions", Test_reductions.suite);
+      ("shard", Test_shard.suite);
       ("datagen", Test_datagen.suite);
     ]
