@@ -460,6 +460,58 @@ let fw_vs_exact_records ~shapes =
       ])
     shapes
 
+(* ---------------- supervision overhead ---------------------------- *)
+
+(* Clean-path cost of solve supervision (DESIGN.md §5): the same
+   program through the revised simplex / Frank-Wolfe engine bare vs
+   with an unlimited token threaded through the hot loop. The
+   degradation ladder engages only on failure, so the pair isolates
+   the per-iteration poll (one atomic read + gettimeofday) — budgeted
+   at < 2% of the clean path. *)
+let fault_ladder_records ~lp_shapes ~fw_shapes =
+  let module Supervise = Svgic_util.Supervise in
+  List.concat_map
+    (fun shape ->
+      let problem = simp_lp_of shape in
+      let size = Svgic_lp.Problem.num_vars problem in
+      let bare, supervised =
+        time_pair ~rounds:5 ~ops:1
+          (fun () -> ignore (Svgic_lp.Revised_simplex.solve problem))
+          (fun () ->
+            ignore
+              (Svgic_lp.Revised_simplex.solve
+                 ~token:(Supervise.unlimited ())
+                 problem))
+      in
+      [
+        mk "fault_ladder" "lp_bare" size bare;
+        mk "fault_ladder" "lp_supervised" size supervised;
+      ])
+    lp_shapes
+  @ List.concat_map
+      (fun (n, m, k) ->
+        let p =
+          fw_sparse_problem (5400 + n + m + k) ~n ~m ~k ~edges:(4 * n)
+            ~density:0.1
+        in
+        let iterations = 40 in
+        let bare, supervised =
+          time_pair ~rounds:5 ~ops:1
+            (fun () ->
+              ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1 p))
+            (fun () ->
+              ignore
+                (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1
+                   ~token:(Supervise.unlimited ())
+                   p))
+        in
+        let size = m * k in
+        [
+          mk "fault_ladder" "fw_bare" size bare;
+          mk "fault_ladder" "fw_supervised" size supervised;
+        ])
+      fw_shapes
+
 (* ---------------- St.total_utility -------------------------------- *)
 
 (* Seed discipline: one fresh k-entry Hashtbl per user per call,
@@ -642,6 +694,10 @@ let speedups records =
     | "fw" -> Some "exact"
     | "sharded" -> Some "monolith"
     | "reuse" -> Some "naive"
+    (* Supervision pairs: the "speedup" reads as ~1.0x minus the poll
+       overhead, documenting the < 2% clean-path budget. *)
+    | "lp_supervised" -> Some "lp_bare"
+    | "fw_supervised" -> Some "fw_bare"
     | _ -> None
   in
   List.filter_map
@@ -832,6 +888,8 @@ let run () =
   let st_shapes =
     if smoke then [ (8, 8, 2) ] else [ (16, 12, 2); (40, 64, 4); (80, 96, 6) ]
   in
+  let ladder_lp_shapes = if smoke then [ (8, 12) ] else [ (20, 24); (24, 26) ] in
+  let ladder_fw_shapes = if smoke then [ (16, 12, 2) ] else [ (96, 64, 6) ] in
   (* The monolith must sit in the exact-solve regime for the serial
      comparison to isolate the power-law LP cost: (blobs, blob_size,
      m, k) below gives ~3.5k monolith LP variables against four
@@ -847,6 +905,8 @@ let run () =
     @ fw_solve_records ~shapes:fw_shapes
     @ fw_mc_records ~shape:fw_mc_shape
     @ fw_vs_exact_records ~shapes:fw_exact_shapes
+    @ fault_ladder_records ~lp_shapes:ladder_lp_shapes
+        ~fw_shapes:ladder_fw_shapes
     @ st_total_utility_records ~shapes:st_shapes
     @ pipeline_records ~shape:pipeline_shape
     @ pipeline_mc_records ~shape:pipeline_shape

@@ -55,6 +55,37 @@ let load_arg =
     & opt (some file) None
     & info [ "load" ] ~doc:"load the instance from a file written by 'generate'")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ]
+        ~doc:
+          "Wall-clock budget for the solve, in seconds. On expiry the \
+           degradation ladder returns the best feasible configuration reached \
+           (down to the top-k greedy floor) instead of running to optimality.")
+
+let on_fault_conv =
+  let parse = function
+    | "isolate" -> Ok Svgic.Shard.Isolate
+    | "raise" -> Ok Svgic.Shard.Raise
+    | other -> Error (`Msg (Printf.sprintf "unknown --on-fault value %S" other))
+  in
+  let print ppf = function
+    | Svgic.Shard.Isolate -> Format.pp_print_string ppf "isolate"
+    | Svgic.Shard.Raise -> Format.pp_print_string ppf "raise"
+  in
+  Arg.conv (parse, print)
+
+let on_fault_arg =
+  Arg.(
+    value
+    & opt on_fault_conv Svgic.Shard.Isolate
+    & info [ "on-fault" ]
+        ~doc:
+          "isolate: a failing shard degrades to its greedy floor and is \
+           reported; raise: shard failures abort the run (fail-fast)")
+
 let out_arg =
   Arg.(value & opt string "instance.svgic" & info [ "out"; "o" ] ~doc:"output path")
 
@@ -78,7 +109,7 @@ let parse_labelling = function
       | Some parts when parts >= 1 -> Ok (Svgic.Shard.Balanced parts)
       | Some _ | None -> Error (Printf.sprintf "bad --shards value %S" s))
 
-let run_sharded spec rounding ?cap seed inst =
+let run_sharded spec rounding ?cap ?token ~on_fault seed inst =
   match parse_labelling spec with
   | Error _ as e -> e
   | Ok labelling ->
@@ -86,7 +117,7 @@ let run_sharded spec rounding ?cap seed inst =
         Svgic.Shard.partition ~rng:(Rng.create seed) ~labelling inst
       in
       let res =
-        Svgic.Shard.solve_round ?size_cap:cap ~rounding
+        Svgic.Shard.solve_round ?size_cap:cap ?token ~on_fault ~rounding
           (Rng.create (seed + 1))
           part
       in
@@ -96,22 +127,46 @@ let run_sharded spec rounding ?cap seed inst =
         (Array.length part.Svgic.Shard.shards)
         res.Svgic.Shard.cut_mass res.Svgic.Shard.bound
         res.Svgic.Shard.repair_gain;
+      let degraded =
+        res.Svgic.Shard.degraded |> Array.to_list
+        |> List.mapi (fun i d -> (i, d))
+        |> List.filter snd |> List.map fst
+      in
+      (match degraded with
+      | [] -> ()
+      | ids ->
+          Printf.printf
+            "degraded shards    : %d of %d [%s] (greedy-floor fallback; \
+             certificate still holds)\n"
+            (List.length ids)
+            (Array.length res.Svgic.Shard.degraded)
+            (String.concat "," (List.map string_of_int ids)));
       Ok res.Svgic.Shard.config
 
-let run_method name ?cap ?shards seed inst =
+let warn_degraded relax =
+  if relax.Svgic.Relaxation.degraded then
+    Printf.printf
+      "note               : degraded solve (deadline or numerical fallback); \
+       result is feasible but not certified optimal\n"
+
+let run_method name ?cap ?shards ?token ?(on_fault = Svgic.Shard.Isolate) seed
+    inst =
   let rng = Rng.create (seed + 1) in
   match (name, shards) with
   | "avg", Some spec ->
       run_sharded spec
         (Svgic.Shard.Avg { repeats = 9; advanced_sampling = true })
-        ?cap seed inst
+        ?cap ?token ~on_fault seed inst
   | "avg-d", Some spec ->
-      run_sharded spec (Svgic.Shard.Avg_d { r = None }) ?cap seed inst
+      run_sharded spec (Svgic.Shard.Avg_d { r = None }) ?cap ?token ~on_fault
+        seed inst
   | "avg", None ->
-      let relax = Svgic.Relaxation.solve inst in
+      let relax = Svgic.Relaxation.solve ?token inst in
+      warn_degraded relax;
       Ok (Svgic.Algorithms.avg_best_of ~repeats:9 ?size_cap:cap rng inst relax)
   | "avg-d", None ->
-      let relax = Svgic.Relaxation.solve inst in
+      let relax = Svgic.Relaxation.solve ?token inst in
+      warn_degraded relax;
       Ok (Svgic.Algorithms.avg_d ?size_cap:cap inst relax)
   | _, Some _ ->
       Error (Printf.sprintf "--shards only applies to avg/avg-d, not %S" name)
@@ -157,13 +212,17 @@ let generate_cmd =
       $ out_arg)
 
 let solve_cmd =
-  let run preset n m k lambda seed method_name cap shards load =
+  let run preset n m k lambda seed method_name cap shards load deadline
+      on_fault =
     let inst = make_instance ?load preset seed ~n ~m ~k ~lambda in
     Printf.printf "%s instance: n=%d m=%d k=%d lambda=%.2f\n\n"
       (match load with Some path -> path | None -> Datasets.name preset ^ "-like")
       (Svgic.Instance.n inst) (Svgic.Instance.m inst) (Svgic.Instance.k inst)
       (Svgic.Instance.lambda inst);
-    match run_method method_name ?cap ?shards seed inst with
+    let token =
+      Option.map (fun s -> Svgic_util.Supervise.create ~deadline_s:s ()) deadline
+    in
+    match run_method method_name ?cap ?shards ?token ~on_fault seed inst with
     | Error msg ->
         prerr_endline msg;
         exit 1
@@ -191,7 +250,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Solve one instance with a chosen method")
     Term.(
       const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
-      $ method_arg $ cap_arg $ shards_arg $ load_arg)
+      $ method_arg $ cap_arg $ shards_arg $ load_arg $ deadline_arg
+      $ on_fault_arg)
 
 let compare_cmd =
   let run preset n m k lambda seed cap =
@@ -218,5 +278,8 @@ let compare_cmd =
       $ cap_arg)
 
 let () =
+  (* Deterministic fault injection is opt-in via SVGIC_FAULT_SEED (see
+     DESIGN.md §5) — inert unless the variable is set. *)
+  ignore (Svgic_util.Fault.init_from_env () : bool);
   let info = Cmd.info "svgic_cli" ~doc:"Social-aware VR group-item configuration" in
   exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; compare_cmd ]))

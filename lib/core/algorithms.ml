@@ -96,7 +96,7 @@ let avg_plain_state rng state =
    user's top-k items; the rounding machinery is unnecessary (and, run
    anyway, only guarantees the 1/4 factor). The ST size cap still has
    to be respected, so the trivial path is only taken without one. *)
-let lambda_zero_topk inst =
+let top_k_greedy inst =
   let n = Instance.n inst
   and m = Instance.m inst
   and k = Instance.k inst in
@@ -105,7 +105,7 @@ let lambda_zero_topk inst =
          Svgic_util.Select.top_k k (Array.init m (fun c -> Instance.pref inst u c))))
 
 let avg ?(advanced_sampling = true) ?size_cap rng inst relax =
-  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  if Instance.lambda inst = 0.0 && size_cap = None then top_k_greedy inst
   else
     let state = Csf.create ?size_cap inst relax in
     if advanced_sampling then avg_advanced_state rng state
@@ -118,7 +118,7 @@ let avg_best_of ?(advanced_sampling = true) ?size_cap ?domains ~repeats rng inst
      the per-repeat configurations — and hence the by-index reduction —
      are identical for every worker count. *)
   let streams = Array.init repeats (fun _ -> Rng.split rng) in
-  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  if Instance.lambda inst = 0.0 && size_cap = None then top_k_greedy inst
   else begin
     (* One shared factor table + user ordering for all repeats
        ([prepare] also forces the instance lazies, as Pool requires). *)
@@ -284,7 +284,7 @@ let evaluate_pair ctx scratch ~item ~slot =
    oracle for the heap-based fast path (tests assert identical output)
    and as the "before" side of the candidate-selection benchmark. *)
 let avg_d_reference ?(r = 0.25) ?size_cap inst relax =
-  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  if Instance.lambda inst = 0.0 && size_cap = None then top_k_greedy inst
   else
     let m = Instance.m inst and k = Instance.k inst in
     let ctx = make_ctx ?size_cap ~r inst relax in
@@ -356,7 +356,7 @@ let avg_d_reference ?(r = 0.25) ?size_cap inst relax =
    preserved exactly). The final argmax is a k-way compare of the
    champions. *)
 let avg_d ?(r = 0.25) ?size_cap ?domains inst relax =
-  if Instance.lambda inst = 0.0 && size_cap = None then lambda_zero_topk inst
+  if Instance.lambda inst = 0.0 && size_cap = None then top_k_greedy inst
   else
     let n = Instance.n inst in
     let m = Instance.m inst

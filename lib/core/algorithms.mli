@@ -9,6 +9,15 @@
     [Relaxation.solve] (or [Relaxation.solve_without_transform] for the
     "–ALP" ablation). *)
 
+val top_k_greedy : Instance.t -> Config.t
+(** Each user's [k] preferred items, independently — the λ = 0 exact
+    optimum (Section 4.4) and the bottom rung of the degradation
+    ladder (DESIGN.md §5): it needs no relaxation, no RNG and no
+    social data, so it is the configuration a failed or timed-out
+    shard can always fall back to. Its total utility is a lower bound
+    any degraded solve must meet (the ladder floors its output at this
+    configuration). *)
+
 val avg :
   ?advanced_sampling:bool ->
   ?size_cap:int ->

@@ -70,6 +70,54 @@ let create ~graph ~m ~k ~lambda ~pref ~tau =
     scaled_pref_table;
   }
 
+type violation =
+  | Bad_slots of { k : int; m : int }
+  | Bad_lambda of float
+  | Bad_pref of { user : int; item : int; value : float }
+  | Bad_tau of { u : int; v : int; item : int; value : float }
+
+let violation_to_string = function
+  | Bad_slots { k; m } -> Printf.sprintf "slots: need 1 <= k <= m, got k=%d m=%d" k m
+  | Bad_lambda l -> Printf.sprintf "lambda: %g outside [0,1]" l
+  | Bad_pref { user; item; value } ->
+      Printf.sprintf "pref(%d,%d): %g not finite and non-negative" user item value
+  | Bad_tau { u; v; item; value } ->
+      Printf.sprintf "tau(%d,%d,%d): %g not finite and non-negative" u v item value
+
+(* [create] rejects negative values and malformed shapes, but NaN slips
+   through every [< 0.0] comparison there (NaN compares false), and
+   instances arriving through [Serialize] or long-lived mutation-free
+   pipelines deserve a re-screen. One pass over everything [create]
+   materialized; first [max_violations] offenders are reported with
+   their coordinates. *)
+let validate ?(max_violations = 16) t =
+  let bad = ref [] and nbad = ref 0 in
+  let push v =
+    if !nbad < max_violations then bad := v :: !bad;
+    incr nbad
+  in
+  let healthy x = Float.is_finite x && x >= 0.0 in
+  if not (1 <= t.k && t.k <= t.m) then push (Bad_slots { k = t.k; m = t.m });
+  if not (Float.is_finite t.lambda && 0.0 <= t.lambda && t.lambda <= 1.0) then
+    push (Bad_lambda t.lambda);
+  Array.iteri
+    (fun u row ->
+      Array.iteri
+        (fun c p -> if not (healthy p) then push (Bad_pref { user = u; item = c; value = p }))
+        row)
+    t.pref_table;
+  Array.iter
+    (fun (u, v) ->
+      match Hashtbl.find_opt t.tau_table (u, v) with
+      | None -> ()
+      | Some row ->
+          Array.iteri
+            (fun c w ->
+              if not (healthy w) then push (Bad_tau { u; v; item = c; value = w }))
+            row)
+    (Graph.edges t.graph);
+  if !nbad = 0 then Ok () else Error (List.rev !bad)
+
 let n t = Graph.n t.graph
 let m t = t.m
 let k t = t.k

@@ -18,6 +18,26 @@ val create :
     once per directed edge of [graph] and item and must be
     non-negative. Requires [1 <= k <= m] and [0 <= lambda <= 1]. *)
 
+type violation =
+  | Bad_slots of { k : int; m : int }  (** [1 <= k <= m] violated *)
+  | Bad_lambda of float  (** NaN or outside [0,1] *)
+  | Bad_pref of { user : int; item : int; value : float }
+      (** NaN/Inf/negative preference utility *)
+  | Bad_tau of { u : int; v : int; item : int; value : float }
+      (** NaN/Inf/negative social utility on edge [(u,v)] *)
+
+val violation_to_string : violation -> string
+
+val validate : ?max_violations:int -> t -> (unit, violation list) result
+(** Numerical-health screen over everything the instance materialized
+    (DESIGN.md §5 "Failure handling"). [create] already rejects
+    negative utilities and malformed shapes, but NaN passes every
+    [< 0.0] comparison there, so data arriving through {!Serialize} or
+    an external generator must be re-screened before it poisons a
+    solve. Returns the first [max_violations] (default 16) offenders
+    with their coordinates. The CLI load path and [Serialize] decoding
+    call this; solvers assume a validated instance. *)
+
 val n : t -> int
 (** Number of users. *)
 

@@ -1,4 +1,6 @@
 module Revised = Svgic_lp.Revised_simplex
+module Supervise = Svgic_util.Supervise
+module Select = Svgic_util.Select
 
 type backend =
   | Exact_simplex
@@ -34,6 +36,7 @@ type t = {
   scaled_objective : float;
   basis : Revised.vbasis option;
   fw_gap : float option;
+  degraded : bool;
 }
 
 (* LP_SIMP shape without building the program: (n + np) * m variables,
@@ -66,42 +69,73 @@ let choose_backend inst =
         domains = None;
       }
 
+(* Internal: a supervised exact solve timed out before reaching a
+   feasible iterate, so there is nothing to return — the ladder's
+   remaining rungs (which are all cheap) decide what to do. *)
+exception Deadline_exhausted
+
 (* Exact solve of an arbitrary [Problem]: the dense tableau for small
    programs (the long-standing oracle path), the sparse revised
-   simplex beyond [dense_vars]. Returns the final basis when the
-   revised engine ran, so callers can warm start re-solves. *)
-let solve_exact ?warm ~what problem =
+   simplex beyond [dense_vars] (or always, under [force_revised] — the
+   ladder's retry rung skips the dense path because only the revised
+   engine carries its own breakdown recovery). Returns the final basis
+   when the revised engine ran, so callers can warm start re-solves;
+   the last component is [false] when the result is a feasible but
+   non-optimal deadline partial. *)
+let solve_exact ?warm ?token ?(force_revised = false) ~what problem =
   let b = !budget_ref in
   let vars = Svgic_lp.Problem.num_vars problem in
   let rows = Svgic_lp.Problem.num_rows problem in
-  if warm = None && vars <= b.dense_vars && rows <= 2 * b.dense_vars then
+  if
+    (not force_revised) && warm = None && vars <= b.dense_vars
+    && rows <= 2 * b.dense_vars
+  then begin
+    (* The dense engine has no pivot-loop poll, but it is bounded by
+       [dense_vars] (milliseconds), so one pre-solve screen honours
+       the deadline at the only granularity that exists here — and
+       keeps the clean supervised path bit-identical to the
+       unsupervised one. *)
+    (match token with
+    | Some t when Supervise.expired t -> raise Deadline_exhausted
+    | Some _ | None -> ());
     match Svgic_lp.Simplex.solve problem with
-    | Svgic_lp.Simplex.Optimal { x; objective; _ } -> (x, objective, None)
+    | Svgic_lp.Simplex.Optimal { x; objective; _ } -> (x, objective, None, true)
     | Svgic_lp.Simplex.Infeasible ->
         failwith (Printf.sprintf "Relaxation.solve: %s reported infeasible" what)
     | Svgic_lp.Simplex.Unbounded ->
         failwith (Printf.sprintf "Relaxation.solve: %s reported unbounded" what)
+  end
   else
-    match Revised.solve ?basis:warm problem with
-    | Revised.Optimal { x; objective; basis; _ } -> (x, objective, Some basis)
+    match Revised.solve ?basis:warm ?token problem with
+    | Revised.Optimal { x; objective; basis; _ } ->
+        (x, objective, Some basis, true)
     | Revised.Infeasible ->
         failwith (Printf.sprintf "Relaxation.solve: %s reported infeasible" what)
     | Revised.Unbounded ->
         failwith (Printf.sprintf "Relaxation.solve: %s reported unbounded" what)
+    | Revised.Timeout p when p.Revised.feasible ->
+        (* A feasible partial is a usable (degraded) relaxation point:
+           every downstream consumer only needs feasibility, the
+           optimality only sharpened the bound. *)
+        (p.Revised.x, p.Revised.objective, Some p.Revised.basis, false)
+    | Revised.Timeout _ -> raise Deadline_exhausted
 
-let solve_simplex ?warm inst =
+let solve_simplex ?warm ?token ?force_revised inst =
   let problem, x_var = Lp_build.simp_lp inst in
   (* The uniform point k/m is always feasible, so infeasibility here is
      a solver bug, not an input condition. *)
-  let x, objective, basis = solve_exact ?warm ~what:"LP_SIMP" problem in
+  let x, objective, basis, complete =
+    solve_exact ?warm ?token ?force_revised ~what:"LP_SIMP" problem
+  in
   let n = Instance.n inst and m = Instance.m inst in
   let xbar = Array.init n (fun u -> Array.init m (fun c -> x.(x_var u c))) in
-  { xbar; scaled_objective = objective; basis; fw_gap = None }
+  { xbar; scaled_objective = objective; basis; fw_gap = None;
+    degraded = not complete }
 
-let solve_fw ~iterations ~smoothing ~gap_tol ~domains inst =
+let solve_fw ~iterations ~smoothing ~gap_tol ~domains ?token inst =
   let problem = Lp_build.fw_problem inst in
   let solution =
-    Svgic_lp.Pairwise_fw.solve ~iterations ~smoothing ?gap_tol ?domains
+    Svgic_lp.Pairwise_fw.solve ~iterations ~smoothing ?gap_tol ?domains ?token
       ~swap_steps:true problem
   in
   {
@@ -109,19 +143,78 @@ let solve_fw ~iterations ~smoothing ~gap_tol ~domains inst =
     scaled_objective = solution.objective;
     basis = None;
     fw_gap = Some solution.gap;
+    degraded = solution.timed_out;
   }
 
-let solve ?(backend = Auto) ?warm inst =
+(* Bottom rung of the ladder: each user's top-k preferred items as an
+   integral (hence feasible) relaxation point. Needs no LP, no RNG and
+   no social data, so it cannot fail and costs O(n·m log m); its
+   scaled objective is evaluated exactly so the certificate stays
+   true. *)
+let greedy_fallback inst =
+  let n = Instance.n inst
+  and m = Instance.m inst
+  and k = Instance.k inst in
+  let xbar = Array.make_matrix n m 0.0 in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun c -> xbar.(u).(c) <- 1.0)
+      (Select.top_k k (Array.init m (fun c -> Instance.pref inst u c)))
+  done;
+  let objective = Svgic_lp.Pairwise_fw.objective (Lp_build.fw_problem inst) xbar in
+  { xbar; scaled_objective = objective; basis = None; fw_gap = None;
+    degraded = true }
+
+(* The config-phase degradation ladder (DESIGN.md §5):
+     exact -> exact retry (revised engine, no warm basis)
+           -> gap-certified Frank-Wolfe (serial)
+           -> top-k greedy baseline.
+   The ladder only engages on failure, so the clean path is
+   bit-identical to the unsupervised solve. Failures descend, deadline
+   exhaustion (which makes every further LP attempt pointless) jumps
+   straight to the greedy floor. A caller that would rather crash than
+   degrade can watch the [degraded] flag — or not pass a token and let
+   [Failure] escape from the final rung. *)
+let solve ?(backend = Auto) ?warm ?token inst =
   let backend = match backend with Auto -> choose_backend inst | b -> b in
+  let expired () =
+    match token with Some t -> Supervise.expired t | None -> false
+  in
+  let fw_fallback () =
+    try
+      solve_fw ~iterations:2_000 ~smoothing:0.02
+        ~gap_tol:(Some (default_fw_gap_tol inst))
+        ~domains:(Some 1) ?token inst
+    with Failure _ -> greedy_fallback inst
+  in
   match backend with
-  | Exact_simplex -> solve_simplex ?warm inst
-  | Frank_wolfe { iterations; smoothing; gap_tol; domains } ->
-      solve_fw ~iterations ~smoothing ~gap_tol ~domains inst
   | Auto -> assert false
+  | Frank_wolfe { iterations; smoothing; gap_tol; domains } -> (
+      (* FW failures (a non-finite screen) are data-level and would
+         repeat identically, so the only rung below is the greedy
+         floor. *)
+      try solve_fw ~iterations ~smoothing ~gap_tol ~domains ?token inst
+      with Failure _ -> greedy_fallback inst)
+  | Exact_simplex -> (
+      match solve_simplex ?warm ?token inst with
+      | r -> r
+      | exception Deadline_exhausted -> greedy_fallback inst
+      | exception Failure msg -> (
+          if token = None then failwith msg
+          else if expired () then greedy_fallback inst
+          else
+            (* Retry rung: drop the (possibly poisoned) warm basis and
+               force the revised engine, whose internal recovery ladder
+               (reinversion, Bland restart, perturbed retry) is the
+               actual repair mechanism. *)
+            match solve_simplex ?token ~force_revised:true inst with
+            | r -> { r with degraded = true }
+            | exception (Deadline_exhausted | Failure _) ->
+                if expired () then greedy_fallback inst else fw_fallback ()))
 
 let solve_without_transform inst =
   let problem, maps = Lp_build.full_lp inst in
-  let x, objective, basis = solve_exact ~what:"LP_SVGIC" problem in
+  let x, objective, basis, _ = solve_exact ~what:"LP_SVGIC" problem in
   let n = Instance.n inst
   and m = Instance.m inst
   and k = Instance.k inst in
@@ -134,7 +227,7 @@ let solve_without_transform inst =
             done;
             !acc))
   in
-  { xbar; scaled_objective = objective; basis; fw_gap = None }
+  { xbar; scaled_objective = objective; basis; fw_gap = None; degraded = false }
 
 let upper_bound inst r = Instance.objective_scale inst *. r.scaled_objective
 

@@ -64,15 +64,38 @@ type t = {
           solved the program ([None] on the exact paths):
           [scaled_objective >= OPT_relax - fw_gap - smoothing·ln 2·W]
           with [W] the total pair-weight mass *)
+  degraded : bool;
+      (** the degradation ladder descended below the requested backend
+          (deadline partial, retry after numerical breakdown,
+          Frank–Wolfe fallback, or the greedy floor): [xbar] is still
+          feasible and [scaled_objective] is its true value, but it is
+          a lower bound on the relaxation optimum, not the optimum —
+          {!upper_bound} must not be read as an upper bound *)
 }
 
-val solve : ?backend:backend -> ?warm:Svgic_lp.Revised_simplex.vbasis -> Instance.t -> t
+val solve :
+  ?backend:backend ->
+  ?warm:Svgic_lp.Revised_simplex.vbasis ->
+  ?token:Svgic_util.Supervise.token ->
+  Instance.t ->
+  t
 (** Solves [LP_SIMP] (with the advanced LP transformation). Default
     backend [Auto]. [warm] re-starts the revised simplex from a basis
     returned by an earlier solve of a same-shaped instance (same [n],
     [m] and friend pairs — e.g. a re-solve after utility drift); a
     mismatched basis is ignored, so passing a stale one is safe.
-    Giving [warm] forces the exact path onto the revised engine. *)
+    Giving [warm] forces the exact path onto the revised engine.
+
+    [token] supervises the solve (DESIGN.md §5 "Failure handling"):
+    it is threaded into the simplex pivot loop / Frank–Wolfe sweep
+    loop, and on expiry or failure the degradation ladder takes over —
+    exact → exact retry (revised engine, cold) → gap-certified serial
+    Frank–Wolfe → top-k greedy floor — always returning a feasible
+    [t] with [degraded = true] instead of raising. The ladder engages
+    only on failure, so a clean supervised solve is bit-identical to
+    the unsupervised one. Without a token, failures on the exact path
+    still raise [Failure] (fail-fast for unsupervised callers); the
+    Frank–Wolfe and greedy rungs never raise. *)
 
 val solve_without_transform : Instance.t -> t
 (** Ablation path ("AVG–ALP" in Figure 9(b)): solves the full

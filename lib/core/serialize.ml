@@ -72,9 +72,31 @@ let instance_of_string text =
                               | u :: v :: taus ->
                                   let u = int_of_string u
                                   and v = int_of_string v in
+                                  (* Pre-checks with actionable
+                                     messages: a dangling endpoint or
+                                     short τ row would otherwise
+                                     surface as a generic
+                                     out-of-range exception deep in
+                                     graph/instance construction. *)
+                                  if u < 0 || u >= n || v < 0 || v >= n
+                                  then
+                                    failwith
+                                      (Printf.sprintf
+                                         "edge (%d,%d): endpoint outside \
+                                          [0,%d)"
+                                         u v n);
+                                  let row =
+                                    Array.of_list
+                                      (List.map float_of_string taus)
+                                  in
+                                  if Array.length row <> m then
+                                    failwith
+                                      (Printf.sprintf
+                                         "edge (%d,%d): %d tau values, \
+                                          expected %d"
+                                         u v (Array.length row) m);
                                   edges := (u, v) :: !edges;
-                                  Hashtbl.replace table (u, v)
-                                    (Array.of_list (List.map float_of_string taus))
+                                  Hashtbl.replace table (u, v) row
                               | _ -> failwith "bad edge line")
                           edge_lines;
                         let graph = Svgic_graph.Graph.of_edges ~n !edges in
@@ -83,7 +105,18 @@ let instance_of_string text =
                           | Some row -> row.(c)
                           | None -> 0.0
                         in
-                        Ok (Instance.create ~graph ~m ~k ~lambda ~pref ~tau)
+                        let inst =
+                          Instance.create ~graph ~m ~k ~lambda ~pref ~tau
+                        in
+                        (* Post-create health screen: NaN utilities
+                           pass [create]'s negativity checks, and a
+                           poisoned instance would otherwise only be
+                           noticed mid-solve. *)
+                        match Instance.validate inst with
+                        | Ok () -> Ok inst
+                        | Error (v :: _) ->
+                            Error (Instance.violation_to_string v)
+                        | Error [] -> assert false
                       end
                   | _ -> Error "bad edges header")
               | [] -> Error "missing edges section"

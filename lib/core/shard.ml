@@ -2,7 +2,8 @@ module Graph = Svgic_graph.Graph
 module Community = Svgic_graph.Community
 module Rng = Svgic_util.Rng
 module Pool = Svgic_util.Pool
-module Select = Svgic_util.Select
+module Supervise = Svgic_util.Supervise
+module Fault = Svgic_util.Fault
 
 type labelling =
   | Components
@@ -95,6 +96,8 @@ type rounding =
   | Avg of { repeats : int; advanced_sampling : bool }
   | Avg_d of { r : float option }
 
+type on_fault = Isolate | Raise
+
 type result = {
   config : Config.t;
   objective : float;
@@ -102,18 +105,14 @@ type result = {
   shard_objectives : float array;
   cut_mass : float;
   repair_gain : float;
+  degraded : bool array;
 }
 
-(* Exact optimum of an edge-free shard: no social coupling, so each
-   user independently takes her k preferred items (the λ = 0 argument
-   of Section 4.4 applies per shard regardless of λ). *)
-let top_k_pref inst =
-  let n = Instance.n inst
-  and m = Instance.m inst
-  and k = Instance.k inst in
-  Config.make inst
-    (Array.init n (fun u ->
-         Select.top_k k (Array.init m (fun c -> Instance.pref inst u c))))
+(* Exact optimum of an edge-free shard — and the bottom rung of the
+   per-shard degradation ladder: no social coupling means each user
+   independently takes her k preferred items (the λ = 0 argument of
+   Section 4.4 applies per shard regardless of λ). *)
+let top_k_pref = Algorithms.top_k_greedy
 
 (* Inner parallelism must not nest inside the shard fan-out: force the
    rounding serial and pin an unresolved FW backend to one domain. *)
@@ -128,35 +127,100 @@ let serial_backend inst = function
   | b -> b
 
 let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
-    ?(repair_passes = 2) ~rounding rng part =
+    ?(repair_passes = 2) ?token ?(on_fault = Isolate) ~rounding rng part =
   let src = part.source in
   let nshards = Array.length part.shards in
   (* Per-shard streams derived serially before the fan-out, results
      reduced by index: bit-identical for every [domains] value. *)
   let streams = Rng.split_n rng nshards in
-  let solved =
-    Pool.parallel_map ?domains nshards (fun i ->
-        let inst = part.shards.(i).inst in
-        let cfg =
-          if Array.length (Instance.pairs inst) = 0 && size_cap = None then
-            top_k_pref inst
-          else
-            let relax =
-              Relaxation.solve ~backend:(serial_backend inst backend) inst
-            in
+  (* Per-shard solve + round under the degradation ladder: a failing
+     or timed-out shard degrades to its top-k greedy floor instead of
+     poisoning the whole fan-out. The returned utility is always the
+     utility of the configuration actually stitched — that (and τ
+     non-negativity) is what keeps the certificate
+     [Σ shard_obj − cut_mass <= objective] true for degraded shards
+     with no correction term. *)
+  let solve_shard i =
+    let inst = part.shards.(i).inst in
+    let greedy () =
+      let cfg = top_k_pref inst in
+      (cfg, Config.total_utility inst cfg, true)
+    in
+    let injected =
+      if Fault.enabled () then Fault.at ~site:"shard.solve" ~index:i else None
+    in
+    let body () =
+      (match injected with
+      | Some Fault.Crash ->
+          raise (Fault.Injected (Printf.sprintf "shard.solve[%d]" i))
+      | Some _ | None -> ());
+      let token =
+        match injected with
+        | Some Fault.Timeout -> Some (Supervise.expired_token ())
+        | Some _ | None -> token
+      in
+      if
+        Array.length (Instance.pairs inst) = 0
+        && size_cap = None && injected = None
+      then
+        let cfg = top_k_pref inst in
+        (cfg, Config.total_utility inst cfg, false)
+      else begin
+        let relax =
+          Relaxation.solve ?token ~backend:(serial_backend inst backend) inst
+        in
+        let relax =
+          match injected with
+          | Some Fault.Nan ->
+              (* Poison a *copy* of the iterate: the health screen
+                 below has to catch it the same way it would catch a
+                 genuinely corrupted solve. *)
+              let xbar = Array.map Array.copy relax.Relaxation.xbar in
+              if Array.length xbar > 0 && Array.length xbar.(0) > 0 then
+                xbar.(0).(0) <- Float.nan;
+              { relax with Relaxation.xbar }
+          | Some _ | None -> relax
+        in
+        (* Iterate health screen: rounding consumes every xbar cell as
+           a utility factor, and a NaN there silently zeroes samples
+           rather than crashing. *)
+        if not (Supervise.finite_mat relax.Relaxation.xbar) then
+          failwith (Printf.sprintf "shard %d: non-finite relaxation iterate" i);
+        let expired =
+          match token with Some t -> Supervise.expired t | None -> false
+        in
+        if expired then
+          (* No clock left for rounding; the greedy floor is O(n·m). *)
+          greedy ()
+        else begin
+          let cfg =
             match rounding with
             | Avg { repeats; advanced_sampling } ->
                 Algorithms.avg_best_of ~advanced_sampling ?size_cap ~domains:1
                   ~repeats streams.(i) inst relax
             | Avg_d { r } -> Algorithms.avg_d ?r ?size_cap ~domains:1 inst relax
-        in
-        (cfg, Config.total_utility inst cfg))
+          in
+          let util = Config.total_utility inst cfg in
+          if relax.Relaxation.degraded then begin
+            (* A degraded relaxation voids the rounding guarantee;
+               floor the shard at the greedy baseline. *)
+            let gcfg, gutil, _ = greedy () in
+            if gutil > util then (gcfg, gutil, true) else (cfg, util, true)
+          end
+          else (cfg, util, false)
+        end
+      end
+    in
+    match on_fault with
+    | Raise -> body ()
+    | Isolate -> ( try body () with Fault.Injected _ | Failure _ -> greedy ())
   in
+  let solved = Pool.parallel_map ?domains nshards solve_shard in
   let n = Instance.n src and k = Instance.k src in
   let assign = Array.make_matrix n k (-1) in
   Array.iteri
     (fun i { users; _ } ->
-      let cfg = fst solved.(i) in
+      let cfg, _, _ = solved.(i) in
       Array.iteri
         (fun lu g ->
           for s = 0 to k - 1 do
@@ -188,7 +252,8 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
     end
   in
   let objective = Config.total_utility src config in
-  let shard_objectives = Array.map snd solved in
+  let shard_objectives = Array.map (fun (_, u, _) -> u) solved in
+  let degraded = Array.map (fun (_, _, d) -> d) solved in
   let bound = Array.fold_left ( +. ) 0.0 shard_objectives -. part.cut_mass in
   {
     config;
@@ -197,4 +262,5 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
     shard_objectives;
     cut_mass = part.cut_mass;
     repair_gain = objective -. before;
+    degraded;
   }

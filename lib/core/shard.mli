@@ -52,6 +52,16 @@ type rounding =
       (** [Algorithms.avg_best_of] per shard *)
   | Avg_d of { r : float option }  (** deterministic AVG-D per shard *)
 
+type on_fault =
+  | Isolate
+      (** a shard whose solve raises ([Failure] or an injected fault)
+          is degraded to its top-k greedy floor and marked in
+          {!result.degraded}; the fan-out and the certificate survive *)
+  | Raise
+      (** shard exceptions propagate (wrapped in
+          [Svgic_util.Pool.Worker_failure] by the fan-out) — the
+          fail-fast mode for tests and debugging *)
+
 type result = {
   config : Config.t;  (** stitched + repaired global configuration *)
   objective : float;  (** its total SAVG utility on [source] *)
@@ -65,6 +75,13 @@ type result = {
   repair_gain : float;
       (** objective gained by the cut-repair pass (0 when the cut is
           empty or [repair_passes = 0]) *)
+  degraded : bool array;
+      (** per shard, in shard order: [true] when the degradation
+          ladder fired for that shard (deadline expiry, numerical
+          failure, or an injected fault under [Isolate]); its entry in
+          [shard_objectives] is then the utility of the fallback
+          configuration actually stitched, so [bound <= objective]
+          still holds with no correction term *)
 }
 
 val solve_round :
@@ -72,6 +89,8 @@ val solve_round :
   ?size_cap:int ->
   ?domains:int ->
   ?repair_passes:int ->
+  ?token:Svgic_util.Supervise.token ->
+  ?on_fault:on_fault ->
   rounding:rounding ->
   Svgic_util.Rng.t ->
   partition ->
@@ -93,4 +112,16 @@ val solve_round :
     the only users whose cells were priced without their cross-shard
     friends — so the objective never decreases. [repair_passes:0]
     disables repair (the pure stitched configuration, which the
-    exactness tests compare against the monolith). *)
+    exactness tests compare against the monolith).
+
+    [token] supervises every shard's solve (DESIGN.md §5): it is
+    threaded into [Relaxation.solve], and a shard whose deadline
+    expires before rounding returns its top-k greedy configuration
+    instead. [on_fault] (default [Isolate]) decides whether a shard
+    whose solve raises is degraded in place or allowed to kill the
+    round. When [Svgic_util.Fault] injection is enabled, each shard
+    polls site ["shard.solve"] at its shard index; injected faults
+    follow the same ladder, so chaos tests can assert exactly which
+    shards degrade. The ladder and the fault polls engage only on
+    failure/injection — a clean run is bit-identical to the
+    unsupervised one. *)

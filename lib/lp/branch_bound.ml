@@ -150,6 +150,14 @@ let solve ?(options = default_options) base ~binary =
             | Revised_simplex.Infeasible -> ()
             | Revised_simplex.Unbounded ->
                 failwith "Branch_bound.solve: unbounded relaxation"
+            | Revised_simplex.Timeout _ ->
+                (* No supervision token is threaded into node re-solves
+                   (the tree has its own time budget), so this cannot
+                   fire; if it ever does, treat it as budget
+                   exhaustion rather than mis-pruning on a partial
+                   bound. *)
+                exhausted := true;
+                continue := false
             | Revised_simplex.Optimal { x; objective; pivots = p; basis } ->
                 pivots := !pivots + p;
                 if objective <= !incumbent_obj +. options.gap_tol then ()

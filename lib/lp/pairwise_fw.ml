@@ -1,5 +1,6 @@
 module Pool = Svgic_util.Pool
 module Select = Svgic_util.Select
+module Supervise = Svgic_util.Supervise
 
 type problem = {
   n : int;
@@ -14,6 +15,7 @@ type solution = {
   objective : float;
   iterations : int;
   gap : float;
+  timed_out : bool;
 }
 
 (* Logistic weight of the soft-min gradient, numerically stable. *)
@@ -91,7 +93,8 @@ module Reference = struct
         done
       end
     done;
-    { x = best; objective = !best_obj; iterations; gap = infinity }
+    { x = best; objective = !best_obj; iterations; gap = infinity;
+      timed_out = false }
 end
 
 let objective = Reference.objective
@@ -182,10 +185,29 @@ let gradient ?(smoothing = 0.05) p x =
 let auto_domains p =
   if p.n > 1 && p.n * p.m >= 16_384 then Pool.available_domains () else 1
 
-let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains
+(* Input-data health screen for the production engine (the Reference
+   oracle is kept verbatim): a poisoned preference or pair weight
+   would propagate NaN through every gradient and silently zero the
+   best-iterate tracking (NaN compares false), so it is rejected
+   before the first sweep. *)
+let screen p =
+  let ok = ref true in
+  Array.iter
+    (fun row -> if not (Supervise.finite_arr row) then ok := false)
+    p.linear;
+  Array.iter
+    (fun (_, _, w) -> if not (Supervise.finite_arr w) then ok := false)
+    p.pairs;
+  if not !ok then failwith "Pairwise_fw.solve: non-finite problem data"
+
+let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
     ?(swap_steps = false) p =
   assert (p.k >= 1 && p.k <= p.m);
   assert (smoothing > 0.0);
+  screen p;
+  let token =
+    match token with Some t -> t | None -> Supervise.unlimited ()
+  in
   let n = p.n and m = p.m and k = p.k in
   let domains = match domains with Some d -> d | None -> auto_domains p in
   let adj = build_csr p in
@@ -310,19 +332,36 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains
       done
     end;
     if !gap < !best_gap then best_gap := !gap;
-    !gap
+    (!obj, !gap)
   in
   let steps = ref 0 in
   let stopped = ref false in
+  let timed_out = ref false in
   while (not !stopped) && !steps < iterations do
-    sweep ();
-    let gap = record_iterate () in
-    match gap_tol with
-    | Some tol when gap <= tol -> stopped := true
-    | _ ->
-        let gamma = 2.0 /. float_of_int (!steps + 2) in
-        Pool.parallel_for ~domains n (apply gamma);
-        incr steps
+    (* Deadline poll: once per sweep, so a cancellation or expiry is
+       honoured within one iteration and [best] still names the best
+       exact-objective iterate recorded so far. *)
+    if Supervise.expired token then begin
+      stopped := true;
+      timed_out := true
+    end
+    else begin
+      sweep ();
+      let obj, gap = record_iterate () in
+      (* Iterate health guard ([v -. v <> 0.0] catches NaN and both
+         infinities): a non-finite objective or gap means the iterate
+         is poisoned and every further sweep would be too, so stop and
+         return the best finite iterate already banked — the best/gap
+         tracking above rejects non-finite candidates by comparison. *)
+      if obj -. obj <> 0.0 || gap -. gap <> 0.0 then stopped := true
+      else
+        match gap_tol with
+        | Some tol when gap <= tol -> stopped := true
+        | _ ->
+            let gamma = 2.0 /. float_of_int (!steps + 2) in
+            Pool.parallel_for ~domains n (apply gamma);
+            incr steps
+    end
   done;
   (* The last update left an unevaluated iterate; score it so the best
      tracking covers every point visited. *)
@@ -330,4 +369,14 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains
     sweep ();
     ignore (record_iterate ())
   end;
-  { x = best; objective = !best_obj; iterations = !steps; gap = !best_gap }
+  (* A timeout before the first completed sweep has banked nothing:
+     score the current (initial) iterate directly so the caller still
+     gets a real objective. *)
+  if !best_obj = neg_infinity then best_obj := Reference.objective p best;
+  {
+    x = best;
+    objective = !best_obj;
+    iterations = !steps;
+    gap = !best_gap;
+    timed_out = !timed_out;
+  }

@@ -56,6 +56,10 @@ type solution = {
           iterate; certifies the returned [x] as described above
           ([infinity] from {!Reference.solve}, which has no
           certificate) *)
+  timed_out : bool;
+      (** the supervision token expired or was cancelled before the
+          iteration budget or [gap_tol] was reached; [x] is still the
+          best exact-objective iterate visited *)
 }
 
 val objective : problem -> float array array -> float
@@ -71,6 +75,7 @@ val solve :
   ?smoothing:float ->
   ?gap_tol:float ->
   ?domains:int ->
+  ?token:Svgic_util.Supervise.token ->
   ?swap_steps:bool ->
   problem ->
   solution
@@ -81,6 +86,14 @@ val solve :
     duality gap is at or below the (absolute) tolerance; without it
     the engine runs the full iteration budget and still reports the
     best gap observed.
+
+    [token] supervises the solve (DESIGN.md §5): it is polled once per
+    sweep, and expiry stops the solve with [timed_out = true] and the
+    best iterate banked so far. The engine also screens the problem
+    data up front (raising [Failure] on NaN/Inf preferences or pair
+    weights) and stops early if an iterate's objective or gap ever
+    goes non-finite, so a numerically poisoned run degrades to "best
+    finite iterate seen" instead of returning garbage.
 
     [domains] caps the [Pool] fan-out (default: all available domains
     once [n·m] is large enough to amortize the per-iteration spawns,

@@ -102,6 +102,10 @@ let set_lower t v lower =
   if lower < 0.0 then invalid_arg "Problem.set_lower: negative lower bound";
   t.lowers.(v) <- lower
 
+let set_obj t v obj =
+  if v < 0 || v >= t.nv then invalid_arg "Problem.set_obj: unknown variable";
+  t.objs.(v) <- obj
+
 let num_vars t = t.nv
 let num_rows t = t.nr
 let num_nonzeros t = t.nnz

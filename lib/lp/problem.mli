@@ -52,6 +52,12 @@ val set_lower : t -> int -> float -> unit
 (** Replaces a variable's lower bound (fixing a binary to 1 is
     [set_lower t v 1.]). Lower bounds must be non-negative. *)
 
+val set_obj : t -> int -> float -> unit
+(** Replaces a variable's objective coefficient. Like the bound
+    setters this does not invalidate the cached CSC view, so a clone
+    with a (re)scaled objective — the revised simplex's perturbed
+    retry — shares the base program's matrix. *)
+
 val num_vars : t -> int
 val num_rows : t -> int
 

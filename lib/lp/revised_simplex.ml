@@ -16,23 +16,49 @@
    LPs produce. Phase 1 is the composite method: minimize the total
    bound violation of the basic variables, with piecewise costs
    recomputed from the current iterate, so it works unchanged from any
-   (possibly warm-started, possibly infeasible) basis. *)
+   (possibly warm-started, possibly infeasible) basis.
+
+   Supervision (DESIGN.md §5): the caller may pass a [Supervise.token];
+   it is polled once per iteration, right after the feasibility scan,
+   so a deadline is honoured within one pivot and the [Timeout]
+   partial's [feasible] flag reflects the iterate actually returned.
+   Numerical health is guarded at two levels — problem data is
+   screened for NaN/Inf before any algebra, and the basic values are
+   re-screened every iteration; a non-finite iterate triggers a
+   reinversion, and only if a *fresh* factorization still produces
+   garbage does the solve escalate through the recovery ladder
+   (cold restart under Bland's rule, then one perturbed-objective
+   retry) before giving up. *)
+
+module Supervise = Svgic_util.Supervise
 
 type vbasis = { stat0 : int array }
 (* Per-column status snapshot: 0 = basic, 1 = at lower bound,
    2 = at upper bound; length = structural + logical columns. *)
 
-type status =
-  | Optimal of solution
-  | Infeasible
-  | Unbounded
-
-and solution = {
+type solution = {
   x : float array;
   objective : float;
   pivots : int;
   basis : vbasis;
 }
+
+type partial = {
+  x : float array;
+  objective : float;
+  pivots : int;
+  basis : vbasis;
+  feasible : bool;
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Timeout of partial
+
+let vbasis_entries (b : vbasis) = Array.copy b.stat0
+let vbasis_of_entries a = { stat0 = Array.copy a }
 
 let dtol = 1e-9 (* reduced-cost (dual) tolerance *)
 let ztol = 1e-9 (* pivot-element tolerance *)
@@ -283,6 +309,31 @@ let recompute_xb st =
 
 (* ---------------- setup ------------------------------------------- *)
 
+(* Input-data health screen: one NaN coefficient would otherwise
+   surface many pivots later as an inexplicable breakdown — or worse,
+   as a silently wrong verdict, since NaN compares false against every
+   tolerance. Infinities are equally fatal in the matrix, objective
+   and rhs; bounds are allowed their usual infinities but not NaN. *)
+let screen_problem problem =
+  let csc = Problem.csc problem in
+  let ok = ref true in
+  Array.iter
+    (fun c -> if not (Float.is_finite c) then ok := false)
+    (Problem.objective problem);
+  Array.iter
+    (fun v -> if not (Float.is_finite v) then ok := false)
+    csc.Problem.values;
+  Array.iter
+    (fun b -> if not (Float.is_finite b) then ok := false)
+    csc.Problem.row_rhs;
+  for j = 0 to Problem.num_vars problem - 1 do
+    if Float.is_nan (Problem.lower_bound problem j) then ok := false;
+    match Problem.upper_bound problem j with
+    | Some u when Float.is_nan u -> ok := false
+    | Some _ | None -> ()
+  done;
+  if not !ok then failwith "Revised_simplex.solve: non-finite problem data"
+
 let build problem =
   let nv = Problem.num_vars problem in
   let csc = Problem.csc problem in
@@ -379,11 +430,26 @@ let install_warm st (b : vbasis) =
 (* ---------------- main loop --------------------------------------- *)
 
 exception Unbounded_exn
-exception No_block
+exception Breakdown
+exception Timeout_exn of bool (* payload: was the iterate feasible? *)
 
-type verdict = V_done | V_infeasible | V_unbounded
+type verdict = V_done | V_infeasible | V_unbounded | V_timeout of bool
 
-let solve ?(max_pivots = 500_000) ?basis problem =
+(* Structural solution readout: basics from xb, nonbasics from their
+   resting bound. Shared by the optimal and timeout exits. *)
+let extract_x st =
+  let x = Array.make st.nv 0.0 in
+  for j = 0 to st.nv - 1 do
+    x.(j) <- (if st.stat.(j) = 0 then st.xb.(st.pos.(j)) else nbval st j)
+  done;
+  x
+
+(* One full simplex run: cold or warm install, then pivot until a
+   verdict. Raises [Breakdown] when the numerics degrade beyond what a
+   fresh factorization repairs — the retry ladder in [solve] owns
+   recovery. [force_bland] pins pricing and the ratio test to Bland's
+   rule from the first pivot (the anti-cycling restart rung). *)
+let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
   let st = build problem in
   (* Bound sanity: an empty box is infeasible before any algebra. *)
   let box_ok = ref true in
@@ -417,217 +483,240 @@ let solve ?(max_pivots = 500_000) ?basis problem =
     let verdict : verdict option ref = ref None in
     (try
        while !verdict = None do
-         (* Feasibility scan + phase-1 costs (cb doubles as scratch). *)
-         let infeas = ref 0.0 in
+         (* Numerical-health guard: a non-finite basic value (the
+            [v -. v <> 0.0] test catches NaN and both infinities in one
+            branch) means the eta file has drifted into garbage. A
+            refresh usually repairs it; if a *clean* factorization
+            still produces non-finite values the program itself is
+            numerically hostile and the retry ladder takes over. *)
+         let healthy = ref true in
          for r = 0 to st.m - 1 do
-           let j = st.basis.(r) in
            let v = st.xb.(r) in
-           if v < st.lo.(j) -. ftol then begin
-             st.cb.(r) <- 1.0;
-             infeas := !infeas +. (st.lo.(j) -. v)
-           end
-           else if v > st.up.(j) +. ftol then begin
-             st.cb.(r) <- -1.0;
-             infeas := !infeas +. (v -. st.up.(j))
-           end
-           else st.cb.(r) <- 0.0
+           if v -. v <> 0.0 then healthy := false
          done;
-         let phase1 = !infeas > 0.0 in
-         if not phase1 then
-           for r = 0 to st.m - 1 do
-             st.cb.(r) <- st.cost.(st.basis.(r))
-           done;
-         (* Merit function for the stall detector: phase 1 shrinks the
-            total violation, phase 2 grows the objective. *)
-         let merit =
-           if phase1 then -. !infeas
-           else begin
-             let z = ref 0.0 in
-             for r = 0 to st.m - 1 do
-               z := !z +. (st.cb.(r) *. st.xb.(r))
-             done;
-             for j = 0 to st.ncols - 1 do
-               if st.stat.(j) <> 0 && st.cost.(j) <> 0.0 then
-                 z := !z +. (st.cost.(j) *. nbval st j)
-             done;
-             !z
-           end
-         in
-         if phase1 <> !prev_phase1 then begin
-           (* Phase switch rescales the merit; don't let the stale
-              reference trip the stall detector. *)
-           prev_phase1 := phase1;
-           last_merit := neg_infinity;
-           stall := 0
-         end;
-         if merit > !last_merit +. 1e-12 then begin
-           stall := 0;
-           last_merit := merit
-         end
-         else incr stall;
-         let bland = !stall > stall_limit in
-         (* BTRAN + pricing. *)
-         Array.blit st.cb 0 st.y 0 st.m;
-         btran st st.y;
-         let enter = ref (-1) and enter_d = ref 0.0 in
-         let best_score = ref dtol in
-         (try
-            for j = 0 to st.ncols - 1 do
-              let s = st.stat.(j) in
-              if s <> 0 && st.up.(j) -. st.lo.(j) > 1e-12 then begin
-                let cj = if phase1 then 0.0 else st.cost.(j) in
-                let d = cj -. dot_col st j st.y in
-                let favorable =
-                  (s = 1 && d > dtol) || (s = 2 && d < -.dtol)
-                in
-                if favorable then
-                  if bland then begin
-                    enter := j;
-                    enter_d := d;
-                    raise Exit
-                  end
-                  else if Float.abs d > !best_score then begin
-                    enter := j;
-                    enter_d := d;
-                    best_score := Float.abs d
-                  end
-              end
-            done
-          with Exit -> ());
-         if !enter < 0 then begin
-           (* No favorable column: the verdict is only as good as the
-              factorization it was computed with. *)
-           if !clean then
-             verdict := Some (if phase1 then V_infeasible else V_done)
-           else begin
-             refresh st;
-             since_refactor := 0;
-             clean := true
-           end
+         if not !healthy then begin
+           if !clean then raise Breakdown;
+           refresh st;
+           since_refactor := 0;
+           clean := true
          end
          else begin
-           let q = !enter in
-           let sigma = if st.stat.(q) = 1 then 1.0 else -1.0 in
-           let w = st.w in
-           Array.fill w 0 st.m 0.0;
-           scatter_col st q w;
-           ftran st w;
-           (* Ratio test over basics, plus the entering bound flip.
-              In phase 1 a basic already outside a bound blocks only
-              when moving back toward feasibility (at the violated
-              bound); moving further out is charged by the phase-1
-              costs instead of blocked. *)
-           let flip_t = st.up.(q) -. st.lo.(q) in
-           let best_r = ref (-1)
-           and best_t = ref (if flip_t < infinity then flip_t else infinity)
-           and best_target = ref 0 (* 1 leave at lower, 2 at upper *)
-           and best_mag = ref 0.0 in
+           (* Feasibility scan + phase-1 costs (cb doubles as scratch). *)
+           let infeas = ref 0.0 in
            for r = 0 to st.m - 1 do
-             let wr = w.(r) in
-             if Float.abs wr > ztol then begin
-               let delta = sigma *. wr in
-               let j = st.basis.(r) in
-               let v = st.xb.(r) in
-               let target =
-                 if delta > 0.0 then
-                   (* decreasing basic *)
-                   if v > st.up.(j) +. ftol then st.up.(j)
-                   else if v < st.lo.(j) -. ftol then neg_infinity (* no block *)
-                   else st.lo.(j)
-                 else if v < st.lo.(j) -. ftol then st.lo.(j)
-                 else if v > st.up.(j) +. ftol then infinity (* no block *)
-                 else st.up.(j)
-               in
-               if Float.abs target < infinity then begin
-                 let t = Float.max 0.0 ((v -. target) /. delta) in
-                 let better =
-                   t < !best_t -. 1e-9
-                   || (t < !best_t +. 1e-9
-                      && !best_r >= 0
-                      &&
-                      if bland then j < st.basis.(!best_r)
-                      else Float.abs delta > !best_mag)
-                 in
-                 if better then begin
-                   best_r := r;
-                   best_t := t;
-                   best_mag := Float.abs delta;
-                   best_target := (if target = st.lo.(j) then 1 else 2)
-                 end
-               end
+             let j = st.basis.(r) in
+             let v = st.xb.(r) in
+             if v < st.lo.(j) -. ftol then begin
+               st.cb.(r) <- 1.0;
+               infeas := !infeas +. (st.lo.(j) -. v)
              end
+             else if v > st.up.(j) +. ftol then begin
+               st.cb.(r) <- -1.0;
+               infeas := !infeas +. (v -. st.up.(j))
+             end
+             else st.cb.(r) <- 0.0
            done;
-           if !best_t = infinity then
-             if phase1 then raise No_block else raise Unbounded_exn;
-           let t = !best_t in
-           if !best_r < 0 || (flip_t < infinity && flip_t <= t) then begin
-             (* Bound flip: no basis change. *)
+           let phase1 = !infeas > 0.0 in
+           (* Deadline poll: after the scan, so the [feasible] flag of
+              the partial describes the iterate we actually return. *)
+           if Supervise.expired token then raise (Timeout_exn (not phase1));
+           if not phase1 then
              for r = 0 to st.m - 1 do
-               if w.(r) <> 0.0 then
-                 st.xb.(r) <- st.xb.(r) -. (flip_t *. sigma *. w.(r))
+               st.cb.(r) <- st.cost.(st.basis.(r))
              done;
-             st.stat.(q) <- (if st.stat.(q) = 1 then 2 else 1);
-             clean := false
+           (* Merit function for the stall detector: phase 1 shrinks the
+              total violation, phase 2 grows the objective. *)
+           let merit =
+             if phase1 then -. !infeas
+             else begin
+               let z = ref 0.0 in
+               for r = 0 to st.m - 1 do
+                 z := !z +. (st.cb.(r) *. st.xb.(r))
+               done;
+               for j = 0 to st.ncols - 1 do
+                 if st.stat.(j) <> 0 && st.cost.(j) <> 0.0 then
+                   z := !z +. (st.cost.(j) *. nbval st j)
+               done;
+               !z
+             end
+           in
+           if phase1 <> !prev_phase1 then begin
+             (* Phase switch rescales the merit; don't let the stale
+                reference trip the stall detector. *)
+             prev_phase1 := phase1;
+             last_merit := neg_infinity;
+             stall := 0
+           end;
+           if merit > !last_merit +. 1e-12 then begin
+             stall := 0;
+             last_merit := merit
            end
-           else begin
-             let r = !best_r in
-             let leaving = st.basis.(r) in
-             let entering_value = nbval st q +. (sigma *. t) in
-             for i = 0 to st.m - 1 do
-               if w.(i) <> 0.0 then
-                 st.xb.(i) <- st.xb.(i) -. (t *. sigma *. w.(i))
-             done;
-             st.xb.(r) <- entering_value;
-             st.stat.(leaving) <- !best_target;
-             st.pos.(leaving) <- -1;
-             st.stat.(q) <- 0;
-             st.pos.(q) <- r;
-             st.basis.(r) <- q;
-             (* Append the eta for this pivot. *)
-             let n_entries = ref 0 in
-             for i = 0 to st.m - 1 do
-               if i <> r && Float.abs w.(i) > drop_tol then incr n_entries
-             done;
-             let eidx = Array.make !n_entries 0 in
-             let evals = Array.make !n_entries 0.0 in
-             let cursor = ref 0 in
-             for i = 0 to st.m - 1 do
-               if i <> r && Float.abs w.(i) > drop_tol then begin
-                 eidx.(!cursor) <- i;
-                 evals.(!cursor) <- w.(i);
-                 incr cursor
-               end
-             done;
-             push_eta st { ep = r; epv = w.(r); eidx; evals };
-             incr pivots;
-             incr since_refactor;
-             clean := false;
-             if !pivots > max_pivots then
-               failwith
-                 (Printf.sprintf
-                    "Revised_simplex.solve: pivot limit exceeded (%d rows, %d \
-                     cols)"
-                    st.m st.ncols);
-             if !since_refactor >= refactor_interval then begin
+           else incr stall;
+           let bland = force_bland || !stall > stall_limit in
+           (* BTRAN + pricing. *)
+           Array.blit st.cb 0 st.y 0 st.m;
+           btran st st.y;
+           let enter = ref (-1) and enter_d = ref 0.0 in
+           let best_score = ref dtol in
+           (try
+              for j = 0 to st.ncols - 1 do
+                let s = st.stat.(j) in
+                if s <> 0 && st.up.(j) -. st.lo.(j) > 1e-12 then begin
+                  let cj = if phase1 then 0.0 else st.cost.(j) in
+                  let d = cj -. dot_col st j st.y in
+                  let favorable =
+                    (s = 1 && d > dtol) || (s = 2 && d < -.dtol)
+                  in
+                  if favorable then
+                    if bland then begin
+                      enter := j;
+                      enter_d := d;
+                      raise Exit
+                    end
+                    else if Float.abs d > !best_score then begin
+                      enter := j;
+                      enter_d := d;
+                      best_score := Float.abs d
+                    end
+                end
+              done
+            with Exit -> ());
+           if !enter < 0 then begin
+             (* No favorable column: the verdict is only as good as the
+                factorization it was computed with. *)
+             if !clean then
+               verdict := Some (if phase1 then V_infeasible else V_done)
+             else begin
                refresh st;
                since_refactor := 0;
                clean := true
+             end
+           end
+           else begin
+             let q = !enter in
+             let sigma = if st.stat.(q) = 1 then 1.0 else -1.0 in
+             let w = st.w in
+             Array.fill w 0 st.m 0.0;
+             scatter_col st q w;
+             ftran st w;
+             (* Ratio test over basics, plus the entering bound flip.
+                In phase 1 a basic already outside a bound blocks only
+                when moving back toward feasibility (at the violated
+                bound); moving further out is charged by the phase-1
+                costs instead of blocked. *)
+             let flip_t = st.up.(q) -. st.lo.(q) in
+             let best_r = ref (-1)
+             and best_t = ref (if flip_t < infinity then flip_t else infinity)
+             and best_target = ref 0 (* 1 leave at lower, 2 at upper *)
+             and best_mag = ref 0.0 in
+             for r = 0 to st.m - 1 do
+               let wr = w.(r) in
+               if Float.abs wr > ztol then begin
+                 let delta = sigma *. wr in
+                 let j = st.basis.(r) in
+                 let v = st.xb.(r) in
+                 let target =
+                   if delta > 0.0 then
+                     (* decreasing basic *)
+                     if v > st.up.(j) +. ftol then st.up.(j)
+                     else if v < st.lo.(j) -. ftol then neg_infinity (* no block *)
+                     else st.lo.(j)
+                   else if v < st.lo.(j) -. ftol then st.lo.(j)
+                   else if v > st.up.(j) +. ftol then infinity (* no block *)
+                   else st.up.(j)
+                 in
+                 if Float.abs target < infinity then begin
+                   let t = Float.max 0.0 ((v -. target) /. delta) in
+                   let better =
+                     t < !best_t -. 1e-9
+                     || (t < !best_t +. 1e-9
+                        && !best_r >= 0
+                        &&
+                        if bland then j < st.basis.(!best_r)
+                        else Float.abs delta > !best_mag)
+                   in
+                   if better then begin
+                     best_r := r;
+                     best_t := t;
+                     best_mag := Float.abs delta;
+                     best_target := (if target = st.lo.(j) then 1 else 2)
+                   end
+                 end
+               end
+             done;
+             if !best_t = infinity then
+               (* An unbounded phase-1 step is impossible in exact
+                  arithmetic (the violation costs block it); reaching
+                  it means the factorization has lost the program, so
+                  it escalates to the recovery ladder instead of being
+                  reported as a verdict. *)
+               if phase1 then raise Breakdown else raise Unbounded_exn;
+             let t = !best_t in
+             if !best_r < 0 || (flip_t < infinity && flip_t <= t) then begin
+               (* Bound flip: no basis change. *)
+               for r = 0 to st.m - 1 do
+                 if w.(r) <> 0.0 then
+                   st.xb.(r) <- st.xb.(r) -. (flip_t *. sigma *. w.(r))
+               done;
+               st.stat.(q) <- (if st.stat.(q) = 1 then 2 else 1);
+               clean := false
+             end
+             else begin
+               let r = !best_r in
+               let leaving = st.basis.(r) in
+               let entering_value = nbval st q +. (sigma *. t) in
+               for i = 0 to st.m - 1 do
+                 if w.(i) <> 0.0 then
+                   st.xb.(i) <- st.xb.(i) -. (t *. sigma *. w.(i))
+               done;
+               st.xb.(r) <- entering_value;
+               st.stat.(leaving) <- !best_target;
+               st.pos.(leaving) <- -1;
+               st.stat.(q) <- 0;
+               st.pos.(q) <- r;
+               st.basis.(r) <- q;
+               (* Append the eta for this pivot. *)
+               let n_entries = ref 0 in
+               for i = 0 to st.m - 1 do
+                 if i <> r && Float.abs w.(i) > drop_tol then incr n_entries
+               done;
+               let eidx = Array.make !n_entries 0 in
+               let evals = Array.make !n_entries 0.0 in
+               let cursor = ref 0 in
+               for i = 0 to st.m - 1 do
+                 if i <> r && Float.abs w.(i) > drop_tol then begin
+                   eidx.(!cursor) <- i;
+                   evals.(!cursor) <- w.(i);
+                   incr cursor
+                 end
+               done;
+               push_eta st { ep = r; epv = w.(r); eidx; evals };
+               incr pivots;
+               incr since_refactor;
+               clean := false;
+               if !pivots > max_pivots then
+                 failwith
+                   (Printf.sprintf
+                      "Revised_simplex.solve: pivot limit exceeded (%d rows, \
+                       %d cols)"
+                      st.m st.ncols);
+               if !since_refactor >= refactor_interval then begin
+                 refresh st;
+                 since_refactor := 0;
+                 clean := true
+               end
              end
            end
          end
        done
      with
     | Unbounded_exn -> verdict := Some V_unbounded
-    | No_block ->
-        failwith "Revised_simplex.solve: phase-1 step unbounded (numerical)");
+    | Timeout_exn feasible -> verdict := Some (V_timeout feasible));
     match !verdict with
     | Some V_infeasible -> Infeasible
     | Some V_unbounded -> Unbounded
     | Some V_done ->
-        let x = Array.make st.nv 0.0 in
-        for j = 0 to st.nv - 1 do
-          x.(j) <- (if st.stat.(j) = 0 then st.xb.(st.pos.(j)) else nbval st j)
-        done;
+        let x = extract_x st in
         Optimal
           {
             x;
@@ -635,5 +724,77 @@ let solve ?(max_pivots = 500_000) ?basis problem =
             pivots = !pivots;
             basis = { stat0 = Array.copy st.stat };
           }
+    | Some (V_timeout feasible) ->
+        let x = extract_x st in
+        Timeout
+          {
+            x;
+            objective = Problem.eval_objective problem x;
+            pivots = !pivots;
+            basis = { stat0 = Array.copy st.stat };
+            feasible;
+          }
     | None -> assert false
   end
+
+(* ---------------- recovery ladder --------------------------------- *)
+
+(* Deterministic per-column jitter in [-1, 1) for the perturbed retry:
+   the splitmix64 finalizer over the column index, so the retry is
+   reproducible and independent of any global RNG state. *)
+let jitter j =
+  let open Int64 in
+  let z = mul (add (of_int (j + 1)) 0x9e3779b97f4a7c15L) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0x94d049bb133111ebL in
+  let z = logxor z (shift_right_logical z 31) in
+  (to_float (shift_right_logical z 11) *. 0x1p-52) -. 1.0
+
+let solve ?(max_pivots = 500_000) ?basis ?token problem =
+  let token =
+    match token with Some t -> t | None -> Supervise.unlimited ()
+  in
+  screen_problem problem;
+  match attempt ?basis ~max_pivots ~token problem with
+  | result -> result
+  | exception Breakdown -> (
+      (* Rung 2: cold restart under Bland's rule. Slower but immune to
+         cycling, and the cold install discards whatever basis drove
+         the numerics into the ground. *)
+      match attempt ~force_bland:true ~max_pivots ~token problem with
+      | result -> result
+      | exception Breakdown -> (
+          (* Rung 3: one perturbed retry. A relative + absolute jitter
+             of the objective breaks the degenerate ties that defeat
+             even Bland on numerically hostile programs; the optimal
+             basis of the perturbed program then warm starts a final
+             Bland solve of the *true* program, which certifies the
+             unperturbed objective. *)
+          let perturbed = Problem.clone problem in
+          let objs = Problem.objective problem in
+          Array.iteri
+            (fun j c ->
+              let u = jitter j in
+              Problem.set_obj perturbed j
+                (c *. (1.0 +. (1e-7 *. u)) +. (1e-9 *. u)))
+            objs;
+          let fail () =
+            failwith
+              "Revised_simplex.solve: numerical breakdown persisted after \
+               Bland restart and perturbed retry"
+          in
+          match attempt ~force_bland:true ~max_pivots ~token perturbed with
+          | exception Breakdown -> fail ()
+          | Optimal { basis = pb; _ } -> (
+              match
+                attempt ~basis:pb ~force_bland:true ~max_pivots ~token problem
+              with
+              | result -> result
+              | exception Breakdown -> fail ())
+          | (Infeasible | Unbounded) as r ->
+              (* Feasibility is untouched by an objective perturbation,
+                 so these verdicts transfer to the true program. *)
+              r
+          | Timeout p ->
+              (* Re-price the partial against the true objective. *)
+              Timeout
+                { p with objective = Problem.eval_objective problem p.x }))

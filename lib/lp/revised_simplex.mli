@@ -1,4 +1,5 @@
-(** Sparse revised simplex with bounded variables and warm starts.
+(** Sparse revised simplex with bounded variables, warm starts and
+    solve supervision.
 
     The scalable exact backend for the [Problem] programs: constraint
     rows are kept sparse (the CSC view built by {!Problem.csc}),
@@ -7,6 +8,16 @@
     product-form eta file that is periodically reinverted for
     stability. Bland's rule takes over pricing and the ratio test
     after a stall, so degenerate programs terminate.
+
+    Supervision (DESIGN.md §5 "Failure handling"): problem data is
+    screened for NaN/Inf before any algebra; the basic values are
+    re-screened every iteration, with a reinversion as first aid and a
+    recovery ladder behind it (cold restart under Bland's rule, then a
+    single deterministic perturbed-objective retry whose basis warm
+    starts a final solve of the true program). A
+    {!Svgic_util.Supervise.token} is polled once per pivot, so a
+    deadline or cancellation surfaces as {!Timeout} within one
+    iteration, carrying the best iterate reached.
 
     The dense tableau in [Simplex] solves the same class of programs
     and is kept as the cross-check oracle; the randomized equivalence
@@ -20,23 +31,60 @@ type vbasis
     which is exactly the shape of branch-and-bound node re-solves and
     of repeated relaxation solves. *)
 
-type status =
-  | Optimal of solution
-  | Infeasible
-  | Unbounded
-
-and solution = {
+type solution = {
   x : float array;  (** structural variable values *)
   objective : float;
   pivots : int;  (** basis changes performed (bound flips excluded) *)
   basis : vbasis;  (** final basis, reusable via [solve ?basis] *)
 }
 
-val solve : ?max_pivots:int -> ?basis:vbasis -> Problem.t -> status
+type partial = {
+  x : float array;  (** best iterate reached (structural values) *)
+  objective : float;  (** objective of [x] — an optimum only by luck *)
+  pivots : int;
+  basis : vbasis;  (** resumable via [solve ?basis] with a fresh token *)
+  feasible : bool;
+      (** whether [x] satisfied the constraints when the clock ran out;
+          an infeasible partial is only good for warm-starting *)
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Timeout of partial
+      (** The supervision token expired or was cancelled mid-solve. *)
+
+val vbasis_entries : vbasis -> int array
+(** Raw per-column status entries (0 basic / 1 at lower / 2 at upper),
+    as a copy. Together with {!vbasis_of_entries} this is the
+    fault-injection seam: tests corrupt a snapshot and check the solver
+    falls back to a cold start bit-for-bit. *)
+
+val vbasis_of_entries : int array -> vbasis
+(** Rebuild a snapshot from raw entries (copied). No validation — the
+    solver itself rejects malformed snapshots at install time. *)
+
+val solve :
+  ?max_pivots:int ->
+  ?basis:vbasis ->
+  ?token:Svgic_util.Supervise.token ->
+  Problem.t ->
+  status
 (** [solve ?basis p] maximizes [p]. When [basis] is given and its
     shape matches [p] (same variable and row counts) the solve warm
     starts from it — phase 1 runs only as far as the bound changes
     made the old basis infeasible; any mismatch or singular basis
     falls back silently to a cold start, so passing a stale basis is
     always safe. [max_pivots] (default [500_000]) bounds basis
-    changes; exceeding it raises [Failure]. *)
+    changes per attempt; exceeding it raises [Failure].
+
+    [token] supervises the solve: it is polled once per iteration and
+    expiry returns [Timeout] with the current iterate. Without it the
+    solve is unsupervised (the poll degrades to one atomic read, which
+    is how the clean path stays bit-identical and within the < 2%
+    overhead budget).
+
+    Raises [Failure] on non-finite problem data (NaN/Inf coefficient,
+    objective, rhs or bound) and when numerical breakdown survives the
+    whole recovery ladder. *)

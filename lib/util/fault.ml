@@ -1,0 +1,84 @@
+type kind = Timeout | Nan | Crash
+
+exception Injected of string
+
+type config = { seed : int; rate : float; kinds : kind array }
+
+(* Written only by [configure]/[clear] from the coordinating domain,
+   read (immutably) by workers during fan-outs. *)
+let state : config option ref = ref None
+
+let configure ~seed ~rate ~kinds =
+  state := Some { seed; rate; kinds = Array.of_list kinds }
+
+let clear () = state := None
+let enabled () = !state <> None
+
+(* splitmix64: the standard 64-bit finalizer — full avalanche, so
+   consecutive indices decorrelate completely. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash ~seed ~site ~index =
+  let open Int64 in
+  let h = mix64 (add (of_int seed) 0x9e3779b97f4a7c15L) in
+  let h = mix64 (logxor h (of_int (Hashtbl.hash site))) in
+  mix64 (logxor h (of_int index))
+
+(* Top 53 bits as a uniform float in [0, 1). *)
+let unit_float h = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
+
+let at ~site ~index =
+  match !state with
+  | None -> None
+  | Some { seed; rate; kinds } ->
+      let nk = Array.length kinds in
+      if rate <= 0.0 || nk = 0 then None
+      else begin
+        let h = hash ~seed ~site ~index in
+        if unit_float h >= rate then None
+        else
+          (* Independent bits for the kind draw: re-mix. *)
+          let pick = Int64.to_int (Int64.rem (Int64.shift_right_logical (mix64 h) 3) (Int64.of_int nk)) in
+          Some kinds.(pick)
+      end
+
+let env_seed () =
+  match Sys.getenv_opt "SVGIC_FAULT_SEED" with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let kind_of_string = function
+  | "timeout" -> Some Timeout
+  | "nan" -> Some Nan
+  | "crash" -> Some Crash
+  | _ -> None
+
+let init_from_env () =
+  (match env_seed () with
+  | None -> ()
+  | Some seed ->
+      let rate =
+        match Sys.getenv_opt "SVGIC_FAULT_RATE" with
+        | Some s -> (
+            match float_of_string_opt (String.trim s) with
+            | Some r when r >= 0.0 && r <= 1.0 -> r
+            | Some _ | None -> 0.3)
+        | None -> 0.3
+      in
+      let kinds =
+        match Sys.getenv_opt "SVGIC_FAULT_KINDS" with
+        | None -> [ Timeout; Nan; Crash ]
+        | Some s ->
+            let parsed =
+              String.split_on_char ',' s
+              |> List.filter_map (fun k ->
+                     kind_of_string (String.lowercase_ascii (String.trim k)))
+            in
+            if parsed = [] then [ Timeout; Nan; Crash ] else parsed
+      in
+      configure ~seed ~rate ~kinds);
+  enabled ()

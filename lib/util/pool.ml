@@ -12,6 +12,22 @@
    rely on evaluation *order* across indices, and shared lazies must be
    forced before fanning out (Lazy.force is not domain-safe). *)
 
+exception
+  Worker_failure of {
+    worker : int;
+    index_range : int * int;
+    exn : exn;
+    backtrace : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failure { worker; index_range = lo, hi; exn; _ } ->
+        Some
+          (Printf.sprintf "Pool.Worker_failure(worker %d, range [%d,%d): %s)"
+             worker lo hi (Printexc.to_string exn))
+    | _ -> None)
+
 let available_domains () = max 1 (Domain.recommended_domain_count ())
 
 let resolve_workers ?domains n =
@@ -27,23 +43,60 @@ let run_blocks ~workers n body =
     if workers <= 1 then body 0 n
     else begin
       let bound w = w * n / workers in
+      (* Every block failure — not just the first — is captured with
+         its worker id, index range and backtrace; the first is
+         re-raised as [Worker_failure] after all domains are joined,
+         the rest are counted so they are not silently dropped. *)
+      let wrap w lo hi () =
+        try
+          body lo hi;
+          None
+        with e ->
+          let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+          Some
+            (Worker_failure
+               { worker = w; index_range = (lo, hi); exn = e; backtrace = bt })
+      in
       let spawned =
         Array.init (workers - 1) (fun i ->
             let w = i + 1 in
-            let lo = bound w and hi = bound (w + 1) in
-            Domain.spawn (fun () -> body lo hi))
+            Domain.spawn (wrap w (bound w) (bound (w + 1))))
       in
-      body 0 (bound 1);
-      (* Join everything before surfacing a worker exception so no
+      let first = ref (wrap 0 0 (bound 1) ()) in
+      (* Join everything — even after a calling-domain failure — so no
          domain outlives the call. *)
-      let failure = ref None in
+      let others = ref 0 in
       Array.iter
         (fun d ->
           match Domain.join d with
-          | () -> ()
-          | exception e -> if !failure = None then failure := Some e)
+          | None -> ()
+          | Some f -> if !first = None then first := Some f else incr others
+          | exception e ->
+              (* A spawn/join failure outside [wrap] (e.g. the domain
+                 limit); carries no range. *)
+              let f =
+                Worker_failure
+                  {
+                    worker = -1;
+                    index_range = (0, 0);
+                    exn = e;
+                    backtrace =
+                      Printexc.raw_backtrace_to_string
+                        (Printexc.get_raw_backtrace ());
+                  }
+              in
+              if !first = None then first := Some f else incr others)
         spawned;
-      match !failure with None -> () | Some e -> raise e
+      match !first with
+      | None -> ()
+      | Some e ->
+          if !others > 0 then
+            Printf.eprintf
+              "Pool.run_blocks: %d additional worker failure(s) joined and \
+               suppressed\n\
+               %!"
+              !others;
+          raise e
     end
   end
 

@@ -12,12 +12,26 @@
     - Serial fallback: when [Domain.recommended_domain_count () = 1]
       (or [~domains:1], or [n <= 1]) the body runs in the calling
       domain with no spawns at all.
-    - Exceptions raised by a worker are re-raised after all workers
-      have been joined.
+    - A block that raises is wrapped as {!Worker_failure} (worker id,
+      index range, original exception, backtrace) and re-raised after
+      all workers have been joined; when several blocks fail, the
+      first failure wins and the count of suppressed ones is logged
+      to stderr.
 
     Callers are responsible for domain safety of [f]: shared state must
     be read-only during the fan-out and shared lazies forced
     beforehand. *)
+
+exception
+  Worker_failure of {
+    worker : int;  (** failing block (0 = the calling domain) *)
+    index_range : int * int;  (** the [lo, hi) slice the block owned *)
+    exn : exn;  (** the original exception *)
+    backtrace : string;  (** captured at the raise site, inside the worker *)
+  }
+(** How a worker exception surfaces from every fan-out below (serial
+    fallbacks re-raise the original exception unwrapped — there is no
+    worker to attribute it to). *)
 
 val available_domains : unit -> int
 (** [Domain.recommended_domain_count], floored at 1. *)

@@ -1,0 +1,57 @@
+type token = {
+  deadline : float; (* absolute gettimeofday time, infinity = none *)
+  cancelled : bool Atomic.t;
+}
+
+let create ?deadline_s () =
+  let deadline =
+    match deadline_s with
+    | None -> infinity
+    | Some s -> Unix.gettimeofday () +. s
+  in
+  { deadline; cancelled = Atomic.make false }
+
+let unlimited () = create ()
+let expired_token () = { deadline = neg_infinity; cancelled = Atomic.make false }
+let cancel t = Atomic.set t.cancelled true
+let cancelled t = Atomic.get t.cancelled
+
+let expired t =
+  Atomic.get t.cancelled
+  || (t.deadline < infinity && Unix.gettimeofday () > t.deadline)
+
+let remaining_s t =
+  if Atomic.get t.cancelled then 0.0
+  else if t.deadline = infinity then infinity
+  else Float.max 0.0 (t.deadline -. Unix.gettimeofday ())
+
+let finite x = Float.is_finite x
+
+let finite_arr a =
+  let ok = ref true in
+  let len = Array.length a in
+  let i = ref 0 in
+  while !ok && !i < len do
+    if not (Float.is_finite a.(!i)) then ok := false;
+    incr i
+  done;
+  !ok
+
+let finite_mat m =
+  let ok = ref true in
+  let rows = Array.length m in
+  let r = ref 0 in
+  while !ok && !r < rows do
+    if not (finite_arr m.(!r)) then ok := false;
+    incr r
+  done;
+  !ok
+
+let first_nonfinite a =
+  let len = Array.length a in
+  let rec go i =
+    if i >= len then None
+    else if not (Float.is_finite a.(i)) then Some i
+    else go (i + 1)
+  in
+  go 0

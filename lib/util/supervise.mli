@@ -1,0 +1,61 @@
+(** Cooperative solve supervision: wall-clock deadlines, cancellation
+    tokens and numerical-health guards.
+
+    A {!token} is the handle a caller threads through a long-running
+    solve; the solver polls {!expired} at the top of its hot loop (a
+    pivot, a Frank–Wolfe sweep) and winds down cooperatively — there
+    is no preemption, so a deadline is honoured within one loop
+    iteration. Tokens are domain-safe: {!cancel} from any domain is
+    seen by every worker polling the same token, which is how one
+    deadline covers a whole [Pool] fan-out.
+
+    The float guards are the shared screening vocabulary of the
+    degradation ladder (DESIGN.md §5 "Failure handling"): every rung
+    checks its input/iterate with them before trusting it. *)
+
+type token
+
+val create : ?deadline_s:float -> unit -> token
+(** [create ~deadline_s ()] starts the clock now: the token expires
+    [deadline_s] seconds from the call (and can be cancelled earlier).
+    Without [deadline_s] the token never expires on its own —
+    {!cancel} is the only trigger. *)
+
+val unlimited : unit -> token
+(** [create ()]: cancellable, no deadline. *)
+
+val expired_token : unit -> token
+(** A token that is already expired — every poll fails immediately.
+    Used by the fault-injection harness to force the timeout path. *)
+
+val cancel : token -> unit
+(** Trip the token from any domain; idempotent. *)
+
+val cancelled : token -> bool
+(** Whether {!cancel} was called (deadline expiry alone does not set
+    this). *)
+
+val expired : token -> bool
+(** Cancelled, or past the deadline. This is the hot-loop poll: one
+    atomic read plus (when a deadline is set) one [gettimeofday] —
+    tens of nanoseconds against the microseconds of a simplex pivot
+    or Frank–Wolfe sweep, which is how the clean path stays within
+    the < 2% supervision-overhead budget. *)
+
+val remaining_s : token -> float
+(** Seconds until expiry: [infinity] without a deadline, [0.] once
+    expired or cancelled. *)
+
+(** {2 Numerical-health guards} *)
+
+val finite : float -> bool
+(** Neither NaN nor infinite. *)
+
+val finite_arr : float array -> bool
+
+val finite_mat : float array array -> bool
+(** Every entry finite. The screens the degradation ladder runs over
+    instance rows and LP/FW iterates before consuming them. *)
+
+val first_nonfinite : float array -> int option
+(** Index of the first NaN/infinite entry, for actionable messages. *)

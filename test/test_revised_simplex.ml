@@ -7,12 +7,14 @@ module Simplex = Svgic_lp.Simplex
 module Revised = Svgic_lp.Revised_simplex
 module Branch_bound = Svgic_lp.Branch_bound
 module Rng = Svgic_util.Rng
+module Supervise = Svgic_util.Supervise
 
 let solve_revised_optimal p =
   match Revised.solve p with
   | Revised.Optimal s -> s
   | Revised.Infeasible -> Alcotest.fail "revised: unexpected infeasible"
   | Revised.Unbounded -> Alcotest.fail "revised: unexpected unbounded"
+  | Revised.Timeout _ -> Alcotest.fail "revised: unexpected timeout"
 
 let check_obj ?(eps = 1e-7) msg expected (s : Revised.solution) =
   if Float.abs (s.objective -. expected) > eps then
@@ -73,7 +75,8 @@ let test_infeasible () =
   Problem.add_row p [ (x, 1.0) ] Problem.Ge 2.0;
   match Revised.solve p with
   | Revised.Infeasible -> ()
-  | Revised.Optimal _ | Revised.Unbounded -> Alcotest.fail "expected infeasible"
+  | Revised.Optimal _ | Revised.Unbounded | Revised.Timeout _ ->
+      Alcotest.fail "expected infeasible"
 
 let test_infeasible_box () =
   let p = Problem.create () in
@@ -81,7 +84,8 @@ let test_infeasible_box () =
   Problem.set_lower p x 2.0;
   match Revised.solve p with
   | Revised.Infeasible -> ()
-  | Revised.Optimal _ | Revised.Unbounded -> Alcotest.fail "expected infeasible"
+  | Revised.Optimal _ | Revised.Unbounded | Revised.Timeout _ ->
+      Alcotest.fail "expected infeasible"
 
 let test_unbounded () =
   let p = Problem.create () in
@@ -90,7 +94,8 @@ let test_unbounded () =
   Problem.add_row p [ (x, 1.0); (y, -1.0) ] Problem.Le 1.0;
   match Revised.solve p with
   | Revised.Unbounded -> ()
-  | Revised.Optimal _ | Revised.Infeasible -> Alcotest.fail "expected unbounded"
+  | Revised.Optimal _ | Revised.Infeasible | Revised.Timeout _ ->
+      Alcotest.fail "expected unbounded"
 
 let test_degenerate () =
   let p = Problem.create () in
@@ -189,7 +194,7 @@ let test_warm_equals_cold () =
   for seed = 0 to 39 do
     let p, _ = random_problem seed in
     match Revised.solve p with
-    | Revised.Infeasible | Revised.Unbounded -> ()
+    | Revised.Infeasible | Revised.Unbounded | Revised.Timeout _ -> ()
     | Revised.Optimal first ->
         (* Perturb bounds the way branch-and-bound does: clamp one
            variable to one of its bounds, then re-solve warm and
@@ -227,8 +232,110 @@ let test_warm_shape_mismatch_falls_back () =
   | Revised.Optimal w ->
       let cold = solve_revised_optimal q in
       Alcotest.(check (float 1e-6)) "same objective" cold.objective w.objective
-  | Revised.Infeasible | Revised.Unbounded ->
+  | Revised.Infeasible | Revised.Unbounded | Revised.Timeout _ ->
       Alcotest.fail "expected optimal under fallback"
+
+(* ------------------ supervision ----------------------------------- *)
+
+(* An expired deadline is honoured within one iteration: the solve
+   returns Timeout without having pivoted, and promptly (the poll sits
+   at the top of the pivot loop, before any pricing work). *)
+let test_expired_token_times_out () =
+  let p, _ = random_problem 5 in
+  let t0 = Unix.gettimeofday () in
+  (match Revised.solve ~token:(Supervise.expired_token ()) p with
+  | Revised.Timeout partial ->
+      Alcotest.(check int) "no pivots under an expired token" 0 partial.pivots
+  | Revised.Optimal _ | Revised.Infeasible | Revised.Unbounded ->
+      Alcotest.fail "expected timeout under an expired token");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "returns promptly" true (elapsed < 1.0)
+
+let test_cancel_times_out () =
+  let p, _ = random_problem 7 in
+  let token = Supervise.unlimited () in
+  Supervise.cancel token;
+  match Revised.solve ~token p with
+  | Revised.Timeout _ -> ()
+  | Revised.Optimal _ | Revised.Infeasible | Revised.Unbounded ->
+      Alcotest.fail "expected timeout under a cancelled token"
+
+(* Supervision must be free on the clean path: a solve under a token
+   that never expires is bit-identical (status, objective, solution
+   vector, pivot count) to the unsupervised solve. *)
+let test_unlimited_token_bit_identical () =
+  for seed = 0 to 39 do
+    let p, _ = random_problem seed in
+    let q, _ = random_problem seed in
+    let plain = Revised.solve p in
+    let supervised = Revised.solve ~token:(Supervise.unlimited ()) q in
+    match (plain, supervised) with
+    | Revised.Optimal a, Revised.Optimal b ->
+        if a.objective <> b.objective then
+          Alcotest.failf "seed %d: objective %.17g vs %.17g" seed a.objective
+            b.objective;
+        if a.pivots <> b.pivots then
+          Alcotest.failf "seed %d: pivot path diverged (%d vs %d)" seed
+            a.pivots b.pivots;
+        Array.iteri
+          (fun i v ->
+            if v <> b.x.(i) then
+              Alcotest.failf "seed %d: x.(%d) differs" seed i)
+          a.x
+    | Revised.Infeasible, Revised.Infeasible
+    | Revised.Unbounded, Revised.Unbounded -> ()
+    | _ -> Alcotest.failf "seed %d: status disagreement" seed
+  done
+
+(* Corrupted and wrong-shape warm bases must be rejected at install
+   time and fall back to the cold start bit-for-bit — same objective,
+   same solution vector, same pivot path. *)
+let test_corrupted_warm_equals_cold () =
+  let exercised = ref 0 in
+  for seed = 0 to 19 do
+    let p, _ = random_problem seed in
+    match Revised.solve p with
+    | Revised.Infeasible | Revised.Unbounded | Revised.Timeout _ -> ()
+    | Revised.Optimal cold ->
+        incr exercised;
+        let entries = Revised.vbasis_entries cold.basis in
+        let garbage =
+          (* every status out of range: the basic set is empty, which
+             cannot match the row count of any constrained program *)
+          Revised.vbasis_of_entries (Array.map (fun _ -> 7) entries)
+        in
+        let wrong_shape =
+          Revised.vbasis_of_entries
+            (Array.make (Array.length entries + 3) 0)
+        in
+        List.iter
+          (fun (what, basis) ->
+            match Revised.solve ~basis p with
+            | Revised.Optimal w ->
+                if w.objective <> cold.objective then
+                  Alcotest.failf "seed %d (%s): objective differs" seed what;
+                if w.pivots <> cold.pivots then
+                  Alcotest.failf "seed %d (%s): pivot path diverged" seed what;
+                Array.iteri
+                  (fun i v ->
+                    if v <> w.x.(i) then
+                      Alcotest.failf "seed %d (%s): x.(%d) differs" seed what i)
+                  cold.x
+            | Revised.Infeasible | Revised.Unbounded | Revised.Timeout _ ->
+                Alcotest.failf "seed %d (%s): status differs from cold" seed
+                  what)
+          [ ("garbage", garbage); ("wrong-shape", wrong_shape) ]
+  done;
+  Alcotest.(check bool) "exercised some programs" true (!exercised >= 10)
+
+(* Non-finite problem data must be rejected up front, not solved. *)
+let test_nonfinite_data_rejected () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~obj:Float.nan ~name:"x" () in
+  Problem.add_row p [ (x, 1.0) ] Problem.Le 1.0;
+  match Revised.solve p with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on NaN objective"
 
 (* ------------------ branch-and-bound regression ------------------- *)
 
@@ -359,6 +466,16 @@ let suite =
       test_warm_equals_cold;
     Alcotest.test_case "warm start shape fallback" `Quick
       test_warm_shape_mismatch_falls_back;
+    Alcotest.test_case "expired token times out" `Quick
+      test_expired_token_times_out;
+    Alcotest.test_case "cancelled token times out" `Quick
+      test_cancel_times_out;
+    Alcotest.test_case "unlimited token bit-identical" `Quick
+      test_unlimited_token_bit_identical;
+    Alcotest.test_case "corrupted warm basis = cold (bit-for-bit)" `Quick
+      test_corrupted_warm_equals_cold;
+    Alcotest.test_case "non-finite data rejected" `Quick
+      test_nonfinite_data_rejected;
     Alcotest.test_case "bb warm start consistent" `Quick
       test_bb_warm_start_consistent;
     Alcotest.test_case "backend budget rule" `Quick test_choose_backend_budget;

@@ -1,0 +1,200 @@
+(* Chaos tests for the fault-tolerant sharded pipeline: deterministic
+   fault injection across a seed matrix, exact degraded-shard
+   accounting, certificate soundness under degradation, the greedy
+   floor, and bit-identity of the clean supervised path. *)
+
+module Rng = Svgic_util.Rng
+module Supervise = Svgic_util.Supervise
+module Fault = Svgic_util.Fault
+module Pool = Svgic_util.Pool
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module Relaxation = Svgic.Relaxation
+module Algorithms = Svgic.Algorithms
+module Shard = Svgic.Shard
+
+let with_faults ~seed ~rate ~kinds f =
+  Fault.configure ~seed ~rate ~kinds;
+  Fun.protect ~finally:Fault.clear f
+
+(* Fixed planted-community fixture: 6 balanced shards of 4 users, so
+   every shard carries intra edges and the fault matrix has room to
+   hit several shards. *)
+let chaos_fixture iseed =
+  let rng = Rng.create (400 + iseed) in
+  let inst =
+    Test_shard.community_instance ~p_cross:0.1 rng ~blobs:6 ~blob_size:4 ~m:5
+      ~k:2
+  in
+  let part =
+    Shard.partition ~rng:(Rng.create 0) ~labelling:(Shard.Balanced 6) inst
+  in
+  (inst, part)
+
+let greedy_total inst = Config.total_utility inst (Algorithms.top_k_greedy inst)
+let rounding = Shard.Avg_d { r = None }
+
+(* The headline chaos property, over a 10-seed matrix at 30% fault
+   rate: every run completes, exactly the shards where the harness
+   fired are marked degraded, the certificate stays sound, and the
+   objective never falls below the all-greedy baseline. *)
+let test_chaos_matrix () =
+  let inst, part = chaos_fixture 1 in
+  let nshards = Array.length part.Shard.shards in
+  let floor = greedy_total inst in
+  (* The CI chaos job varies SVGIC_FAULT_SEED; it offsets the local
+     10-seed matrix so each CI leg replays a different deterministic
+     fault pattern. *)
+  let base =
+    match Fault.env_seed () with Some s -> 100 * s | None -> 0
+  in
+  for fseed = base + 1 to base + 10 do
+    with_faults ~seed:fseed ~rate:0.3
+      ~kinds:[ Fault.Timeout; Fault.Nan; Fault.Crash ] (fun () ->
+        let expected =
+          Array.init nshards (fun i ->
+              Fault.at ~site:"shard.solve" ~index:i <> None)
+        in
+        let res = Shard.solve_round ~rounding (Rng.create fseed) part in
+        Array.iteri
+          (fun i want ->
+            if res.Shard.degraded.(i) <> want then
+              Alcotest.failf
+                "fault seed %d: shard %d degraded=%b, injection says %b" fseed
+                i res.Shard.degraded.(i) want)
+          expected;
+        Alcotest.(check bool)
+          (Printf.sprintf "fault seed %d: certificate sound" fseed)
+          true
+          (res.Shard.bound <= res.Shard.objective +. 1e-9);
+        Alcotest.(check bool)
+          (Printf.sprintf "fault seed %d: objective >= greedy floor" fseed)
+          true
+          (res.Shard.objective >= floor -. 1e-9))
+  done;
+  (* The matrix must actually exercise degradation somewhere. *)
+  let any_fired =
+    List.exists
+      (fun fseed ->
+        with_faults ~seed:fseed ~rate:0.3
+          ~kinds:[ Fault.Timeout; Fault.Nan; Fault.Crash ] (fun () ->
+            List.exists
+              (fun i -> Fault.at ~site:"shard.solve" ~index:i <> None)
+              (List.init nshards Fun.id)))
+      (List.init 10 (fun i -> base + i + 1))
+  in
+  Alcotest.(check bool) "matrix hit at least one shard" true any_fired
+
+(* on_fault:Raise is the fail-fast mode: an injected crash must escape
+   (possibly wrapped by the pool) instead of degrading in place. *)
+let test_chaos_raise_propagates () =
+  let _, part = chaos_fixture 1 in
+  let nshards = Array.length part.Shard.shards in
+  with_faults ~seed:2 ~rate:0.5 ~kinds:[ Fault.Crash ] (fun () ->
+      let fired =
+        List.exists
+          (fun i -> Fault.at ~site:"shard.solve" ~index:i <> None)
+          (List.init nshards Fun.id)
+      in
+      Alcotest.(check bool) "setup: at least one crash scheduled" true fired;
+      match
+        Shard.solve_round ~on_fault:Shard.Raise ~rounding (Rng.create 1) part
+      with
+      | exception (Fault.Injected _ | Pool.Worker_failure _) -> ()
+      | _ -> Alcotest.fail "injected crash must propagate under Raise")
+
+(* An already-expired deadline degrades every edge-carrying shard to
+   the greedy floor — and the result is still a sound, completed
+   round. *)
+let test_deadline_degrades_to_greedy () =
+  let inst, part = chaos_fixture 2 in
+  let res =
+    Shard.solve_round
+      ~token:(Supervise.expired_token ())
+      ~rounding (Rng.create 3) part
+  in
+  Array.iteri
+    (fun i Shard.{ inst = sub; _ } ->
+      let has_pairs = Array.length (Instance.pairs sub) > 0 in
+      if res.Shard.degraded.(i) <> has_pairs then
+        Alcotest.failf "shard %d: degraded=%b but has_pairs=%b" i
+          res.Shard.degraded.(i) has_pairs)
+    part.Shard.shards;
+  Alcotest.(check bool) "certificate sound" true
+    (res.Shard.bound <= res.Shard.objective +. 1e-9);
+  (* Every shard returned its top-k greedy configuration, which
+     stitches to the global greedy; repair can only add. *)
+  Alcotest.(check bool) "objective >= greedy floor" true
+    (res.Shard.objective >= greedy_total inst -. 1e-9)
+
+(* Supervision must be free when nothing goes wrong: an unlimited
+   token (and a disarmed harness) yields the bit-identical round. *)
+let test_clean_supervised_bit_identical () =
+  Fault.clear ();
+  let _, part = chaos_fixture 3 in
+  let plain = Shard.solve_round ~rounding (Rng.create 5) part in
+  let supervised =
+    Shard.solve_round
+      ~token:(Supervise.unlimited ())
+      ~rounding (Rng.create 5) part
+  in
+  Alcotest.(check bool) "identical config" true
+    (Config.assignment plain.Shard.config
+    = Config.assignment supervised.Shard.config);
+  Alcotest.(check (float 0.0)) "identical objective" plain.Shard.objective
+    supervised.Shard.objective;
+  Alcotest.(check bool) "nothing degraded" true
+    (Array.for_all not supervised.Shard.degraded);
+  (* An armed harness at rate 0 must also be a no-op. *)
+  with_faults ~seed:1 ~rate:0.0 ~kinds:[ Fault.Crash ] (fun () ->
+      let armed = Shard.solve_round ~rounding (Rng.create 5) part in
+      Alcotest.(check bool) "rate-0 harness identical" true
+        (Config.assignment plain.Shard.config
+        = Config.assignment armed.Shard.config))
+
+(* ------------------ relaxation ladder ----------------------------- *)
+
+let test_relaxation_deadline_floor () =
+  let rng = Rng.create 31 in
+  let inst = Helpers.random_instance rng ~n:8 ~m:6 ~k:2 in
+  let r = Relaxation.solve ~token:(Supervise.expired_token ()) inst in
+  Alcotest.(check bool) "degraded flagged" true r.Relaxation.degraded;
+  Alcotest.(check bool) "xbar finite" true
+    (Supervise.finite_mat r.Relaxation.xbar);
+  Alcotest.(check bool) "objective finite" true
+    (Supervise.finite r.Relaxation.scaled_objective);
+  (* Feasibility of the floor: every row sums to k. *)
+  Array.iteri
+    (fun u row ->
+      let s = Array.fold_left ( +. ) 0.0 row in
+      if Float.abs (s -. float_of_int (Instance.k inst)) > 1e-9 then
+        Alcotest.failf "row %d sums to %.6f, expected k" u s)
+    r.Relaxation.xbar
+
+let test_relaxation_clean_supervised_identical () =
+  let rng = Rng.create 32 in
+  let inst = Helpers.random_instance rng ~n:8 ~m:6 ~k:2 in
+  let plain = Relaxation.solve inst in
+  let supervised = Relaxation.solve ~token:(Supervise.unlimited ()) inst in
+  Alcotest.(check bool) "clean solve not degraded" false
+    supervised.Relaxation.degraded;
+  Alcotest.(check (float 0.0)) "identical objective"
+    plain.Relaxation.scaled_objective supervised.Relaxation.scaled_objective;
+  Alcotest.(check bool) "identical xbar" true
+    (plain.Relaxation.xbar = supervised.Relaxation.xbar)
+
+let suite =
+  [
+    Alcotest.test_case "chaos matrix (10 seeds, 30% faults)" `Quick
+      test_chaos_matrix;
+    Alcotest.test_case "on-fault raise propagates" `Quick
+      test_chaos_raise_propagates;
+    Alcotest.test_case "expired deadline degrades to greedy" `Quick
+      test_deadline_degrades_to_greedy;
+    Alcotest.test_case "clean supervised round bit-identical" `Quick
+      test_clean_supervised_bit_identical;
+    Alcotest.test_case "relaxation: deadline floor" `Quick
+      test_relaxation_deadline_floor;
+    Alcotest.test_case "relaxation: clean supervised identical" `Quick
+      test_relaxation_clean_supervised_identical;
+  ]

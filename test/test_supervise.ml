@@ -1,0 +1,230 @@
+(* Units for the supervision layer: cancellation tokens, the
+   numerical-health guards, the deterministic fault-injection harness
+   and instance validation. *)
+
+module Supervise = Svgic_util.Supervise
+module Fault = Svgic_util.Fault
+module Rng = Svgic_util.Rng
+module Instance = Svgic.Instance
+
+(* ------------------ tokens ---------------------------------------- *)
+
+let test_token_basics () =
+  let t = Supervise.unlimited () in
+  Alcotest.(check bool) "fresh token not expired" false (Supervise.expired t);
+  Alcotest.(check bool) "fresh token not cancelled" false
+    (Supervise.cancelled t);
+  Alcotest.(check bool) "no deadline -> infinite budget" true
+    (Supervise.remaining_s t = infinity);
+  Supervise.cancel t;
+  Alcotest.(check bool) "cancelled" true (Supervise.cancelled t);
+  Alcotest.(check bool) "cancelled -> expired" true (Supervise.expired t);
+  Alcotest.(check (float 0.0)) "cancelled -> no budget" 0.0
+    (Supervise.remaining_s t);
+  (* cancel is idempotent *)
+  Supervise.cancel t;
+  Alcotest.(check bool) "still expired" true (Supervise.expired t)
+
+let test_token_deadline () =
+  let t = Supervise.create ~deadline_s:3600.0 () in
+  Alcotest.(check bool) "far deadline not expired" false (Supervise.expired t);
+  Alcotest.(check bool) "budget positive and bounded" true
+    (Supervise.remaining_s t > 0.0 && Supervise.remaining_s t <= 3600.0);
+  let e = Supervise.create ~deadline_s:(-1.0) () in
+  Alcotest.(check bool) "past deadline expired" true (Supervise.expired e);
+  Alcotest.(check bool) "deadline expiry is not cancellation" false
+    (Supervise.cancelled e);
+  let x = Supervise.expired_token () in
+  Alcotest.(check bool) "expired_token expired" true (Supervise.expired x);
+  Alcotest.(check (float 0.0)) "expired_token no budget" 0.0
+    (Supervise.remaining_s x)
+
+(* ------------------ health guards --------------------------------- *)
+
+let test_guards () =
+  Alcotest.(check bool) "1.0 finite" true (Supervise.finite 1.0);
+  Alcotest.(check bool) "nan not finite" false (Supervise.finite Float.nan);
+  Alcotest.(check bool) "+inf not finite" false (Supervise.finite infinity);
+  Alcotest.(check bool) "-inf not finite" false
+    (Supervise.finite neg_infinity);
+  Alcotest.(check bool) "clean array" true
+    (Supervise.finite_arr [| 0.0; -1.5; 3.0 |]);
+  Alcotest.(check bool) "poisoned array" false
+    (Supervise.finite_arr [| 0.0; Float.nan |]);
+  Alcotest.(check bool) "empty array clean" true (Supervise.finite_arr [||]);
+  Alcotest.(check bool) "clean matrix" true
+    (Supervise.finite_mat [| [| 1.0 |]; [| 2.0; 3.0 |] |]);
+  Alcotest.(check bool) "poisoned matrix" false
+    (Supervise.finite_mat [| [| 1.0 |]; [| 2.0; infinity |] |]);
+  (match Supervise.first_nonfinite [| 1.0; 2.0; Float.nan; infinity |] with
+  | Some 2 -> ()
+  | other ->
+      Alcotest.failf "first_nonfinite: expected Some 2, got %s"
+        (match other with Some i -> string_of_int i | None -> "None"));
+  Alcotest.(check bool) "first_nonfinite clean" true
+    (Supervise.first_nonfinite [| 1.0; 2.0 |] = None)
+
+(* ------------------ fault injection ------------------------------- *)
+
+let with_faults ~seed ~rate ~kinds f =
+  Fault.configure ~seed ~rate ~kinds;
+  Fun.protect ~finally:Fault.clear f
+
+let test_fault_disabled () =
+  Fault.clear ();
+  Alcotest.(check bool) "disarmed" false (Fault.enabled ());
+  for i = 0 to 50 do
+    Alcotest.(check bool) "no fault when disarmed" true
+      (Fault.at ~site:"shard.solve" ~index:i = None)
+  done
+
+let test_fault_rate_extremes () =
+  with_faults ~seed:1 ~rate:1.0 ~kinds:[ Fault.Nan ] (fun () ->
+      for i = 0 to 50 do
+        match Fault.at ~site:"s" ~index:i with
+        | Some Fault.Nan -> ()
+        | Some _ -> Alcotest.fail "kind outside configured set"
+        | None -> Alcotest.fail "rate 1.0 must always fire"
+      done);
+  with_faults ~seed:1 ~rate:0.0 ~kinds:[ Fault.Nan; Fault.Crash ] (fun () ->
+      for i = 0 to 50 do
+        Alcotest.(check bool) "rate 0.0 never fires" true
+          (Fault.at ~site:"s" ~index:i = None)
+      done)
+
+let test_fault_deterministic () =
+  let sample () =
+    with_faults ~seed:42 ~rate:0.3
+      ~kinds:[ Fault.Timeout; Fault.Nan; Fault.Crash ] (fun () ->
+        List.concat_map
+          (fun site -> List.init 64 (fun i -> Fault.at ~site ~index:i))
+          [ "shard.solve"; "other.site" ])
+  in
+  let a = sample () and b = sample () in
+  Alcotest.(check bool) "same seed replays the same pattern" true (a = b);
+  let fired = List.length (List.filter (( <> ) None) a) in
+  (* 128 draws at rate 0.3: expectation ~38; a run with none or all
+     fired means the rate is not being applied. *)
+  Alcotest.(check bool) "some but not all fire" true
+    (fired > 0 && fired < 128);
+  let c =
+    with_faults ~seed:43 ~rate:0.3
+      ~kinds:[ Fault.Timeout; Fault.Nan; Fault.Crash ] (fun () ->
+        List.concat_map
+          (fun site -> List.init 64 (fun i -> Fault.at ~site ~index:i))
+          [ "shard.solve"; "other.site" ])
+  in
+  Alcotest.(check bool) "different seed, different pattern" true (a <> c)
+
+let test_fault_env_init () =
+  Fault.clear ();
+  Unix.putenv "SVGIC_FAULT_SEED" "7";
+  Unix.putenv "SVGIC_FAULT_RATE" "0.5";
+  Unix.putenv "SVGIC_FAULT_KINDS" "nan,crash";
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; an unparsable seed disarms init. *)
+      Unix.putenv "SVGIC_FAULT_SEED" "";
+      Unix.putenv "SVGIC_FAULT_RATE" "";
+      Unix.putenv "SVGIC_FAULT_KINDS" "";
+      Fault.clear ())
+    (fun () ->
+      Alcotest.(check bool) "armed from env" true (Fault.init_from_env ());
+      Alcotest.(check bool) "enabled" true (Fault.enabled ());
+      Alcotest.(check bool) "env seed visible" true (Fault.env_seed () = Some 7);
+      (* kinds restricted to the env subset *)
+      let saw_other = ref false in
+      for i = 0 to 200 do
+        match Fault.at ~site:"s" ~index:i with
+        | Some Fault.Timeout -> saw_other := true
+        | Some (Fault.Nan | Fault.Crash) | None -> ()
+      done;
+      Alcotest.(check bool) "kind subset respected" false !saw_other);
+  Alcotest.(check bool) "blank seed does not arm" false (Fault.init_from_env ())
+
+(* ------------------ instance validation --------------------------- *)
+
+let poisoned_instance () =
+  let rng = Rng.create 9 in
+  let inst = Helpers.random_instance rng ~n:6 ~m:5 ~k:2 in
+  let n = Instance.n inst and m = Instance.m inst in
+  let pref =
+    Array.init n (fun u -> Array.init m (fun c -> Instance.pref inst u c))
+  in
+  pref.(2).(3) <- Float.nan;
+  Instance.create ~graph:(Instance.graph inst) ~m ~k:(Instance.k inst)
+    ~lambda:(Instance.lambda inst) ~pref
+    ~tau:(fun u v c -> Instance.tau inst u v c)
+
+let test_validate_clean () =
+  let rng = Rng.create 3 in
+  let inst = Helpers.random_instance rng ~n:6 ~m:5 ~k:2 in
+  match Instance.validate inst with
+  | Ok () -> ()
+  | Error (v :: _) ->
+      Alcotest.failf "clean instance rejected: %s"
+        (Instance.violation_to_string v)
+  | Error [] -> Alcotest.fail "empty violation list"
+
+let test_validate_catches_nan_pref () =
+  (* NaN passes [create]'s negativity checks — that is exactly why
+     [validate] exists. *)
+  let inst = poisoned_instance () in
+  match Instance.validate inst with
+  | Error vs ->
+      Alcotest.(check bool) "reports the poisoned cell" true
+        (List.exists
+           (function
+             | Instance.Bad_pref { user = 2; item = 3; _ } -> true
+             | _ -> false)
+           vs)
+  | Ok () -> Alcotest.fail "NaN preference must be rejected"
+
+let test_validate_catches_nan_tau () =
+  let rng = Rng.create 4 in
+  let inst = Helpers.random_instance rng ~n:6 ~m:4 ~k:2 in
+  let pairs = Instance.pairs inst in
+  if Array.length pairs = 0 then Alcotest.fail "fixture needs an edge";
+  let bu, bv = pairs.(0) in
+  let n = Instance.n inst and m = Instance.m inst in
+  let pref =
+    Array.init n (fun u -> Array.init m (fun c -> Instance.pref inst u c))
+  in
+  let bad =
+    Instance.create ~graph:(Instance.graph inst) ~m ~k:(Instance.k inst)
+      ~lambda:(Instance.lambda inst) ~pref
+      ~tau:(fun u v c ->
+        if u = bu && v = bv && c = 0 then infinity else Instance.tau inst u v c)
+  in
+  match Instance.validate bad with
+  | Error vs ->
+      Alcotest.(check bool) "reports the poisoned tau" true
+        (List.exists
+           (function Instance.Bad_tau _ -> true | _ -> false)
+           vs)
+  | Ok () -> Alcotest.fail "non-finite tau must be rejected"
+
+let test_serialize_rejects_poisoned () =
+  let text = Svgic.Serialize.instance_to_string (poisoned_instance ()) in
+  match Svgic.Serialize.instance_of_string text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decode must reject a NaN preference"
+
+let suite =
+  [
+    Alcotest.test_case "token basics" `Quick test_token_basics;
+    Alcotest.test_case "token deadlines" `Quick test_token_deadline;
+    Alcotest.test_case "health guards" `Quick test_guards;
+    Alcotest.test_case "fault: disarmed is inert" `Quick test_fault_disabled;
+    Alcotest.test_case "fault: rate extremes" `Quick test_fault_rate_extremes;
+    Alcotest.test_case "fault: deterministic in (seed,site,index)" `Quick
+      test_fault_deterministic;
+    Alcotest.test_case "fault: env init" `Quick test_fault_env_init;
+    Alcotest.test_case "validate: clean instance" `Quick test_validate_clean;
+    Alcotest.test_case "validate: NaN preference" `Quick
+      test_validate_catches_nan_pref;
+    Alcotest.test_case "validate: non-finite tau" `Quick
+      test_validate_catches_nan_tau;
+    Alcotest.test_case "serialize rejects poisoned instance" `Quick
+      test_serialize_rejects_poisoned;
+  ]

@@ -370,8 +370,22 @@ let test_pool_for_local_scratch () =
     [ 2; 5 ]
 
 let test_pool_propagates_exceptions () =
-  Alcotest.check_raises "worker exception surfaces" Exit (fun () ->
-      Pool.parallel_for ~domains:3 9 (fun i -> if i = 7 then raise Exit))
+  (* Multi-worker fan-outs wrap the original exception with the
+     failing worker's identity and index range. Index 7 lives in the
+     last of three blocks over [0, 9). *)
+  (match
+     Pool.parallel_for ~domains:3 9 (fun i -> if i = 7 then raise Exit)
+   with
+  | () -> Alcotest.fail "expected Worker_failure"
+  | exception Pool.Worker_failure { worker; index_range = lo, hi; exn; _ } ->
+      Alcotest.(check int) "failing worker" 2 worker;
+      Alcotest.(check bool) "range holds the failing index" true
+        (lo <= 7 && 7 < hi);
+      Alcotest.(check bool) "original exception preserved" true (exn = Exit));
+  (* The serial fallback has no worker to attribute the failure to and
+     re-raises the original exception unwrapped. *)
+  Alcotest.check_raises "serial fallback re-raises unwrapped" Exit (fun () ->
+      Pool.parallel_for ~domains:1 9 (fun i -> if i = 7 then raise Exit))
 
 (* ------------------------ qcheck properties ----------------------- *)
 
