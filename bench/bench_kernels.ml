@@ -42,6 +42,10 @@ type record = {
   variant : string;
   size : int; (* m·k for sampler/AVG-D kernels; repeats for the pool *)
   ns_per_op : float;
+  allocated_words_per_op : float;
+      (* total GC words (minor + major − promoted) per op: minor_words
+         alone would miss large arrays, which are allocated directly in
+         the major heap — exactly the arena traffic tracked here *)
   domains : int option;
       (* worker count a parallel variant actually ran with; [Some 1]
          flags a fan-out measured on a single-domain box, which the
@@ -50,24 +54,40 @@ type record = {
   note : string option; (* free-form context, e.g. objective quality *)
 }
 
-let mk ?domains ?note kernel variant size ns_per_op =
-  { kernel; variant; size; ns_per_op; domains; note }
+let mk ?domains ?note ?(alloc = 0.0) kernel variant size ns_per_op =
+  {
+    kernel;
+    variant;
+    size;
+    ns_per_op;
+    allocated_words_per_op = alloc;
+    domains;
+    note;
+  }
+
+let words_now () =
+  let minor, promoted, major = Gc.counters () in
+  minor +. major -. promoted
 
 (* Best-of-[rounds] wall clock over [ops] iterations of [f]; the
    minimum is the standard noise-robust estimator for single-threaded
    kernels (the pool rows use a single round: they measure wall-clock
-   speedup, not a noise floor). *)
+   speedup, not a noise floor). Returns (ns/op, words/op); allocation
+   is read off the first round — it is deterministic per op, so one
+   round suffices and later rounds stay untouched by counter reads. *)
 let time_kernel ?(rounds = 3) ~ops f =
-  let best = ref infinity in
-  for _ = 1 to rounds do
+  let best = ref infinity and alloc = ref 0.0 in
+  for r = 1 to rounds do
+    let w0 = words_now () in
     let t = Timer.start () in
     for _ = 1 to ops do
       f ()
     done;
     let dt = Timer.elapsed_s t in
+    if r = 1 then alloc := (words_now () -. w0) /. float_of_int ops;
     if dt < !best then best := dt
   done;
-  !best *. 1e9 /. float_of_int ops
+  (!best *. 1e9 /. float_of_int ops, !alloc)
 
 (* Times a before/after pair under comparable load: every round
    measures both sides back to back, alternating which goes first, and
@@ -76,27 +96,33 @@ let time_kernel ?(rounds = 3) ~ops f =
    the small AVG-D shapes dwarfs the effect being measured. *)
 let time_pair ?(rounds = 5) ~ops f g =
   let measure h =
+    let w0 = words_now () in
     let t = Timer.start () in
     for _ = 1 to ops do
       h ()
     done;
-    Timer.elapsed_s t
+    (Timer.elapsed_s t, (words_now () -. w0) /. float_of_int ops)
   in
   let best_f = ref infinity and best_g = ref infinity in
+  let alloc_f = ref 0.0 and alloc_g = ref 0.0 in
   for r = 1 to rounds do
-    let df, dg =
+    let (df, wf), (dg, wg) =
       if r land 1 = 1 then
-        let df = measure f in
-        (df, measure g)
+        let rf = measure f in
+        (rf, measure g)
       else
-        let dg = measure g in
-        (measure f, dg)
+        let rg = measure g in
+        (measure f, rg)
     in
+    if r = 1 then begin
+      alloc_f := wf;
+      alloc_g := wg
+    end;
     if df < !best_f then best_f := df;
     if dg < !best_g then best_g := dg
   done;
   let scale = 1e9 /. float_of_int ops in
-  (!best_f *. scale, !best_g *. scale)
+  ((!best_f *. scale, !alloc_f), (!best_g *. scale, !alloc_g))
 
 (* ---------------- weighted-sampling kernel ------------------------ *)
 
@@ -115,7 +141,7 @@ let weighted_draw_records ~sizes =
       if Select.sum w <= 0.0 then w.(0) <- 1.0;
       let draw_rng = Rng.create 42 in
       let naive_ops = max 50 (2_000_000 / size) in
-      let naive =
+      let naive, naive_w =
         time_kernel ~ops:naive_ops (fun () ->
             let total = Select.sum w in
             ignore total;
@@ -123,15 +149,15 @@ let weighted_draw_records ~sizes =
       in
       let t = Fenwick.of_array w in
       let fen_rng = Rng.create 42 in
-      let fenwick =
+      let fenwick, fenwick_w =
         time_kernel ~ops:100_000 (fun () ->
             ignore (Fenwick.total t);
             let idx = Fenwick.sample fen_rng t in
             Fenwick.set t idx (Fenwick.get t idx))
       in
       [
-        mk "weighted_draw" "naive" size naive;
-        mk "weighted_draw" "fenwick" size fenwick;
+        mk ~alloc:naive_w "weighted_draw" "naive" size naive;
+        mk ~alloc:fenwick_w "weighted_draw" "fenwick" size fenwick;
       ])
     sizes
 
@@ -162,7 +188,7 @@ let avg_d_select_records ~sizes =
       in
       let round = ref 0 in
       let ops = max 50 (2_000_000 / size) in
-      let naive =
+      let naive, naive_w =
         time_kernel ~ops (fun () ->
             let r = !round in
             round := (r + 1) mod rounds;
@@ -197,7 +223,7 @@ let avg_d_select_records ~sizes =
         rescan s
       done;
       round := 0;
-      let champion =
+      let champion, champion_w =
         time_kernel ~ops:100_000 (fun () ->
             let r = !round in
             round := (r + 1) mod rounds;
@@ -223,8 +249,8 @@ let avg_d_select_records ~sizes =
             ignore !pick)
       in
       [
-        mk "avg_d_select" "naive" size naive;
-        mk "avg_d_select" "champion" size champion;
+        mk ~alloc:naive_w "avg_d_select" "naive" size naive;
+        mk ~alloc:champion_w "avg_d_select" "champion" size champion;
       ])
     sizes
 
@@ -240,15 +266,15 @@ let avg_d_end_to_end_records ~shapes =
          tens of microseconds at the small shapes, far below timer and
          scheduler noise. *)
       let ops = max 2 (2_000_000 / (n * m * k)) in
-      let reference, champion =
+      let (reference, reference_w), (champion, champion_w) =
         time_pair ~rounds:5 ~ops
           (fun () -> ignore (Svgic.Algorithms.avg_d_reference inst relax))
           (fun () -> ignore (Svgic.Algorithms.avg_d inst relax))
       in
       let size = m * k in
       [
-        mk "avg_d_full" "naive" size reference;
-        mk "avg_d_full" "champion" size champion;
+        mk ~alloc:reference_w "avg_d_full" "naive" size reference;
+        mk ~alloc:champion_w "avg_d_full" "champion" size champion;
       ])
     shapes
 
@@ -270,25 +296,25 @@ let lp_solve_records ~pairs ~revised_only =
     (fun shape ->
       let problem = simp_lp_of shape in
       let size = Svgic_lp.Problem.num_vars problem in
-      let dense, revised =
+      let (dense, dense_w), (revised, revised_w) =
         time_pair ~rounds:3 ~ops:1
           (fun () -> ignore (Svgic_lp.Simplex.solve problem))
           (fun () -> ignore (Svgic_lp.Revised_simplex.solve problem))
       in
       [
-        mk "lp_solve" "dense" size dense;
-        mk "lp_solve" "revised" size revised;
+        mk ~alloc:dense_w "lp_solve" "dense" size dense;
+        mk ~alloc:revised_w "lp_solve" "revised" size revised;
       ])
     pairs
   @ List.map
       (fun shape ->
         let problem = simp_lp_of shape in
         let size = Svgic_lp.Problem.num_vars problem in
-        let revised =
+        let revised, revised_w =
           time_kernel ~rounds:1 ~ops:1 (fun () ->
               ignore (Svgic_lp.Revised_simplex.solve problem))
         in
-        mk "lp_solve" "revised" size revised)
+        mk ~alloc:revised_w "lp_solve" "revised" size revised)
       revised_only
 
 (* ---------------- AVG phase split: LP solve vs rounding ----------- *)
@@ -302,19 +328,19 @@ let lp_phase_records ~shapes =
       let rng = Rng.create (2500 + n + m + k) in
       let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
       let relax = Svgic.Relaxation.solve inst in
-      let lp =
+      let lp, lp_w =
         time_kernel ~rounds:2 ~ops:1 (fun () ->
             ignore (Svgic.Relaxation.solve inst))
       in
       let ops = max 4 (1_000_000 / (n * m * k)) in
-      let rounding =
+      let rounding, rounding_w =
         time_kernel ~rounds:3 ~ops (fun () ->
             ignore (Svgic.Algorithms.avg_d inst relax))
       in
       let size = m * k in
       [
-        mk "lp_phase" "lp_solve" size lp;
-        mk "lp_phase" "rounding" size rounding;
+        mk ~alloc:lp_w "lp_phase" "lp_solve" size lp;
+        mk ~alloc:rounding_w "lp_phase" "rounding" size rounding;
       ])
     shapes
 
@@ -329,10 +355,13 @@ let pool_records ~repeats ~shape:(n, m, k) =
       (Svgic.Algorithms.avg_best_of ~domains ~repeats (Rng.create 77) inst relax)
   in
   let avail = Pool.available_domains () in
-  let serial, parallel = time_pair ~rounds:3 ~ops:2 (run 1) (run avail) in
+  let (serial, serial_w), (parallel, parallel_w) =
+    time_pair ~rounds:3 ~ops:2 (run 1) (run avail)
+  in
   [
-    mk ~domains:1 "pool_best_of" "serial" repeats serial;
-    mk ~domains:avail "pool_best_of" "parallel" repeats parallel;
+    mk ~domains:1 ~alloc:serial_w "pool_best_of" "serial" repeats serial;
+    mk ~domains:avail ~alloc:parallel_w "pool_best_of" "parallel" repeats
+      parallel;
   ]
 
 (* ---------------- Frank-Wolfe engine ------------------------------ *)
@@ -370,14 +399,17 @@ let fw_solve_records ~shapes =
           ~density:0.1
       in
       let iterations = 40 in
-      let dense, sparse =
+      let (dense, dense_w), (sparse, sparse_w) =
         time_pair ~rounds:3 ~ops:1
           (fun () ->
             ignore (Svgic_lp.Pairwise_fw.Reference.solve ~iterations p))
           (fun () -> ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1 p))
       in
       let size = m * k in
-      [ mk "fw_solve" "dense" size dense; mk "fw_solve" "sparse" size sparse ])
+      [
+        mk ~alloc:dense_w "fw_solve" "dense" size dense;
+        mk ~alloc:sparse_w "fw_solve" "sparse" size sparse;
+      ])
     shapes
 
 (* Sparse engine serial vs fanned out over every available domain.
@@ -390,7 +422,7 @@ let fw_mc_records ~shape:(n, m, k) =
   in
   let iterations = 40 in
   let avail = Pool.available_domains () in
-  let serial, parallel =
+  let (serial, serial_w), (parallel, parallel_w) =
     time_pair ~rounds:3 ~ops:1
       (fun () -> ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1 p))
       (fun () ->
@@ -403,8 +435,9 @@ let fw_mc_records ~shape:(n, m, k) =
     else None
   in
   [
-    mk ~domains:1 "fw_solve_mc" "serial" size serial;
-    mk ~domains:avail ?note "fw_solve_mc" "parallel" size parallel;
+    mk ~domains:1 ~alloc:serial_w "fw_solve_mc" "serial" size serial;
+    mk ~domains:avail ?note ~alloc:parallel_w "fw_solve_mc" "parallel" size
+      parallel;
   ]
 
 (* The full relaxation (scaled Timik instance) through the exact
@@ -420,7 +453,7 @@ let fw_vs_exact_records ~shapes =
       let problem, _ = Svgic.Lp_build.simp_lp inst in
       let size = Svgic_lp.Problem.num_vars problem in
       let exact = ref None in
-      let t_exact =
+      let t_exact, exact_w =
         time_kernel ~rounds:1 ~ops:1 (fun () ->
             exact :=
               Some
@@ -428,7 +461,7 @@ let fw_vs_exact_records ~shapes =
                    ~backend:Svgic.Relaxation.Exact_simplex inst))
       in
       let fw = ref None in
-      let t_fw =
+      let t_fw, fw_w =
         time_kernel ~rounds:1 ~ops:1 (fun () ->
             fw :=
               Some
@@ -455,8 +488,8 @@ let fw_vs_exact_records ~shapes =
           (Option.value ~default:Float.nan fw.Svgic.Relaxation.fw_gap)
       in
       [
-        mk "fw_vs_exact" "exact" size t_exact;
-        mk ~note "fw_vs_exact" "fw" size t_fw;
+        mk ~alloc:exact_w "fw_vs_exact" "exact" size t_exact;
+        mk ~note ~alloc:fw_w "fw_vs_exact" "fw" size t_fw;
       ])
     shapes
 
@@ -474,7 +507,7 @@ let fault_ladder_records ~lp_shapes ~fw_shapes =
     (fun shape ->
       let problem = simp_lp_of shape in
       let size = Svgic_lp.Problem.num_vars problem in
-      let bare, supervised =
+      let (bare, bare_w), (supervised, supervised_w) =
         time_pair ~rounds:5 ~ops:1
           (fun () -> ignore (Svgic_lp.Revised_simplex.solve problem))
           (fun () ->
@@ -484,8 +517,8 @@ let fault_ladder_records ~lp_shapes ~fw_shapes =
                  problem))
       in
       [
-        mk "fault_ladder" "lp_bare" size bare;
-        mk "fault_ladder" "lp_supervised" size supervised;
+        mk ~alloc:bare_w "fault_ladder" "lp_bare" size bare;
+        mk ~alloc:supervised_w "fault_ladder" "lp_supervised" size supervised;
       ])
     lp_shapes
   @ List.concat_map
@@ -495,7 +528,7 @@ let fault_ladder_records ~lp_shapes ~fw_shapes =
             ~density:0.1
         in
         let iterations = 40 in
-        let bare, supervised =
+        let (bare, bare_w), (supervised, supervised_w) =
           time_pair ~rounds:5 ~ops:1
             (fun () ->
               ignore (Svgic_lp.Pairwise_fw.solve ~iterations ~domains:1 p))
@@ -507,8 +540,8 @@ let fault_ladder_records ~lp_shapes ~fw_shapes =
         in
         let size = m * k in
         [
-          mk "fault_ladder" "fw_bare" size bare;
-          mk "fault_ladder" "fw_supervised" size supervised;
+          mk ~alloc:bare_w "fault_ladder" "fw_bare" size bare;
+          mk ~alloc:supervised_w "fault_ladder" "fw_supervised" size supervised;
         ])
       fw_shapes
 
@@ -557,15 +590,15 @@ let st_total_utility_records ~shapes =
       let inst = Datasets.make Datasets.Timik rng ~n ~m ~k ~lambda:0.5 in
       let cfg = Svgic.Baselines.personalized inst in
       let ops = max 20 (4_000_000 / (n * k * 8)) in
-      let naive, reuse =
+      let (naive, naive_w), (reuse, reuse_w) =
         time_pair ~rounds:5 ~ops
           (fun () -> ignore (st_naive inst ~dtel:0.5 cfg))
           (fun () -> ignore (Svgic.St.total_utility inst ~dtel:0.5 cfg))
       in
       let size = n * k in
       [
-        mk "st_total_utility" "naive" size naive;
-        mk "st_total_utility" "reuse" size reuse;
+        mk ~alloc:naive_w "st_total_utility" "naive" size naive;
+        mk ~alloc:reuse_w "st_total_utility" "reuse" size reuse;
       ])
     shapes
 
@@ -637,7 +670,7 @@ let pipeline_records ~shape:(blobs, blob_size, m, k) =
   let mono_obj =
     Svgic.Config.total_utility inst (Svgic.Algorithms.avg_d ~domains:1 inst relax)
   in
-  let monolith, sharded =
+  let (monolith, monolith_w), (sharded, sharded_w) =
     time_pair ~rounds:3 ~ops:1
       (fun () ->
         let relax = Svgic.Relaxation.solve inst in
@@ -651,8 +684,8 @@ let pipeline_records ~shape:(blobs, blob_size, m, k) =
       res.Svgic.Shard.cut_mass res.Svgic.Shard.objective mono_obj
   in
   [
-    mk "pipeline" "monolith" size monolith;
-    mk ~domains:1 ~note "pipeline" "sharded" size sharded;
+    mk ~alloc:monolith_w "pipeline" "monolith" size monolith;
+    mk ~domains:1 ~note ~alloc:sharded_w "pipeline" "sharded" size sharded;
   ]
 
 (* The sharded pipeline serial vs fanned out over every available
@@ -664,7 +697,7 @@ let pipeline_mc_records ~shape:(blobs, blob_size, m, k) =
   in
   let size = Svgic_lp.Problem.num_vars (fst (Svgic.Lp_build.simp_lp inst)) in
   let avail = Pool.available_domains () in
-  let serial, parallel =
+  let (serial, serial_w), (parallel, parallel_w) =
     time_pair ~rounds:3 ~ops:1
       (run_sharded_pipeline ~domains:1 inst)
       (run_sharded_pipeline ~domains:avail inst)
@@ -675,8 +708,56 @@ let pipeline_mc_records ~shape:(blobs, blob_size, m, k) =
     else None
   in
   [
-    mk ~domains:1 "pipeline_mc" "serial" size serial;
-    mk ~domains:avail ?note "pipeline_mc" "parallel" size parallel;
+    mk ~domains:1 ~alloc:serial_w "pipeline_mc" "serial" size serial;
+    mk ~domains:avail ?note ~alloc:parallel_w "pipeline_mc" "parallel" size
+      parallel;
+  ]
+
+(* ---------------- zero-copy shard views --------------------------- *)
+
+(* Community-structured instance straight onto flat arenas (the hot
+   constructor path); returns the instance and the generator's labels
+   so partitioning skips community detection. *)
+let flat_community_instance seed ~n ~communities ~m ~k =
+  let rng = Rng.create seed in
+  let g, labels =
+    Svgic_graph.Generate.timik_like rng ~n ~communities ~attach:2
+      ~cross_frac:0.02
+  in
+  let pref = Float.Array.init (n * m) (fun _ -> Rng.float rng 1.0) in
+  let tau =
+    Float.Array.init
+      (Svgic_graph.Graph.num_edges g * m)
+      (fun _ -> Rng.float rng 0.5)
+  in
+  (Svgic.Instance.of_flat ~graph:g ~m ~k ~lambda:0.5 ~pref ~tau, labels)
+
+(* Zero-copy partition (views over shared arenas) against the same
+   partition materialized into per-shard copies — the pre-arena
+   behavior. The allocation column is the acceptance criterion: the
+   view side allocates only remap tables, O(n + edges) words, no
+   per-shard pref/τ/adjacency copies. *)
+let shard_partition_records ~shape:(n, communities, m, k) =
+  let inst, labels =
+    flat_community_instance (7100 + n + communities) ~n ~communities ~m ~k
+  in
+  let labelling = Svgic.Shard.Labels labels in
+  let (materialized, materialized_w), (views, views_w) =
+    time_pair ~rounds:3 ~ops:1
+      (fun () ->
+        ignore
+          (Svgic.Shard.materialize_shards
+             (Svgic.Shard.partition ~labelling inst)))
+      (fun () -> ignore (Svgic.Shard.partition ~labelling inst))
+  in
+  let note =
+    Printf.sprintf "%d communities, %d edges, arena %.1f MB" communities
+      (Svgic.Instance.num_edges inst)
+      (float_of_int (Svgic.Instance.arena_bytes inst) /. 1048576.0)
+  in
+  [
+    mk ~alloc:materialized_w "shard_partition" "materialized" n materialized;
+    mk ~note ~alloc:views_w "shard_partition" "views" n views;
   ]
 
 (* ---------------- reporting --------------------------------------- *)
@@ -694,6 +775,7 @@ let speedups records =
     | "fw" -> Some "exact"
     | "sharded" -> Some "monolith"
     | "reuse" -> Some "naive"
+    | "views" -> Some "materialized"
     (* Supervision pairs: the "speedup" reads as ~1.0x minus the poll
        overhead, documenting the < 2% clean-path budget. *)
     | "lp_supervised" -> Some "lp_bare"
@@ -735,7 +817,7 @@ let write_json ~path ~smoke records =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"svgic.bench.kernels/v2\",\n";
+  out "  \"schema\": \"svgic.bench.kernels/v3\",\n";
   out "  \"generated_by\": \"dune exec bench/main.exe -- kernels\",\n";
   out "  \"smoke\": %b,\n" smoke;
   out "  \"available_domains\": %d,\n" (Pool.available_domains ());
@@ -752,9 +834,11 @@ let write_json ~path ~smoke records =
         | Some s -> Printf.sprintf ", \"note\": \"%s\"" (json_escape s)
         | None -> ""
       in
-      out "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"size\": %d, \"ns_per_op\": %.1f%s%s}%s\n"
+      out
+        "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"size\": %d, \
+         \"ns_per_op\": %.1f, \"allocated_words_per_op\": %.1f%s%s}%s\n"
         (json_escape r.kernel) (json_escape r.variant) r.size r.ns_per_op
-        domains note
+        r.allocated_words_per_op domains note
         (if i = List.length records - 1 then "" else ","))
     records;
   out "  ],\n";
@@ -771,12 +855,13 @@ let write_json ~path ~smoke records =
   close_out oc
 
 let print_records records =
-  Printf.printf "%-14s %-10s %10s %16s\n" "kernel" "variant" "size" "ns/op";
-  Printf.printf "%s\n" (String.make 54 '-');
+  Printf.printf "%-15s %-12s %10s %16s %14s\n" "kernel" "variant" "size"
+    "ns/op" "words/op";
+  Printf.printf "%s\n" (String.make 70 '-');
   List.iter
     (fun r ->
-      Printf.printf "%-14s %-10s %10d %16.1f" r.kernel r.variant r.size
-        r.ns_per_op;
+      Printf.printf "%-15s %-12s %10d %16.1f %14.1f" r.kernel r.variant r.size
+        r.ns_per_op r.allocated_words_per_op;
       (match r.domains with
       | Some d -> Printf.printf "  domains=%d" d
       | None -> ());
@@ -895,6 +980,9 @@ let run () =
      m, k) below gives ~3.5k monolith LP variables against four
      ~900-variable shard programs, all on the revised simplex. *)
   let pipeline_shape = if smoke then (4, 4, 8, 2) else (4, 10, 30, 4) in
+  let shard_partition_shape =
+    if smoke then (5_000, 10, 6, 2) else (200_000, 200, 8, 4)
+  in
   let records =
     weighted_draw_records ~sizes:sampler_sizes
     @ avg_d_select_records ~sizes:sampler_sizes
@@ -910,6 +998,7 @@ let run () =
     @ st_total_utility_records ~shapes:st_shapes
     @ pipeline_records ~shape:pipeline_shape
     @ pipeline_mc_records ~shape:pipeline_shape
+    @ shard_partition_records ~shape:shard_partition_shape
   in
   print_records records;
   let path = "BENCH_kernels.json" in

@@ -187,7 +187,6 @@ let make_ctx ?size_cap ~r inst relax =
   let state = Csf.create ?size_cap inst relax in
   let facts = Csf.factors state in
   let p' = Instance.scaled_pref inst in
-  let pairs = Instance.pairs inst in
   let pair_w = Instance.pair_weights inst in
   let pcell =
     Array.init n (fun u ->
@@ -197,23 +196,17 @@ let make_ctx ?size_cap ~r inst relax =
         done;
         !acc)
   in
-  let wedge =
-    Array.mapi
-      (fun e (u, v) ->
-        let acc = ref 0.0 in
-        for c = 0 to m - 1 do
-          acc :=
-            !acc +. (pair_w.(e).(c) *. Float.min facts.(u).(c) facts.(v).(c))
-        done;
-        !acc)
-      pairs
-  in
+  let wedge = Array.make (Instance.num_pairs inst) 0.0 in
+  Instance.iter_pairs inst (fun e u v ->
+      let acc = ref 0.0 in
+      for c = 0 to m - 1 do
+        acc := !acc +. (pair_w.(e).(c) *. Float.min facts.(u).(c) facts.(v).(c))
+      done;
+      wedge.(e) <- !acc);
   let adj_lists = Array.make n [] in
-  Array.iteri
-    (fun e (u, v) ->
+  Instance.iter_pairs inst (fun e u v ->
       adj_lists.(u) <- (v, e) :: adj_lists.(u);
-      adj_lists.(v) <- (u, e) :: adj_lists.(v))
-    pairs;
+      adj_lists.(v) <- (u, e) :: adj_lists.(v));
   {
     state;
     p';

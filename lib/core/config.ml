@@ -59,14 +59,12 @@ let utility_split inst t =
     done
   done;
   let social_total = ref 0.0 in
-  Array.iter
-    (fun (u, v) ->
+  Instance.iter_edges inst (fun e u v ->
       for s = 0 to k - 1 do
         let c = t.assign.(u).(s) in
         if t.assign.(v).(s) = c then
-          social_total := !social_total +. Instance.tau inst u v c
-      done)
-    (Svgic_graph.Graph.edges (Instance.graph inst));
+          social_total := !social_total +. Instance.tau_edge inst e c
+      done);
   ((1.0 -. lambda) *. !pref_total, lambda *. !social_total)
 
 let total_utility inst t =
@@ -80,11 +78,9 @@ let user_utility inst t u =
   for s = 0 to k - 1 do
     let c = t.assign.(u).(s) in
     acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u c);
-    Array.iter
-      (fun v ->
+    Instance.iter_out_tau inst u (fun v e ->
         if t.assign.(v).(s) = c then
-          acc := !acc +. (lambda *. Instance.tau inst u v c))
-      (Svgic_graph.Graph.out_neighbors (Instance.graph inst) u)
+          acc := !acc +. (lambda *. Instance.tau_edge inst e c))
   done;
   !acc
 
@@ -108,11 +104,10 @@ let slot_utility inst t s =
   for u = 0 to n - 1 do
     acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u (t.assign.(u).(s)))
   done;
-  Array.iter
-    (fun (u, v) ->
+  Instance.iter_edges inst (fun e u v ->
       let c = t.assign.(u).(s) in
-      if t.assign.(v).(s) = c then acc := !acc +. (lambda *. Instance.tau inst u v c))
-    (Svgic_graph.Graph.edges (Instance.graph inst));
+      if t.assign.(v).(s) = c then
+        acc := !acc +. (lambda *. Instance.tau_edge inst e c));
   !acc
 
 let permute_slots t perm =

@@ -1,74 +1,254 @@
 module Graph = Svgic_graph.Graph
+module FA = Float.Array
 
-type t = {
-  graph : Graph.t;
-  m : int;
-  k : int;
-  lambda : float;
-  pref_table : float array array;
-  tau_table : (int * int, float array) Hashtbl.t;
-  pair_weight_table : float array array; (* aligned with Graph.pairs *)
-  scaled_pref_table : float array array lazy_t;
+(* Flat unboxed arenas keyed by the graph's dense indices:
+
+     apref      n×m row-major preference matrix
+     atau       num_edges×m τ rows, in edge-arena (lexicographic) order
+     pair_fwd   pair index -> edge index of (u, v), -1 when absent
+     pair_bwd   pair index -> edge index of (v, u), -1 when absent
+
+   Per-pair social weights w_e(c) = τ(u,v,c) + τ(v,u,c) are computed
+   on the fly from [atau] through the two index maps instead of being
+   materialized as an n_pairs×m table — at million-user scale that
+   table would rival the τ arena itself.
+
+   The boxed row tables the pre-arena API exposed ([scaled_pref],
+   [pair_weights]) are materialized lazily and cached; solvers that
+   consume whole rows (Csf, Lp_build) keep their shapes, while hot
+   paths read the arenas through the flat accessors. Caches are plain
+   mutable options: they are built before any fan-out ([Csf.prepare]
+   forces them) or used from a single domain per shard. *)
+type arena = {
+  agraph : Graph.t;
+  am : int;
+  ak : int;
+  alambda : float;
+  apref : FA.t;
+  atau : FA.t;
+  pair_fwd : int array;
+  pair_bwd : int array;
+  mutable scaled_rows : float array array option;
+  mutable pref_rows : float array array option;
+  mutable pw_rows : float array array option;
 }
+
+(* A shard's window onto a parent arena: remap tables only, no copied
+   pref rows, τ rows or adjacency. [vusers] lists members in increasing
+   global id (the local numbering); [vlocal] is the parent-wide
+   global -> local table, shared by every sibling view of one
+   partition (so a partition costs O(n) extra memory total, not per
+   shard). [vedges]/[vpairs] map local dense indices to parent dense
+   indices; both are increasing, so local enumeration order equals the
+   lexicographic order of a materialized local graph — float
+   accumulations over views replay the materialized path exactly. *)
+type view = {
+  parent : arena;
+  vusers : int array;
+  vlocal : int array;
+  vedges : int array;
+  vpairs : int array;
+  mutable vgraph : Graph.t option;
+  mutable vscaled_rows : float array array option;
+  mutable vpw_rows : float array array option;
+}
+
+type t = Root of arena | View of view
+
+let arena_of = function Root a -> a | View v -> v.parent
+
+let n = function
+  | Root a -> Graph.n a.agraph
+  | View v -> Array.length v.vusers
+
+let m t = (arena_of t).am
+let k t = (arena_of t).ak
+let lambda t = (arena_of t).alambda
+
+let num_edges = function
+  | Root a -> Graph.num_edges a.agraph
+  | View v -> Array.length v.vedges
+
+let num_pairs = function
+  | Root a -> Graph.num_pairs a.agraph
+  | View v -> Array.length v.vpairs
+
+let is_view = function Root _ -> false | View _ -> true
+
+let global_user t u = match t with Root _ -> u | View v -> v.vusers.(u)
+
+let pref t u c =
+  let a = arena_of t in
+  FA.get a.apref ((global_user t u * a.am) + c)
+
+(* ---- edge/pair index accessors ----------------------------------- *)
+
+let edge_u = function
+  | Root a -> fun e -> Graph.edge_u a.agraph e
+  | View v -> fun e -> v.vlocal.(Graph.edge_u v.parent.agraph v.vedges.(e))
+
+let edge_v = function
+  | Root a -> fun e -> Graph.edge_v a.agraph e
+  | View v -> fun e -> v.vlocal.(Graph.edge_v v.parent.agraph v.vedges.(e))
+
+let pair_fst = function
+  | Root a -> fun i -> Graph.pair_u a.agraph i
+  | View v -> fun i -> v.vlocal.(Graph.pair_u v.parent.agraph v.vpairs.(i))
+
+let pair_snd = function
+  | Root a -> fun i -> Graph.pair_v a.agraph i
+  | View v -> fun i -> v.vlocal.(Graph.pair_v v.parent.agraph v.vpairs.(i))
+
+let tau_edge t e c =
+  match t with
+  | Root a -> FA.get a.atau ((e * a.am) + c)
+  | View v ->
+      let a = v.parent in
+      FA.get a.atau ((v.vedges.(e) * a.am) + c)
+
+let tau t u v c =
+  let a = arena_of t in
+  let gu = global_user t u and gv = global_user t v in
+  let e = Graph.edge_index a.agraph gu gv in
+  if e < 0 then 0.0 else FA.get a.atau ((e * a.am) + c)
+
+(* Scaled combined weight of pair [i] for item [c]; 0 for λ = 0 (the
+   scaled program carries no social mass — the λ-scaling identity only
+   holds for λ > 0). *)
+let pair_weight t i c =
+  let a = arena_of t in
+  if a.alambda = 0.0 then 0.0
+  else begin
+    let gi = match t with Root _ -> i | View v -> v.vpairs.(i) in
+    let f = a.pair_fwd.(gi) and b = a.pair_bwd.(gi) in
+    (if f >= 0 then FA.get a.atau ((f * a.am) + c) else 0.0)
+    +. if b >= 0 then FA.get a.atau ((b * a.am) + c) else 0.0
+  end
+
+(* ---- allocation-free iterators ----------------------------------- *)
+
+let iter_edges t f =
+  match t with
+  | Root a -> Graph.iteri_edges a.agraph f
+  | View v ->
+      let g = v.parent.agraph in
+      Array.iteri
+        (fun e ge ->
+          f e v.vlocal.(Graph.edge_u g ge) v.vlocal.(Graph.edge_v g ge))
+        v.vedges
+
+let iter_pairs t f =
+  match t with
+  | Root a -> Graph.iteri_pairs a.agraph f
+  | View v ->
+      let g = v.parent.agraph in
+      Array.iteri
+        (fun i gi ->
+          f i v.vlocal.(Graph.pair_u g gi) v.vlocal.(Graph.pair_v g gi))
+        v.vpairs
+
+(* Local index of a parent edge: rank in the sorted [vedges] table. *)
+let local_edge_of v ge =
+  let lo = ref 0 and hi = ref (Array.length v.vedges) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let e = v.vedges.(mid) in
+    if e = ge then found := mid else if e < ge then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let view_member v gv =
+  let l = v.vlocal.(gv) in
+  l >= 0 && l < Array.length v.vusers && v.vusers.(l) = gv
+
+let iter_out_tau t u f =
+  match t with
+  | Root a -> Graph.iter_out_edges a.agraph u (fun e v -> f v e)
+  | View w ->
+      Graph.iter_out_edges w.parent.agraph w.vusers.(u) (fun ge gv ->
+          if view_member w gv then f w.vlocal.(gv) (local_edge_of w ge))
+
+let iter_und t u f =
+  match t with
+  | Root a -> Graph.iter_und a.agraph u f
+  | View w ->
+      Graph.iter_und w.parent.agraph w.vusers.(u) (fun gv ->
+          if view_member w gv then f w.vlocal.(gv))
+
+(* ---- construction ------------------------------------------------ *)
+
+let check_dims ~m ~k ~lambda =
+  if not (1 <= k && k <= m) then invalid_arg "Instance.create: need 1 <= k <= m";
+  if not (0.0 <= lambda && lambda <= 1.0) then
+    invalid_arg "Instance.create: lambda out of [0,1]"
+
+let pair_maps graph =
+  let np = Graph.num_pairs graph in
+  let fwd = Array.make np (-1) and bwd = Array.make np (-1) in
+  Graph.iteri_pairs graph (fun i u v ->
+      fwd.(i) <- Graph.edge_index graph u v;
+      bwd.(i) <- Graph.edge_index graph v u);
+  (fwd, bwd)
+
+let root ~graph ~m ~k ~lambda ~apref ~atau =
+  let pair_fwd, pair_bwd = pair_maps graph in
+  Root
+    {
+      agraph = graph;
+      am = m;
+      ak = k;
+      alambda = lambda;
+      apref;
+      atau;
+      pair_fwd;
+      pair_bwd;
+      scaled_rows = None;
+      pref_rows = None;
+      pw_rows = None;
+    }
 
 let create ~graph ~m ~k ~lambda ~pref ~tau =
   let n = Graph.n graph in
-  if not (1 <= k && k <= m) then invalid_arg "Instance.create: need 1 <= k <= m";
-  if not (0.0 <= lambda && lambda <= 1.0) then
-    invalid_arg "Instance.create: lambda out of [0,1]";
+  check_dims ~m ~k ~lambda;
   if Array.length pref <> n then invalid_arg "Instance.create: pref has wrong rows";
-  Array.iter
-    (fun row ->
+  let apref = FA.create (n * m) in
+  Array.iteri
+    (fun u row ->
       if Array.length row <> m then invalid_arg "Instance.create: pref row length";
-      Array.iter
-        (fun p -> if p < 0.0 then invalid_arg "Instance.create: negative preference")
+      Array.iteri
+        (fun c p ->
+          if p < 0.0 then invalid_arg "Instance.create: negative preference";
+          FA.set apref ((u * m) + c) p)
         row)
     pref;
-  let tau_table = Hashtbl.create (max 16 (Graph.num_edges graph)) in
-  Array.iter
-    (fun (u, v) ->
-      let row =
-        Array.init m (fun c ->
-            let value = tau u v c in
-            if value < 0.0 then invalid_arg "Instance.create: negative social utility";
-            value)
-      in
-      Hashtbl.replace tau_table (u, v) row)
-    (Graph.edges graph);
-  let pair_weight_table =
-    (* Combined per-pair weights of the scaled objective
-       [Σ p'·x + Σ w·y]. For λ = 0 the objective is purely
-       preferential, so the scaled program must carry no social mass
-       (the λ-scaling identity only holds for λ > 0). *)
-    if lambda = 0.0 then
-      Array.map (fun _ -> Array.make m 0.0) (Graph.pairs graph)
-    else
-      Array.map
-        (fun (u, v) ->
-          let fwd = Hashtbl.find_opt tau_table (u, v) in
-          let bwd = Hashtbl.find_opt tau_table (v, u) in
-          Array.init m (fun c ->
-              let get = function Some row -> row.(c) | None -> 0.0 in
-              get fwd +. get bwd))
-        (Graph.pairs graph)
-  in
-  let scaled_pref_table =
-    lazy
-      (if lambda = 0.0 then pref
-       else
-         let factor = (1.0 -. lambda) /. lambda in
-         Array.map (Array.map (fun p -> factor *. p)) pref)
-  in
-  {
-    graph;
-    m;
-    k;
-    lambda;
-    pref_table = pref;
-    tau_table;
-    pair_weight_table;
-    scaled_pref_table;
-  }
+  let atau = FA.create (Graph.num_edges graph * m) in
+  Graph.iteri_edges graph (fun e u v ->
+      for c = 0 to m - 1 do
+        let value = tau u v c in
+        if value < 0.0 then invalid_arg "Instance.create: negative social utility";
+        FA.set atau ((e * m) + c) value
+      done);
+  root ~graph ~m ~k ~lambda ~apref ~atau
+
+let of_flat ~graph ~m ~k ~lambda ~pref ~tau =
+  let n = Graph.n graph in
+  check_dims ~m ~k ~lambda;
+  if FA.length pref <> n * m then
+    invalid_arg "Instance.of_flat: pref has wrong length";
+  if FA.length tau <> Graph.num_edges graph * m then
+    invalid_arg "Instance.of_flat: tau has wrong length";
+  for i = 0 to FA.length pref - 1 do
+    if FA.get pref i < 0.0 then
+      invalid_arg "Instance.create: negative preference"
+  done;
+  for i = 0 to FA.length tau - 1 do
+    if FA.get tau i < 0.0 then
+      invalid_arg "Instance.create: negative social utility"
+  done;
+  root ~graph ~m ~k ~lambda ~apref:pref ~atau:tau
+
+(* ---- validation -------------------------------------------------- *)
 
 type violation =
   | Bad_slots of { k : int; m : int }
@@ -87,9 +267,8 @@ let violation_to_string = function
 (* [create] rejects negative values and malformed shapes, but NaN slips
    through every [< 0.0] comparison there (NaN compares false), and
    instances arriving through [Serialize] or long-lived mutation-free
-   pipelines deserve a re-screen. One pass over everything [create]
-   materialized; first [max_violations] offenders are reported with
-   their coordinates. *)
+   pipelines deserve a re-screen. One pass over the arenas; first
+   [max_violations] offenders are reported with their coordinates. *)
 let validate ?(max_violations = 16) t =
   let bad = ref [] and nbad = ref 0 in
   let push v =
@@ -97,53 +276,213 @@ let validate ?(max_violations = 16) t =
     incr nbad
   in
   let healthy x = Float.is_finite x && x >= 0.0 in
-  if not (1 <= t.k && t.k <= t.m) then push (Bad_slots { k = t.k; m = t.m });
-  if not (Float.is_finite t.lambda && 0.0 <= t.lambda && t.lambda <= 1.0) then
-    push (Bad_lambda t.lambda);
-  Array.iteri
-    (fun u row ->
-      Array.iteri
-        (fun c p -> if not (healthy p) then push (Bad_pref { user = u; item = c; value = p }))
-        row)
-    t.pref_table;
-  Array.iter
-    (fun (u, v) ->
-      match Hashtbl.find_opt t.tau_table (u, v) with
-      | None -> ()
-      | Some row ->
-          Array.iteri
-            (fun c w ->
-              if not (healthy w) then push (Bad_tau { u; v; item = c; value = w }))
-            row)
-    (Graph.edges t.graph);
+  let mm = m t and kk = k t in
+  if not (1 <= kk && kk <= mm) then push (Bad_slots { k = kk; m = mm });
+  if not (Float.is_finite (lambda t) && 0.0 <= lambda t && lambda t <= 1.0)
+  then push (Bad_lambda (lambda t));
+  for u = 0 to n t - 1 do
+    for c = 0 to mm - 1 do
+      let p = pref t u c in
+      if not (healthy p) then push (Bad_pref { user = u; item = c; value = p })
+    done
+  done;
+  iter_edges t (fun e u v ->
+      for c = 0 to mm - 1 do
+        let w = tau_edge t e c in
+        if not (healthy w) then push (Bad_tau { u; v; item = c; value = w })
+      done);
   if !nbad = 0 then Ok () else Error (List.rev !bad)
 
-let n t = Graph.n t.graph
-let m t = t.m
-let k t = t.k
-let lambda t = t.lambda
-let graph t = t.graph
-let pref t u c = t.pref_table.(u).(c)
+(* ---- boxed row tables (cached views over the arenas) ------------- *)
 
-let tau t u v c =
-  match Hashtbl.find_opt t.tau_table (u, v) with
-  | Some row -> row.(c)
-  | None -> 0.0
+let pref_rows t =
+  match t with
+  | Root a -> (
+      match a.pref_rows with
+      | Some rows -> rows
+      | None ->
+          let rows =
+            Array.init (Graph.n a.agraph) (fun u ->
+                Array.init a.am (fun c -> FA.get a.apref ((u * a.am) + c)))
+          in
+          a.pref_rows <- Some rows;
+          rows)
+  | View _ ->
+      Array.init (n t) (fun u -> Array.init (m t) (fun c -> pref t u c))
 
-let pairs t = Graph.pairs t.graph
-let pair_weights t = t.pair_weight_table
-let scaled_pref t = Lazy.force t.scaled_pref_table
-let objective_scale t = if t.lambda = 0.0 then 1.0 else t.lambda
+let scaled_pref t =
+  let build () =
+    let a = arena_of t in
+    if a.alambda = 0.0 then pref_rows t
+    else
+      let factor = (1.0 -. a.alambda) /. a.alambda in
+      Array.init (n t) (fun u ->
+          Array.init a.am (fun c -> factor *. pref t u c))
+  in
+  match t with
+  | Root a -> (
+      match a.scaled_rows with
+      | Some rows -> rows
+      | None ->
+          let rows = build () in
+          a.scaled_rows <- Some rows;
+          rows)
+  | View v -> (
+      match v.vscaled_rows with
+      | Some rows -> rows
+      | None ->
+          let rows = build () in
+          v.vscaled_rows <- Some rows;
+          rows)
+
+let scaled_pref_at t u c =
+  let a = arena_of t in
+  if a.alambda = 0.0 then pref t u c
+  else (1.0 -. a.alambda) /. a.alambda *. pref t u c
+
+let pair_weights t =
+  let build () =
+    Array.init (num_pairs t) (fun i ->
+        Array.init (m t) (fun c -> pair_weight t i c))
+  in
+  match t with
+  | Root a -> (
+      match a.pw_rows with
+      | Some rows -> rows
+      | None ->
+          let rows = build () in
+          a.pw_rows <- Some rows;
+          rows)
+  | View v -> (
+      match v.vpw_rows with
+      | Some rows -> rows
+      | None ->
+          let rows = build () in
+          v.vpw_rows <- Some rows;
+          rows)
+
+(* ---- graph + tuple views ----------------------------------------- *)
+
+let graph t =
+  match t with
+  | Root a -> a.agraph
+  | View v -> (
+      match v.vgraph with
+      | Some g -> g
+      | None ->
+          (* Materialize the local adjacency on demand (only consumers
+             of whole-graph structure need it; the solve path runs off
+             the iterators). Local ids are increasing in global id, so
+             the rebuilt graph's lexicographic edge order matches
+             [vedges] index for index. *)
+          let g0 = v.parent.agraph in
+          let ne = Array.length v.vedges in
+          let eu = Array.make ne 0 and ev = Array.make ne 0 in
+          Array.iteri
+            (fun e ge ->
+              eu.(e) <- v.vlocal.(Graph.edge_u g0 ge);
+              ev.(e) <- v.vlocal.(Graph.edge_v g0 ge))
+            v.vedges;
+          let g = Graph.of_edge_arrays ~n:(Array.length v.vusers) eu ev in
+          assert (Graph.num_edges g = ne);
+          v.vgraph <- Some g;
+          g)
+
+let pairs t =
+  match t with
+  | Root a -> Graph.pairs a.agraph
+  | View _ ->
+      Array.init (num_pairs t) (fun i -> (pair_fst t i, pair_snd t i))
+
+let objective_scale t = if lambda t = 0.0 then 1.0 else lambda t
+
+(* ---- derived instances ------------------------------------------- *)
 
 let with_lambda t lambda =
-  create ~graph:t.graph ~m:t.m ~k:t.k ~lambda ~pref:t.pref_table
-    ~tau:(fun u v c -> tau t u v c)
+  check_dims ~m:(m t) ~k:(k t) ~lambda;
+  match t with
+  | Root a ->
+      (* τ and pref arenas are λ-independent; share them and reset the
+         λ-derived caches. *)
+      Root
+        {
+          a with
+          alambda = lambda;
+          scaled_rows = None;
+          pw_rows = None;
+        }
+  | View _ ->
+      create ~graph:(graph t) ~m:(m t) ~k:(k t) ~lambda
+        ~pref:(pref_rows t)
+        ~tau:(fun u v c -> tau t u v c)
 
 let restrict_users t users =
-  let sub, mapping = Graph.subgraph t.graph users in
-  let pref = Array.map (fun old -> Array.copy t.pref_table.(old)) mapping in
+  let sub, mapping = Graph.subgraph (graph t) users in
+  let pref =
+    Array.map (fun old -> Array.init (m t) (fun c -> pref t old c)) mapping
+  in
   let inst =
-    create ~graph:sub ~m:t.m ~k:t.k ~lambda:t.lambda ~pref ~tau:(fun u v c ->
+    create ~graph:sub ~m:(m t) ~k:(k t) ~lambda:(lambda t) ~pref ~tau:(fun u v c ->
         tau t mapping.(u) mapping.(v) c)
   in
   (inst, mapping)
+
+(* ---- views ------------------------------------------------------- *)
+
+let sub_view t ~users ~local_of ~edge_map ~pair_map =
+  match t with
+  | Root a ->
+      View
+        {
+          parent = a;
+          vusers = users;
+          vlocal = local_of;
+          vedges = edge_map;
+          vpairs = pair_map;
+          vgraph = None;
+          vscaled_rows = None;
+          vpw_rows = None;
+        }
+  | View _ -> invalid_arg "Instance.sub_view: parent must be a root instance"
+
+let materialize t =
+  match t with
+  | Root _ -> t
+  | View _ ->
+      let g = graph t in
+      let mm = m t in
+      let apref = FA.create (n t * mm) in
+      for u = 0 to n t - 1 do
+        for c = 0 to mm - 1 do
+          FA.set apref ((u * mm) + c) (pref t u c)
+        done
+      done;
+      let atau = FA.create (num_edges t * mm) in
+      for e = 0 to num_edges t - 1 do
+        for c = 0 to mm - 1 do
+          FA.set atau ((e * mm) + c) (tau_edge t e c)
+        done
+      done;
+      root ~graph:g ~m:mm ~k:(k t) ~lambda:(lambda t) ~apref ~atau
+
+let drop_view_caches t =
+  match t with
+  | Root _ -> ()
+  | View v ->
+      v.vgraph <- None;
+      v.vscaled_rows <- None;
+      v.vpw_rows <- None
+
+(* ---- footprint --------------------------------------------------- *)
+
+let arena_bytes t =
+  let word = Sys.word_size / 8 in
+  match t with
+  | Root a ->
+      (Graph.mem_words a.agraph
+      + FA.length a.apref + FA.length a.atau
+      + Array.length a.pair_fwd + Array.length a.pair_bwd)
+      * word
+  | View v ->
+      (Array.length v.vusers + Array.length v.vedges + Array.length v.vpairs)
+      * word

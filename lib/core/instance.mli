@@ -1,7 +1,22 @@
 (** SVGIC problem instance: a shopping group over a social network, a
     universal item set, preference utilities [p(u,c)], directed social
     utilities [τ(u,v,c)], the preference/social weight [λ] and the
-    number of display slots [k]. *)
+    number of display slots [k].
+
+    Data lives in flat unboxed arenas keyed by the graph's dense
+    edge/pair indices (DESIGN.md §5 "Memory architecture"): an n×m
+    [floatarray] preference matrix and a num_edges×m τ matrix in
+    edge-arena order. The boxed row accessors ([scaled_pref],
+    [pair_weights]) are materialized lazily from the arenas and
+    cached, so row-consuming solvers keep their shapes while hot paths
+    use the flat accessors and iterators.
+
+    An instance is either a {e root} (owns its arenas) or a {e view} —
+    a shard's window onto a root's arenas through remap tables, as
+    built by [Shard.partition]. Every accessor below works uniformly
+    on both; a view allocates no pref/τ/adjacency copies until
+    something forces [graph] or a boxed row table (and [Shard] drops
+    those caches once the shard is solved). *)
 
 type t
 
@@ -13,10 +28,24 @@ val create :
   pref:float array array ->
   tau:(int -> int -> int -> float) ->
   t
-(** [create ~graph ~m ~k ~lambda ~pref ~tau] materializes an instance.
-    [pref] is [n x m] with non-negative entries; [tau u v c] is queried
-    once per directed edge of [graph] and item and must be
+(** [create ~graph ~m ~k ~lambda ~pref ~tau] materializes a root
+    instance. [pref] is [n x m] with non-negative entries; [tau u v c]
+    is queried once per directed edge of [graph] and item and must be
     non-negative. Requires [1 <= k <= m] and [0 <= lambda <= 1]. *)
+
+val of_flat :
+  graph:Svgic_graph.Graph.t ->
+  m:int ->
+  k:int ->
+  lambda:float ->
+  pref:floatarray ->
+  tau:floatarray ->
+  t
+(** Zero-copy constructor from pre-built arenas: [pref] is the n×m
+    row-major preference matrix, [tau] the num_edges×m matrix in edge
+    index order (see {!Svgic_graph.Graph.edge_index}). The arrays are
+    adopted, not copied — callers must not mutate them afterwards.
+    Same validation rules as [create]. *)
 
 type violation =
   | Bad_slots of { k : int; m : int }  (** [1 <= k <= m] violated *)
@@ -29,7 +58,7 @@ type violation =
 val violation_to_string : violation -> string
 
 val validate : ?max_violations:int -> t -> (unit, violation list) result
-(** Numerical-health screen over everything the instance materialized
+(** Numerical-health screen over everything the instance holds
     (DESIGN.md §5 "Failure handling"). [create] already rejects
     negative utilities and malformed shapes, but NaN passes every
     [< 0.0] comparison there, so data arriving through {!Serialize} or
@@ -48,39 +77,130 @@ val k : t -> int
 (** Number of display slots. *)
 
 val lambda : t -> float
+
 val graph : t -> Svgic_graph.Graph.t
+(** The adjacency structure. On a root this is the owned graph; on a
+    view it materializes (and caches) the local subgraph — solver hot
+    paths should prefer the iterators below, which never build it. *)
+
+val num_edges : t -> int
+(** Directed edge count (size of the τ arena's first dimension). *)
+
+val num_pairs : t -> int
+(** Unordered friend-pair count. *)
+
+val is_view : t -> bool
 
 val pref : t -> int -> int -> float
 (** [pref t u c] = p(u,c). *)
 
 val tau : t -> int -> int -> int -> float
-(** [tau t u v c] = τ(u,v,c); 0 when [(u,v)] is not an edge. *)
+(** [tau t u v c] = τ(u,v,c); 0 when [(u,v)] is not an edge.
+    O(log out-degree) — hot paths holding an edge index should use
+    {!tau_edge}. *)
+
+val tau_edge : t -> int -> int -> float
+(** [tau_edge t e c] = τ on the directed edge with dense index [e]
+    (local index on a view). O(1). *)
+
+val edge_u : t -> int -> int
+(** Source endpoint ((local) user id) of edge index [e]. *)
+
+val edge_v : t -> int -> int
+val pair_fst : t -> int -> int
+(** Smaller endpoint of pair index [i]. *)
+
+val pair_snd : t -> int -> int
+
+val pair_weight : t -> int -> int -> float
+(** [pair_weight t i c] is the combined social weight
+    [w_i(c) = τ(u,v,c) + τ(v,u,c)] of pair index [i], as used by the
+    scaled objective [Σ p'·x + Σ w·y]; 0 for all pairs when [λ = 0]
+    (the objective is purely preferential). O(1), reads the τ arena
+    through the pair->edge index maps. *)
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+(** [iter_edges t f] calls [f e u v] per directed edge in dense-index
+    (lexicographic) order. Allocation-free, view-aware. *)
+
+val iter_pairs : t -> (int -> int -> int -> unit) -> unit
+(** [iter_pairs t f] calls [f i u v] per unordered pair in dense-index
+    order. Allocation-free, view-aware. *)
+
+val iter_out_tau : t -> int -> (int -> int -> unit) -> unit
+(** [iter_out_tau t u f] calls [f v e] for each out-neighbor [v] of
+    [u] with the dense edge index [e] of [(u, v)] — the key for
+    {!tau_edge}. On a view, neighbors outside the view are skipped and
+    [e] is the local edge index (O(log edges) rank lookup each). *)
+
+val iter_und : t -> int -> (int -> unit) -> unit
+(** Undirected neighbors of [u] in increasing order; on a view,
+    members only, in increasing local id. *)
 
 val pairs : t -> (int * int) array
-(** Unordered friend pairs (from the graph). *)
+(** Unordered friend pairs as tuples (fresh array per call; prefer
+    {!iter_pairs} / the index accessors on hot paths). *)
 
 val pair_weights : t -> float array array
 (** [pair_weights t] is indexed like [pairs t]: entry [i] is the
-    per-item combined social weight
-    [w_e(c) = τ(u,v,c) + τ(v,u,c)] for pair [i = (u,v)], as used by the
-    scaled objective [Σ p'·x + Σ w·y]. For [λ = 0] all weights are 0
-    (the objective is purely preferential). The returned arrays are
-    owned by the instance — do not mutate. *)
+    per-item combined social weight row of pair [i] (see
+    {!pair_weight}). Materialized from the τ arena on first use and
+    cached. The returned arrays are owned by the instance — do not
+    mutate. *)
 
 val scaled_pref : t -> float array array
 (** The λ-scaling of Section 4.4: [p'(u,c) = (1-λ)/λ · p(u,c)] so that
     algorithms can work at the canonical [λ = 1/2]. For [λ = 0] this
-    returns [p] itself (the social part is zero anyway). Owned by the
-    instance — do not mutate. *)
+    returns [p] itself (the social part is zero anyway). Materialized
+    on first use and cached; owned by the instance — do not mutate. *)
+
+val scaled_pref_at : t -> int -> int -> float
+(** Flat accessor for single scaled-preference cells; same values as
+    [scaled_pref] without materializing rows. *)
 
 val objective_scale : t -> float
 (** Factor converting a scaled objective [Σ p'·x + Σ w·y] back to the
     paper's total SAVG utility: [λ] when [λ > 0], else [1]. *)
 
 val with_lambda : t -> float -> t
-(** Same data under a different weight. *)
+(** Same data under a different weight. On a root this shares the
+    pref/τ arenas (O(1)); a view is materialized first. *)
 
 val restrict_users : t -> int array -> t * int array
 (** Induced sub-instance on the given users (renumbered); returns the
     new-index-to-old-index map. Used by pre-partitioning baselines and
-    the dynamic scenario. *)
+    the dynamic scenario. Materializes a root instance. *)
+
+val sub_view :
+  t ->
+  users:int array ->
+  local_of:int array ->
+  edge_map:int array ->
+  pair_map:int array ->
+  t
+(** [sub_view t ~users ~local_of ~edge_map ~pair_map] wraps a window
+    onto root [t]'s arenas without copying them. [users] lists the
+    member global ids in increasing order (local id = position);
+    [local_of] is the parent-wide global->local table ([users.(local_of.(g)) = g]
+    iff [g] is a member — siblings of one partition share one table);
+    [edge_map]/[pair_map] map local dense indices to parent indices,
+    increasing, and must list exactly the intra-member edges/pairs.
+    [Shard.partition] is the only intended caller; raises
+    [Invalid_argument] if [t] is itself a view. *)
+
+val materialize : t -> t
+(** Copy a view out into a self-contained root instance (fresh graph +
+    arenas, bit-identical accessor values). Identity on roots. Used by
+    tests and benches to compare the view path against the copying
+    path. *)
+
+val drop_view_caches : t -> unit
+(** Release a view's lazily materialized graph/row caches, returning
+    the view to remap-tables-only footprint. [Shard.solve_round] calls
+    this after a shard is stitched so peak memory tracks the largest
+    in-flight shard, not the sum. No-op on roots. *)
+
+val arena_bytes : t -> int
+(** Resident bytes of the owned arenas: graph CSR + pref + τ + pair
+    index maps for a root; remap tables for a view. Excludes cached
+    boxed row tables. *)

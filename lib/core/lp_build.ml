@@ -12,17 +12,18 @@ let build_slot_indexed inst =
   let n = Instance.n inst
   and m = Instance.m inst
   and k = Instance.k inst in
-  let p' = Instance.scaled_pref inst in
-  let pairs = Instance.pairs inst in
-  let weights = Instance.pair_weights inst in
-  let np = Array.length pairs in
+  let np = Instance.num_pairs inst in
   let problem = Problem.create () in
   (* x variables: u-major, then c, then s. *)
   let x_var u c s = (((u * m) + c) * k) + s in
   for u = 0 to n - 1 do
     for c = 0 to m - 1 do
       for s = 0 to k - 1 do
-        let idx = Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c) () in
+        let idx =
+          Problem.add_var problem ~upper:1.0
+            ~obj:(Instance.scaled_pref_at inst u c)
+            ()
+        in
         assert (idx = x_var u c s)
       done
     done
@@ -32,7 +33,11 @@ let build_slot_indexed inst =
   for e = 0 to np - 1 do
     for c = 0 to m - 1 do
       for s = 0 to k - 1 do
-        let idx = Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) () in
+        let idx =
+          Problem.add_var problem ~upper:1.0
+            ~obj:(Instance.pair_weight inst e c)
+            ()
+        in
         assert (idx = y_var e c s)
       done
     done
@@ -54,8 +59,7 @@ let build_slot_indexed inst =
     done
   done;
   (* (5)(6) co-display: y(e,c,s) <= x(u,c,s) and <= x(v,c,s). *)
-  Array.iteri
-    (fun e (u, v) ->
+  Instance.iter_pairs inst (fun e u v ->
       for c = 0 to m - 1 do
         for s = 0 to k - 1 do
           Problem.add_row problem
@@ -65,8 +69,7 @@ let build_slot_indexed inst =
             [ (y_var e c s, 1.0); (x_var v c s, -1.0) ]
             Problem.Le 0.0
         done
-      done)
-    pairs;
+      done);
   (problem, { x_var; y_var })
 
 let full_lp inst = build_slot_indexed inst
@@ -91,33 +94,37 @@ let ip inst =
 let simp_lp inst =
   let n = Instance.n inst and m = Instance.m inst in
   let k = float_of_int (Instance.k inst) in
-  let p' = Instance.scaled_pref inst in
-  let pairs = Instance.pairs inst in
-  let weights = Instance.pair_weights inst in
+  let np = Instance.num_pairs inst in
   let problem = Problem.create () in
   let x_var u c = (u * m) + c in
   for u = 0 to n - 1 do
     for c = 0 to m - 1 do
-      let idx = Problem.add_var problem ~upper:1.0 ~obj:p'.(u).(c) () in
+      let idx =
+        Problem.add_var problem ~upper:1.0
+          ~obj:(Instance.scaled_pref_at inst u c)
+          ()
+      in
       assert (idx = x_var u c)
     done
   done;
   let x_count = n * m in
   let y_var e c = x_count + (e * m) + c in
-  Array.iteri
-    (fun e _ ->
-      for c = 0 to m - 1 do
-        let idx = Problem.add_var problem ~upper:1.0 ~obj:weights.(e).(c) () in
-        assert (idx = y_var e c)
-      done)
-    pairs;
+  for e = 0 to np - 1 do
+    for c = 0 to m - 1 do
+      let idx =
+        Problem.add_var problem ~upper:1.0
+          ~obj:(Instance.pair_weight inst e c)
+          ()
+      in
+      assert (idx = y_var e c)
+    done
+  done;
   for u = 0 to n - 1 do
     Problem.add_row problem
       (List.init m (fun c -> (x_var u c, 1.0)))
       Problem.Eq k
   done;
-  Array.iteri
-    (fun e (u, v) ->
+  Instance.iter_pairs inst (fun e u v ->
       for c = 0 to m - 1 do
         Problem.add_row problem
           [ (y_var e c, 1.0); (x_var u c, -1.0) ]
@@ -125,12 +132,10 @@ let simp_lp inst =
         Problem.add_row problem
           [ (y_var e c, 1.0); (x_var v c, -1.0) ]
           Problem.Le 0.0
-      done)
-    pairs;
+      done);
   (problem, x_var)
 
 let fw_problem inst =
-  let pairs = Instance.pairs inst in
   let weights = Instance.pair_weights inst in
   Svgic_lp.Pairwise_fw.
     {
@@ -138,5 +143,7 @@ let fw_problem inst =
       m = Instance.m inst;
       k = Instance.k inst;
       linear = Instance.scaled_pref inst;
-      pairs = Array.mapi (fun e (u, v) -> (u, v, weights.(e))) pairs;
+      pairs =
+        Array.init (Instance.num_pairs inst) (fun e ->
+            (Instance.pair_fst inst e, Instance.pair_snd inst e, weights.(e)));
     }

@@ -1,18 +1,14 @@
-module Graph = Svgic_graph.Graph
-
 (* Marginal utility of user u seeing item c at slot s, including the
    social utility flowing back from friends (both τ directions), given
    everyone else's frozen assignment. *)
 let marginal inst assign ~user ~item ~slot =
   let lambda = Instance.lambda inst in
   let acc = ref ((1.0 -. lambda) *. Instance.pref inst user item) in
-  Array.iter
-    (fun v ->
+  Instance.iter_und inst user (fun v ->
       if v <> user && assign.(v).(slot) = item then begin
         acc := !acc +. (lambda *. Instance.tau inst user v item);
         acc := !acc +. (lambda *. Instance.tau inst v user item)
-      end)
-    (Graph.neighbors_undirected (Instance.graph inst) user);
+      end);
   !acc
 
 (* One best-response sweep over the given user's cells; returns whether
@@ -56,7 +52,11 @@ let improve ?(max_passes = 8) inst cfg =
       if sweep_user inst assign u then moved := true
     done
   done;
-  Config.make inst assign
+  (* [assign] is this function's private copy and every sweep move
+     preserves the no-duplication invariant, so wrap it without the
+     copy + re-validation of [Config.make] (which doubles the peak
+     footprint of the repair step on large instances). *)
+  Config.make_unchecked assign
 
 let improve_users ?(max_passes = 8) inst cfg users =
   let assign = Config.assignment cfg in
@@ -67,12 +67,12 @@ let improve_users ?(max_passes = 8) inst cfg users =
     moved := false;
     Array.iter (fun u -> if sweep_user inst assign u then moved := true) users
   done;
-  Config.make inst assign
+  Config.make_unchecked assign
 
 let improve_user inst cfg u =
   let assign = Config.assignment cfg in
   ignore (sweep_user inst assign u);
-  Config.make inst assign
+  Config.make_unchecked assign
 
 let gap_estimate inst relax cfg =
   let bound = Relaxation.upper_bound inst relax in

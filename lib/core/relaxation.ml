@@ -44,7 +44,7 @@ type t = {
 let lp_simp_shape inst =
   let n = Instance.n inst
   and m = Instance.m inst
-  and np = Array.length (Instance.pairs inst) in
+  and np = Instance.num_pairs inst in
   let vars = (n + np) * m in
   let rows = n + (2 * np * m) in
   let nnz = (n * m) + (4 * np * m) in

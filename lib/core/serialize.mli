@@ -15,6 +15,26 @@
 val instance_to_string : Instance.t -> string
 val instance_of_string : string -> (Instance.t, string) result
 
+val write_instance : out_channel -> Instance.t -> unit
+(** Streams the instance to the channel one line at a time, straight
+    from the flat arenas — the writer's live state never exceeds a
+    single formatted row, so saving a million-user instance does not
+    build the whole text in memory ([instance_to_string] does). *)
+
+val save_instance : string -> Instance.t -> unit
+(** [save_instance path inst] = [write_instance] into [path]. *)
+
+val load_instance : string -> (Instance.t, string) result
+(** Streaming loader: reads the file line by line, parses the
+    preference matrix and the τ rows directly into flat arenas, and
+    adopts them via [Instance.of_flat] — peak memory is the final
+    instance footprint, not file size + parse intermediates. A
+    writer-produced file (edges in lexicographic order) takes a
+    zero-copy fast path; hand-edited files (out-of-order, duplicate or
+    self-loop edge lines) fall back to an index permutation with the
+    same semantics as [instance_of_string]. Same format and error
+    messages as [instance_of_string]. *)
+
 val config_to_string : Config.t -> Instance.t -> string
 val config_of_string : Instance.t -> string -> (Config.t, string) result
 

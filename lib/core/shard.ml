@@ -39,57 +39,82 @@ let labels_of inst rng = function
 
 let partition ?rng ?(labelling = Components) inst =
   let rng = match rng with Some r -> r | None -> Rng.create 0 in
+  (* Views can only window a root's arenas; partitioning a view (rare —
+     e.g. re-sharding a restricted instance) copies it out first. *)
+  let inst = Instance.materialize inst in
   let n = Instance.n inst and m = Instance.m inst in
   let label = Community.compact_labels (labels_of inst rng labelling) in
   let groups = Community.groups_of_labels label in
   let nshards = Array.length groups in
   (* Global -> shard-local id. [groups_of_labels] lists members in
-     increasing global id, which becomes the local numbering. *)
+     increasing global id, which becomes the local numbering. This one
+     table is shared by every shard view (each only dereferences it at
+     its own members), so the whole partition costs O(n + edges) extra
+     memory — no per-shard pref rows, τ rows or adjacency copies. *)
   let local = Array.make n (-1) in
   Array.iter (Array.iteri (fun i v -> local.(v) <- i)) groups;
-  (* One pass over the source edge list buckets every intra-shard edge
-     (remapped to local ids); one pass over the pair list collects the
-     cut and its mass. *)
-  let edge_buckets = Array.make nshards [] in
-  Array.iter
-    (fun (u, v) ->
+  (* Count-then-fill passes over the dense edge/pair indices build each
+     shard's local->parent remap tables. Parent enumeration order is
+     lexicographic in global ids and local relabelling is monotone, so
+     each table comes out sorted and local index order matches the
+     lexicographic order of the (never materialized) local graph. *)
+  let edge_counts = Array.make (max 1 nshards) 0 in
+  Instance.iter_edges inst (fun _ u v ->
       if label.(u) = label.(v) then
-        edge_buckets.(label.(u)) <-
-          (local.(u), local.(v)) :: edge_buckets.(label.(u)))
-    (Graph.edges (Instance.graph inst));
+        edge_counts.(label.(u)) <- edge_counts.(label.(u)) + 1);
+  let edge_maps = Array.init nshards (fun s -> Array.make edge_counts.(s) 0) in
+  let edge_fill = Array.make (max 1 nshards) 0 in
+  Instance.iter_edges inst (fun e u v ->
+      if label.(u) = label.(v) then begin
+        let s = label.(u) in
+        edge_maps.(s).(edge_fill.(s)) <- e;
+        edge_fill.(s) <- edge_fill.(s) + 1
+      end);
+  let pair_counts = Array.make (max 1 nshards) 0 in
+  let ncut = ref 0 in
+  Instance.iter_pairs inst (fun _ u v ->
+      if label.(u) = label.(v) then
+        pair_counts.(label.(u)) <- pair_counts.(label.(u)) + 1
+      else incr ncut);
+  let pair_maps = Array.init nshards (fun s -> Array.make pair_counts.(s) 0) in
+  let pair_fill = Array.make (max 1 nshards) 0 in
+  let cut = Array.make !ncut (0, 0) in
+  let cut_fill = ref 0 and cut_mass = ref 0.0 in
   let lambda = Instance.lambda inst in
-  let cut = ref [] and cut_mass = ref 0.0 in
-  Array.iter
-    (fun (u, v) ->
-      if label.(u) <> label.(v) then begin
-        cut := (u, v) :: !cut;
+  Instance.iter_pairs inst (fun i u v ->
+      if label.(u) = label.(v) then begin
+        let s = label.(u) in
+        pair_maps.(s).(pair_fill.(s)) <- i;
+        pair_fill.(s) <- pair_fill.(s) + 1
+      end
+      else begin
+        cut.(!cut_fill) <- (u, v);
+        incr cut_fill;
         for c = 0 to m - 1 do
           cut_mass :=
             !cut_mass +. Instance.tau inst u v c +. Instance.tau inst v u c
         done
-      end)
-    (Instance.pairs inst);
+      end);
   let shards =
     Array.mapi
       (fun s users ->
-        let graph = Graph.of_edges ~n:(Array.length users) edge_buckets.(s) in
-        let pref =
-          Array.map
-            (fun g -> Array.init m (fun c -> Instance.pref inst g c))
-            users
-        in
-        let sub =
-          Instance.create ~graph ~m ~k:(Instance.k inst) ~lambda ~pref
-            ~tau:(fun lu lv c -> Instance.tau inst users.(lu) users.(lv) c)
-        in
-        { inst = sub; users })
+        {
+          inst =
+            Instance.sub_view inst ~users ~local_of:local
+              ~edge_map:edge_maps.(s) ~pair_map:pair_maps.(s);
+          users;
+        })
       groups
   in
+  { source = inst; shards; cut_pairs = cut; cut_mass = lambda *. !cut_mass }
+
+let materialize_shards part =
   {
-    source = inst;
-    shards;
-    cut_pairs = Array.of_list (List.rev !cut);
-    cut_mass = lambda *. !cut_mass;
+    part with
+    shards =
+      Array.map
+        (fun s -> { s with inst = Instance.materialize s.inst })
+        part.shards;
   }
 
 type rounding =
@@ -130,9 +155,11 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
     ?(repair_passes = 2) ?token ?(on_fault = Isolate) ~rounding rng part =
   let src = part.source in
   let nshards = Array.length part.shards in
+  let n = Instance.n src and k = Instance.k src in
   (* Per-shard streams derived serially before the fan-out, results
      reduced by index: bit-identical for every [domains] value. *)
   let streams = Rng.split_n rng nshards in
+  let assign = Array.make_matrix n k (-1) in
   (* Per-shard solve + round under the degradation ladder: a failing
      or timed-out shard degrades to its top-k greedy floor instead of
      poisoning the whole fan-out. The returned utility is always the
@@ -159,10 +186,7 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
         | Some Fault.Timeout -> Some (Supervise.expired_token ())
         | Some _ | None -> token
       in
-      if
-        Array.length (Instance.pairs inst) = 0
-        && size_cap = None && injected = None
-      then
+      if Instance.num_pairs inst = 0 && size_cap = None && injected = None then
         let cfg = top_k_pref inst in
         (cfg, Config.total_utility inst cfg, false)
       else begin
@@ -211,24 +235,34 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
         end
       end
     in
-    match on_fault with
-    | Raise -> body ()
-    | Isolate -> ( try body () with Fault.Injected _ | Failure _ -> greedy ())
+    let cfg, util, degraded =
+      match on_fault with
+      | Raise -> body ()
+      | Isolate -> ( try body () with Fault.Injected _ | Failure _ -> greedy ())
+    in
+    (* Spill policy: write this shard's rows straight into the shared
+       assignment (user rows are disjoint across shards, and the pool
+       join publishes them) and drop the view's boxed caches, so the
+       per-shard footprint is reclaimed as soon as it is solved — peak
+       memory stays O(largest shard + arena) instead of O(n·m). *)
+    let users = part.shards.(i).users in
+    Array.iteri
+      (fun lu g ->
+        for s = 0 to k - 1 do
+          assign.(g).(s) <- Config.item cfg ~user:lu ~slot:s
+        done)
+      users;
+    Instance.drop_view_caches inst;
+    (util, degraded)
   in
   let solved = Pool.parallel_map ?domains nshards solve_shard in
-  let n = Instance.n src and k = Instance.k src in
-  let assign = Array.make_matrix n k (-1) in
-  Array.iteri
-    (fun i { users; _ } ->
-      let cfg, _, _ = solved.(i) in
-      Array.iteri
-        (fun lu g ->
-          for s = 0 to k - 1 do
-            assign.(g).(s) <- Config.item cfg ~user:lu ~slot:s
-          done)
-        users)
-    part.shards;
-  let stitched = Config.make src assign in
+  (* Unchecked wrap: every row was written from a shard config that
+     already holds the no-duplication invariant (users partition across
+     shards, so each row is written exactly once), and [assign] is not
+     mutated after this point. Config.make would copy the n x k matrix
+     and hash-validate each row — at XL scale that is another ~n·k
+     words of peak footprint for nothing. *)
+  let stitched = Config.make_unchecked assign in
   let before = Config.total_utility src stitched in
   let config =
     if repair_passes <= 0 || Array.length part.cut_pairs = 0 then stitched
@@ -252,8 +286,8 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
     end
   in
   let objective = Config.total_utility src config in
-  let shard_objectives = Array.map (fun (_, u, _) -> u) solved in
-  let degraded = Array.map (fun (_, _, d) -> d) solved in
+  let shard_objectives = Array.map fst solved in
+  let degraded = Array.map snd solved in
   let bound = Array.fold_left ( +. ) 0.0 shard_objectives -. part.cut_mass in
   {
     config;

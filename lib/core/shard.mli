@@ -23,7 +23,10 @@ type labelling =
       (** caller-supplied community label per user (arbitrary ints) *)
 
 type shard = {
-  inst : Instance.t;  (** sub-instance with users renumbered [0..] *)
+  inst : Instance.t;
+      (** zero-copy {!Instance.sub_view} over the source arenas with
+          users renumbered [0..] (a self-contained root after
+          {!materialize_shards}) *)
   users : int array;  (** shard-local id -> global id (increasing) *)
 }
 
@@ -41,11 +44,20 @@ type partition = {
 
 val partition :
   ?rng:Svgic_util.Rng.t -> ?labelling:labelling -> Instance.t -> partition
-(** Materializes one sub-instance per community of the labelling
-    (default [Components]): the restricted graph with remapped ids and
-    the sliced pref/τ closures, built from a single pass over the
-    source edge and pair lists. [rng] is consumed only by [Balanced]
-    (default seed 0 — the split is then deterministic). *)
+(** Builds one zero-copy sub-instance *view* per community of the
+    labelling (default [Components]): count-then-fill passes over the
+    source edge and pair indices produce each shard's local->parent
+    remap tables, and every shard shares the source's pref/τ/adjacency
+    arenas — O(n + edges) time and extra memory total, no per-shard
+    data copies. [rng] is consumed only by [Balanced] (default seed 0 —
+    the split is then deterministic). A view source is materialized
+    first (views cannot nest). *)
+
+val materialize_shards : partition -> partition
+(** Copies every shard view out into a self-contained root instance
+    (same ids, same values — {!Instance.materialize} per shard). The
+    memory-expensive baseline the equivalence tests and the
+    [shard_partition] bench compare the views against. *)
 
 type rounding =
   | Avg of { repeats : int; advanced_sampling : bool }
@@ -105,6 +117,12 @@ val solve_round :
     An edge-free shard skips the LP entirely: with no social coupling
     its exact optimum is each user's top-k preferred items (the λ = 0
     argument of Section 4.4, per shard).
+
+    Each worker spills its shard's rows straight into the shared
+    global assignment as soon as the shard is solved (user rows are
+    disjoint across shards) and drops the view's cached boxed tables,
+    so the fan-out's peak memory is O(largest shard + arena) rather
+    than proportional to the sum of all shard footprints.
 
     Stitching maps shard rows back to global ids; then cut repair runs
     [Polish.improve_users] best-response sweeps (at most

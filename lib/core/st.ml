@@ -21,21 +21,18 @@ let total_utility inst ~dtel cfg =
   let slot_of = Array.make m (-1) in
   let g = Instance.graph inst in
   for v = 0 to n - 1 do
-    let in_nbrs = Graph.in_neighbors g v in
-    if Array.length in_nbrs > 0 then begin
+    if Graph.in_degree g v > 0 then begin
       for s = 0 to k - 1 do
         slot_of.(Config.item cfg ~user:v ~slot:s) <- s
       done;
-      Array.iter
-        (fun u ->
+      Graph.iter_in g v (fun u ->
           for s = 0 to k - 1 do
             let c = Config.item cfg ~user:u ~slot:s in
             let s' = slot_of.(c) in
             if s' = s then social_part := !social_part +. Instance.tau inst u v c
             else if s' >= 0 then
               social_part := !social_part +. (dtel *. Instance.tau inst u v c)
-          done)
-        in_nbrs;
+          done);
       for s = 0 to k - 1 do
         slot_of.(Config.item cfg ~user:v ~slot:s) <- -1
       done

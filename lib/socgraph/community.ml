@@ -33,16 +33,13 @@ let label_propagation ?(max_rounds = 50) rng g =
     Rng.shuffle rng order;
     Array.iter
       (fun v ->
-        let nbrs = Graph.neighbors_undirected g v in
-        if Array.length nbrs > 0 then begin
+        if Graph.degree_undirected g v > 0 then begin
           (* Most frequent neighbor label; ties broken randomly. *)
           let counts = Hashtbl.create 8 in
-          Array.iter
-            (fun u ->
+          Graph.iter_und g v (fun u ->
               let l = labels.(u) in
               Hashtbl.replace counts l
-                (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
-            nbrs;
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)));
           let best_count =
             Hashtbl.fold (fun _ c acc -> max c acc) counts 0
           in
@@ -62,7 +59,7 @@ let label_propagation ?(max_rounds = 50) rng g =
   compact_labels labels
 
 let modularity g labels =
-  let m2 = float_of_int (2 * Array.length (Graph.pairs g)) in
+  let m2 = float_of_int (2 * Graph.num_pairs g) in
   if m2 = 0.0 then 0.0
   else begin
     let size = Graph.n g in
@@ -71,11 +68,9 @@ let modularity g labels =
     let count = Array.fold_left (fun acc l -> max acc (l + 1)) 0 labels in
     let internal = Array.make count 0.0 in
     let degree_sum = Array.make count 0.0 in
-    Array.iter
-      (fun (u, v) ->
+    Graph.iteri_pairs g (fun _ u v ->
         if labels.(u) = labels.(v) then
-          internal.(labels.(u)) <- internal.(labels.(u)) +. 1.0)
-      (Graph.pairs g);
+          internal.(labels.(u)) <- internal.(labels.(u)) +. 1.0);
     for v = 0 to size - 1 do
       degree_sum.(labels.(v)) <-
         degree_sum.(labels.(v)) +. float_of_int (Graph.degree_undirected g v)
@@ -92,7 +87,7 @@ let modularity g labels =
 let greedy_modularity g =
   let size = Graph.n g in
   let labels = Array.init size (fun i -> i) in
-  if Array.length (Graph.pairs g) = 0 then compact_labels labels
+  if Graph.num_pairs g = 0 then compact_labels labels
   else begin
     let current = ref (modularity g labels) in
     let improved = ref true in
@@ -101,8 +96,7 @@ let greedy_modularity g =
       (* Candidate merges: community pairs connected by an edge. *)
       let seen = Hashtbl.create 64 in
       let best_gain = ref 1e-12 and best_pair = ref None in
-      Array.iter
-        (fun (u, v) ->
+      Graph.iteri_pairs g (fun _ u v ->
           let a = labels.(u) and b = labels.(v) in
           if a <> b then begin
             let key = (min a b, max a b) in
@@ -115,8 +109,7 @@ let greedy_modularity g =
                 best_pair := Some (a, b)
               end
             end
-          end)
-        (Graph.pairs g);
+          end);
       match !best_pair with
       | Some (a, b) ->
           Array.iteri (fun v l -> if l = b then labels.(v) <- a) labels;
@@ -144,11 +137,9 @@ let balanced_partition rng g ~parts =
   Array.iter
     (fun v ->
       let friend_count = Array.make parts 0 in
-      Array.iter
-        (fun u ->
+      Graph.iter_und g v (fun u ->
           if assignment.(u) >= 0 then
-            friend_count.(assignment.(u)) <- friend_count.(assignment.(u)) + 1)
-        (Graph.neighbors_undirected g v);
+            friend_count.(assignment.(u)) <- friend_count.(assignment.(u)) + 1);
       let best = ref (-1) in
       for p = 0 to parts - 1 do
         if

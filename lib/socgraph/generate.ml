@@ -89,6 +89,72 @@ let planted_partition ?(reciprocal = true) rng ~n ~communities ~p_in ~p_out =
   done;
   (Graph.of_edges ~n (directed_edges ~reciprocal rng !undirected), assignment)
 
+let timik_like rng ~n ~communities ~attach ~cross_frac =
+  assert (communities >= 1 && communities <= n);
+  assert (attach >= 1);
+  assert (cross_frac >= 0.0);
+  let labels = Array.make n 0 in
+  let base = n / communities and extra = n mod communities in
+  let starts = Array.make (communities + 1) 0 in
+  for c = 0 to communities - 1 do
+    starts.(c + 1) <- starts.(c) + base + (if c < extra then 1 else 0)
+  done;
+  let ncross = int_of_float (cross_frac *. float_of_int n) in
+  (* Every structure here is a flat preallocated int array — growing a
+     million-vertex graph must not touch lists or per-vertex boxes.
+     Capacity bound: each community adds at most 1 seed edge plus
+     [attach] per vertex. *)
+  let cap = max 1 ((n * attach) + communities + ncross) in
+  let eu = Array.make cap 0 and ev = Array.make cap 0 in
+  let ne = ref 0 in
+  let push u v =
+    (* One random direction per accepted link (Timik-style sparse
+       trust edges; the reciprocal case is just both pushes). *)
+    let u, v = if Rng.bool rng then (u, v) else (v, u) in
+    eu.(!ne) <- u;
+    ev.(!ne) <- v;
+    incr ne
+  in
+  (* Repeated-endpoint pool for degree-proportional targets, sized for
+     the largest community and reused across them. *)
+  let max_size = base + if extra > 0 then 1 else 0 in
+  let pool = Array.make (max 2 (2 * ((max_size * attach) + 1))) 0 in
+  for c = 0 to communities - 1 do
+    let lo = starts.(c) and hi = starts.(c + 1) in
+    for v = lo to hi - 1 do
+      labels.(v) <- c
+    done;
+    if hi - lo >= 2 then begin
+      push lo (lo + 1);
+      pool.(0) <- lo;
+      pool.(1) <- lo + 1;
+      let fill = ref 2 in
+      for v = lo + 2 to hi - 1 do
+        (* Duplicate draws are harmless: the graph constructor dedups,
+           and the pool still tilts toward high-degree targets. *)
+        for _ = 1 to min attach (v - lo) do
+          let t = pool.(Rng.int rng !fill) in
+          if t <> v then begin
+            push v t;
+            pool.(!fill) <- v;
+            pool.(!fill + 1) <- t;
+            fill := !fill + 2
+          end
+        done
+      done
+    end
+  done;
+  let crossed = ref 0 and attempts = ref 0 in
+  while !crossed < ncross && !attempts < 20 * (ncross + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if labels.(u) <> labels.(v) then begin
+      push u v;
+      incr crossed
+    end
+  done;
+  (Graph.of_edge_arrays ~n (Array.sub eu 0 !ne) (Array.sub ev 0 !ne), labels)
+
 let random_walk_sample rng g ~size =
   let total = Graph.n g in
   assert (size <= total);
@@ -107,10 +173,9 @@ let random_walk_sample rng g ~size =
   let max_steps = 200 * size in
   while Hashtbl.length visited < size && !steps < max_steps do
     incr steps;
-    let nbrs = Graph.neighbors_undirected g !current in
-    if Array.length nbrs = 0 || Rng.bernoulli rng 0.15 then
-      current := start (* restart *)
-    else current := Rng.pick rng nbrs;
+    let deg = Graph.degree_undirected g !current in
+    if deg = 0 || Rng.bernoulli rng 0.15 then current := start (* restart *)
+    else current := Graph.und_neighbor g !current (Rng.int rng deg);
     visit !current
   done;
   (* Stalled walk (disconnected graph): top up uniformly. *)

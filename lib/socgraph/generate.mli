@@ -42,6 +42,24 @@ val planted_partition :
     cross-block pairs with [p_out]. Returns the graph and the block
     assignment. *)
 
+val timik_like :
+  Svgic_util.Rng.t ->
+  n:int ->
+  communities:int ->
+  attach:int ->
+  cross_frac:float ->
+  Graph.t * int array
+(** Community-structured preferential-attachment graph at bench scale:
+    vertices are split as evenly as possible into [communities]
+    consecutive blocks, each grown Barabási–Albert-style ([attach]
+    links per new vertex, one random direction per link, as in the
+    Timik "trust" crawl), then bridged by [cross_frac·n] random
+    cross-community edges. Returns the graph and the community
+    labels — the natural [Shard.Labels] input. Flat-array construction
+    throughout: usable at millions of vertices, unlike the list-based
+    generators above. Requires [1 <= communities <= n],
+    [attach >= 1]. *)
+
 val random_walk_sample : Svgic_util.Rng.t -> Graph.t -> size:int -> int array
 (** Samples [size] distinct vertices by a restarting random walk
     (restart probability 0.15), the scheme the paper cites for carving

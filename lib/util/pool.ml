@@ -1,7 +1,8 @@
 (* Chunked fork/join fan-out over raw OCaml 5 domains. Each call
-   partitions [0, n) into one contiguous block per worker, spawns
-   [workers - 1] domains and runs the first block on the calling
-   domain. No domain pool is kept alive between calls: spawn cost is
+   partitions [0, n) into contiguous chunks — one per worker for small
+   ranges, a bounded multiple of the worker count for large ones (see
+   [run_blocks]) — spawns [workers - 1] domains and runs the first
+   chunk on the calling domain. No domain pool is kept alive between calls: spawn cost is
    tens of microseconds, negligible against the LP-rounding workloads
    this fans out, and short-lived domains keep the substrate free of
    shutdown/ordering concerns.
@@ -36,23 +37,52 @@ let resolve_workers ?domains n =
      explicit [~domains:1], or a trivial range all bypass spawning. *)
   max 1 (min requested n)
 
-(* Runs [body lo hi] over a partition of [0, n) with [workers] blocks.
-   Block w covers [w*n/workers, (w+1)*n/workers). *)
+(* Bounded chunking: below this many indices per worker the call keeps
+   the one-block-per-worker static split (fixed worker -> index-range
+   attribution, zero scheduling traffic); above it the range is cut
+   into at most [chunk_cap_factor] chunks per worker, pulled off a
+   shared counter so stragglers rebalance. Capping the chunk *count*
+   rather than the chunk size keeps million-index sweeps from creating
+   thousands of tiny tasks: chunks grow with n. *)
+let min_chunk = 32
+let chunk_cap_factor = 4
+
+(* Runs [body lo hi] over a partition of [0, n) split into [chunks]
+   contiguous blocks; chunk c covers [c*n/chunks, (c+1)*n/chunks).
+   With [chunks = workers] block w runs on worker w (the seed's static
+   schedule); with more chunks than workers each worker pulls the next
+   unclaimed chunk off an atomic counter. Either way every index is
+   covered exactly once, so by-index reductions are schedule-blind. *)
 let run_blocks ~workers n body =
   if n > 0 then begin
     if workers <= 1 then body 0 n
     else begin
-      let bound w = w * n / workers in
+      let chunks =
+        if n < 2 * workers * min_chunk then workers
+        else min (workers * chunk_cap_factor) (n / min_chunk)
+      in
+      let bound c = c * n / chunks in
+      let next = Atomic.make workers in
       (* Every block failure — not just the first — is captured with
          its worker id, index range and backtrace; the first is
          re-raised as [Worker_failure] after all domains are joined,
          the rest are counted so they are not silently dropped. *)
-      let wrap w lo hi () =
+      let wrap w () =
+        let current = ref (0, 0) in
         try
-          body lo hi;
+          (* Chunk w first (static schedule when chunks = workers),
+             then any chunks left unclaimed. *)
+          let c = ref w in
+          while !c < chunks do
+            let lo = bound !c and hi = bound (!c + 1) in
+            current := (lo, hi);
+            body lo hi;
+            c := Atomic.fetch_and_add next 1
+          done;
           None
         with e ->
           let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+          let lo, hi = !current in
           Some
             (Worker_failure
                { worker = w; index_range = (lo, hi); exn = e; backtrace = bt })
@@ -60,9 +90,9 @@ let run_blocks ~workers n body =
       let spawned =
         Array.init (workers - 1) (fun i ->
             let w = i + 1 in
-            Domain.spawn (wrap w (bound w) (bound (w + 1))))
+            Domain.spawn (wrap w))
       in
-      let first = ref (wrap 0 0 (bound 1) ()) in
+      let first = ref (wrap 0 ()) in
       (* Join everything — even after a calling-domain failure — so no
          domain outlives the call. *)
       let others = ref 0 in

@@ -1,0 +1,36 @@
+(* /proc/self/status lines look like "VmHWM:    123456 kB". The parse
+   is deliberately forgiving: any line starting with the wanted prefix
+   contributes its first integer token, scaled by the kB unit procfs
+   always uses for these fields. *)
+
+let field_kb prefix =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > String.length prefix
+                   && String.sub line 0 (String.length prefix) = prefix
+                then
+                  let rest =
+                    String.sub line (String.length prefix)
+                      (String.length line - String.length prefix)
+                  in
+                  let digits = Buffer.create 12 in
+                  String.iter
+                    (fun c ->
+                      if c >= '0' && c <= '9' then Buffer.add_char digits c
+                      else if Buffer.length digits > 0 && c = ' ' then ())
+                    rest;
+                  int_of_string_opt (Buffer.contents digits)
+                else scan ()
+          in
+          scan ())
+
+let peak_rss_bytes () = Option.map (fun kb -> kb * 1024) (field_kb "VmHWM:")
+let current_rss_bytes () = Option.map (fun kb -> kb * 1024) (field_kb "VmRSS:")

@@ -1,0 +1,14 @@
+(** Process-memory introspection via [/proc/self/status] (Linux).
+
+    The XL pipeline bench reports peak resident set size next to the
+    instance's arena footprint, so memory regressions show up in the
+    same JSON rows as time regressions. On platforms without procfs
+    the readers return [None] and callers degrade to time-only rows. *)
+
+val peak_rss_bytes : unit -> int option
+(** High-water resident set size ([VmHWM]) of the current process.
+    Monotone over the process lifetime — a fresh process per
+    measurement is the only way to scope it to one workload. *)
+
+val current_rss_bytes : unit -> int option
+(** Current resident set size ([VmRSS]). *)

@@ -2,14 +2,20 @@ type t = { parent : int array; rank : int array; mutable sets : int }
 
 let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
 
-let rec find t i =
-  let p = t.parent.(i) in
-  if p = i then i
-  else begin
-    let root = find t p in
-    t.parent.(i) <- root;
-    root
-  end
+(* Iterative path halving: every node on the walk is re-pointed at its
+   grandparent, so the chain at least halves per traversal and no
+   recursion frame is spent per hop. Recursive path compression gave
+   the same amortized bounds but a stack frame per hop — a freshly
+   unioned million-node chain (components of a path graph) overflows
+   the default stack before the first compression completes. *)
+let find t i =
+  let i = ref i in
+  while t.parent.(!i) <> !i do
+    let gp = t.parent.(t.parent.(!i)) in
+    t.parent.(!i) <- gp;
+    i := gp
+  done;
+  !i
 
 let union t a b =
   let ra = find t a and rb = find t b in

@@ -17,6 +17,7 @@ let () =
       ("polish+serialize", Test_polish_serialize.suite);
       ("reductions", Test_reductions.suite);
       ("shard", Test_shard.suite);
+      ("arena", Test_arena.suite);
       ("supervise", Test_supervise.suite);
       ("robustness", Test_robustness.suite);
       ("datagen", Test_datagen.suite);
