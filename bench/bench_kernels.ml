@@ -317,6 +317,64 @@ let lp_solve_records ~pairs ~revised_only =
         mk ~alloc:revised_w "lp_solve" "revised" size revised)
       revised_only
 
+(* ---------------- LP engine: eta file vs sparse LU ----------------- *)
+
+(* The same LP_SIMP program through the revised simplex under both
+   basis-factorization engines: the seed's Gauss-Jordan product-form
+   eta file against the Markowitz sparse LU with eta-append updates.
+   Identical pricing and ratio test on both sides, so the pair
+   isolates the factorization (FTRAN/BTRAN cost and rebuild policy);
+   the ~13k-variable shape is where the LU engine's hypersparse
+   triangular solves pay off. *)
+let lp_engine_records ~shapes =
+  let module RS = Svgic_lp.Revised_simplex in
+  List.concat_map
+    (fun shape ->
+      let problem = simp_lp_of shape in
+      let size = Svgic_lp.Problem.num_vars problem in
+      let (eta, eta_w), (lu, lu_w) =
+        time_pair ~rounds:1 ~ops:1
+          (fun () -> ignore (RS.solve ~engine:RS.Eta_file problem))
+          (fun () -> ignore (RS.solve ~engine:RS.Sparse_lu problem))
+      in
+      [
+        mk ~alloc:eta_w "lp_engine" "eta" size eta;
+        mk ~alloc:lu_w "lp_engine" "lu" size lu;
+      ])
+    shapes
+
+(* Characterizes the LU rebuild itself, off the counters of a normal
+   Sparse_lu solve: ns_per_op is factor time per rebuild, and the note
+   carries the fill ratio (factor nonzeros over basis-column nonzeros
+   at the last rebuild) and how many pivots/update etas one base
+   factorization absorbs before the fill-growth policy asks for the
+   next. *)
+let lp_refactor_records ~shapes =
+  let module RS = Svgic_lp.Revised_simplex in
+  List.filter_map
+    (fun shape ->
+      let problem = simp_lp_of shape in
+      let size = Svgic_lp.Problem.num_vars problem in
+      match RS.solve ~engine:RS.Sparse_lu problem with
+      | RS.Optimal sol ->
+          let s = sol.RS.stats in
+          let rebuilds = max 1 s.RS.refactorizations in
+          let per_rebuild = s.RS.factor_s *. 1e9 /. float_of_int rebuilds in
+          let note =
+            Printf.sprintf
+              "%d rebuilds over %d pivots (%.1f pivots/rebuild); fill %d nnz \
+               / basis %d nnz (ratio %.2f); %d update etas"
+              s.RS.refactorizations sol.RS.pivots
+              (float_of_int sol.RS.pivots /. float_of_int rebuilds)
+              s.RS.fill_nnz s.RS.basis_nnz
+              (float_of_int s.RS.fill_nnz
+              /. float_of_int (max 1 s.RS.basis_nnz))
+              s.RS.eta_appends
+          in
+          Some (mk ~note "lp_refactor" "lu" size per_rebuild)
+      | RS.Infeasible | RS.Unbounded | RS.Timeout _ -> None)
+    shapes
+
 (* ---------------- AVG phase split: LP solve vs rounding ----------- *)
 
 (* Where an AVG run spends its time per instance size: the relaxation
@@ -760,6 +818,63 @@ let shard_partition_records ~shape:(n, communities, m, k) =
     mk ~note ~alloc:views_w "shard_partition" "views" n views;
   ]
 
+(* ---------------- zero-allocation hot sweeps ---------------------- *)
+
+(* Words/op measured outside the timing machinery: the counter
+   readbacks and the timer box cost a small constant number of words
+   per *measurement*, which the op count dilutes below the assert
+   threshold — a single real allocation per op (≥ 2 words) lands 40x
+   above it. *)
+let time_zero_alloc ~ops f =
+  f ();
+  (* warm-up: forces lazies and any one-time arena growth *)
+  let t = Timer.start () in
+  let w0 = words_now () in
+  for _ = 1 to ops do
+    f ()
+  done;
+  let dw = words_now () -. w0 in
+  let dt = Timer.elapsed_s t in
+  (dt *. 1e9 /. float_of_int ops, dw /. float_of_int ops)
+
+(* The two per-iteration hot paths the GC pass pinned to zero
+   minor-heap allocation: the Frank-Wolfe fused sweep (serial path;
+   gradient + exact objective + top-k oracle + gap per user) and the
+   AVG-D slot-eval sweep (prepare one slot, re-score every item).
+   Regressions fail the bench run itself — and the CI grep on the
+   emitted 0.0 — rather than just drifting the baseline. *)
+let zero_alloc_records ~fw_shape:(n, m, k) ~csf_shape:(cn, cm, ck) =
+  let assert_zero name w =
+    if w > 0.05 then
+      failwith
+        (Printf.sprintf
+           "zero-alloc regression: %s allocates %.3f words/op (expected 0)"
+           name w)
+  in
+  let p =
+    fw_sparse_problem (8100 + n + m + k) ~n ~m ~k ~edges:(4 * n) ~density:0.1
+  in
+  let st = Svgic_lp.Pairwise_fw.sweep_state p in
+  let fw_ops = max 1_000 (20_000_000 / (n * m * k)) in
+  let fw_ns, fw_w =
+    time_zero_alloc ~ops:fw_ops (fun () -> Svgic_lp.Pairwise_fw.sweep_serial st)
+  in
+  assert_zero "fw_sweep" fw_w;
+  let rng = Rng.create (8200 + cn + cm + ck) in
+  let inst = Datasets.make Datasets.Timik rng ~n:cn ~m:cm ~k:ck ~lambda:0.5 in
+  let relax = Svgic.Relaxation.solve inst in
+  let se = Svgic.Algorithms.Slot_eval.create inst relax in
+  let csf_ops = max 1_000 (40_000_000 / (cn * cm)) in
+  let csf_ns, csf_w =
+    time_zero_alloc ~ops:csf_ops (fun () ->
+        Svgic.Algorithms.Slot_eval.sweep se ~slot:0)
+  in
+  assert_zero "csf_slot_eval" csf_w;
+  [
+    mk ~alloc:fw_w "fw_sweep" "fused" (n * m) fw_ns;
+    mk ~alloc:csf_w "csf_slot_eval" "hot" (cn * cm) csf_ns;
+  ]
+
 (* ---------------- reporting --------------------------------------- *)
 
 let speedups records =
@@ -771,6 +886,9 @@ let speedups records =
     | "champion" -> Some "naive"
     | "parallel" -> Some "serial"
     | "revised" -> Some "dense"
+    (* lp_engine pairs; the lp_refactor "lu" row has no eta twin and
+       derives no ratio. *)
+    | "lu" -> Some "eta"
     | "sparse" -> Some "dense"
     | "fw" -> Some "exact"
     | "sharded" -> Some "monolith"
@@ -962,6 +1080,16 @@ let run () =
     else [ (8, 12); (12, 16); (20, 24); (19, 26); (24, 26) ]
   in
   let lp_revised_only = if smoke then [] else [ (50, 80) ] in
+  (* The largest pair is the acceptance shape of the LU work: ~13k
+     variables, where the eta file's dense triangular applies dominate
+     the solve. Smoke keeps one tiny pair so CI exercises both engine
+     paths end to end. *)
+  let lp_engine_shapes =
+    if smoke then [ (8, 12) ] else [ (20, 24); (24, 26); (50, 80) ]
+  in
+  let lp_refactor_shapes = if smoke then [ (8, 12) ] else [ (24, 26); (50, 80) ] in
+  let za_fw_shape = if smoke then (16, 12, 2) else (256, 128, 8) in
+  let za_csf_shape = if smoke then (8, 8, 2) else (24, 128, 8) in
   let lp_phase_shapes =
     if smoke then [ (8, 8, 2) ] else [ (16, 12, 2); (20, 64, 4); (24, 128, 8) ]
   in
@@ -988,6 +1116,8 @@ let run () =
     @ avg_d_select_records ~sizes:sampler_sizes
     @ avg_d_end_to_end_records ~shapes:avg_d_shapes
     @ lp_solve_records ~pairs:lp_pairs ~revised_only:lp_revised_only
+    @ lp_engine_records ~shapes:lp_engine_shapes
+    @ lp_refactor_records ~shapes:lp_refactor_shapes
     @ lp_phase_records ~shapes:lp_phase_shapes
     @ pool_records ~repeats:pool_repeats ~shape:pool_shape
     @ fw_solve_records ~shapes:fw_shapes
@@ -999,6 +1129,7 @@ let run () =
     @ pipeline_records ~shape:pipeline_shape
     @ pipeline_mc_records ~shape:pipeline_shape
     @ shard_partition_records ~shape:shard_partition_shape
+    @ zero_alloc_records ~fw_shape:za_fw_shape ~csf_shape:za_csf_shape
   in
   print_records records;
   let path = "BENCH_kernels.json" in

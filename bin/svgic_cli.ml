@@ -89,6 +89,15 @@ let on_fault_arg =
 let out_arg =
   Arg.(value & opt string "instance.svgic" & info [ "out"; "o" ] ~doc:"output path")
 
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose"; "v" ]
+        ~doc:
+          "Print solver internals: when the relaxation ran on the revised \
+           simplex, its pivot count and basis-factorization counters \
+           (refactorizations, factor fill, update etas)")
+
 let make_instance ?load preset seed ~n ~m ~k ~lambda =
   match load with
   | Some path -> (
@@ -149,8 +158,26 @@ let warn_degraded relax =
       "note               : degraded solve (deadline or numerical fallback); \
        result is feasible but not certified optimal\n"
 
-let run_method name ?cap ?shards ?token ?(on_fault = Svgic.Shard.Isolate) seed
-    inst =
+(* --verbose: the relaxation's simplex counters, when the revised
+   engine produced the point (the dense tableau, Frank-Wolfe and
+   greedy paths carry none). *)
+let report_lp_stats verbose relax =
+  if verbose then
+    match relax.Svgic.Relaxation.lp_stats with
+    | Some { Svgic.Relaxation.pivots; factor } ->
+        Printf.printf
+          "lp engine          : %d pivots, %d refactorizations, fill %d nnz, \
+           %d update etas (%.3f s refactorizing)\n"
+          pivots factor.Svgic_lp.Revised_simplex.refactorizations
+          factor.Svgic_lp.Revised_simplex.fill_nnz
+          factor.Svgic_lp.Revised_simplex.eta_appends
+          factor.Svgic_lp.Revised_simplex.factor_s
+    | None ->
+        Printf.printf
+          "lp engine          : no revised-simplex counters on this path\n"
+
+let run_method name ?cap ?shards ?token ?(on_fault = Svgic.Shard.Isolate)
+    ?(verbose = false) seed inst =
   let rng = Rng.create (seed + 1) in
   match (name, shards) with
   | "avg", Some spec ->
@@ -163,10 +190,12 @@ let run_method name ?cap ?shards ?token ?(on_fault = Svgic.Shard.Isolate) seed
   | "avg", None ->
       let relax = Svgic.Relaxation.solve ?token inst in
       warn_degraded relax;
+      report_lp_stats verbose relax;
       Ok (Svgic.Algorithms.avg_best_of ~repeats:9 ?size_cap:cap rng inst relax)
   | "avg-d", None ->
       let relax = Svgic.Relaxation.solve ?token inst in
       warn_degraded relax;
+      report_lp_stats verbose relax;
       Ok (Svgic.Algorithms.avg_d ?size_cap:cap inst relax)
   | _, Some _ ->
       Error (Printf.sprintf "--shards only applies to avg/avg-d, not %S" name)
@@ -213,7 +242,7 @@ let generate_cmd =
 
 let solve_cmd =
   let run preset n m k lambda seed method_name cap shards load deadline
-      on_fault =
+      on_fault verbose =
     let inst = make_instance ?load preset seed ~n ~m ~k ~lambda in
     Printf.printf "%s instance: n=%d m=%d k=%d lambda=%.2f\n\n"
       (match load with Some path -> path | None -> Datasets.name preset ^ "-like")
@@ -222,7 +251,9 @@ let solve_cmd =
     let token =
       Option.map (fun s -> Svgic_util.Supervise.create ~deadline_s:s ()) deadline
     in
-    match run_method method_name ?cap ?shards ?token ~on_fault seed inst with
+    match
+      run_method method_name ?cap ?shards ?token ~on_fault ~verbose seed inst
+    with
     | Error msg ->
         prerr_endline msg;
         exit 1
@@ -251,7 +282,7 @@ let solve_cmd =
     Term.(
       const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
       $ method_arg $ cap_arg $ shards_arg $ load_arg $ deadline_arg
-      $ on_fault_arg)
+      $ on_fault_arg $ verbose_arg)
 
 let compare_cmd =
   let run preset n m k lambda seed cap =

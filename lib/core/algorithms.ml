@@ -157,18 +157,30 @@ type candidate = { score : float; alpha : float }
    same-slot invalidation sweep evaluates every item of a single slot
    against a frozen state, so the lookups (including the per-edge
    neighbor checks, the hottest loads of the evaluation) are filled
-   once per sweep instead of once per item. *)
+   once per sweep instead of once per item. The subgroup under
+   construction lives in [star]/[star_n] (a preallocated worklist, not
+   a list — the eval loop must not cons), and the best candidate found
+   is left in [best] rather than returned, so the hot path builds no
+   options or records either. [best] is a float array, not a pair of
+   mutable float fields: float fields of a mixed record are boxed, so
+   every store would allocate. *)
 type scratch = {
   in_star : bool array;
-  star_members : int list ref;
+  star : int array;
+  mutable star_n : int;
   slot_free : bool array;
+  mutable best_found : bool;
+  best : float array;  (* [| score; alpha |] of the best candidate *)
 }
 
 let make_scratch n =
   {
     in_star = Array.make n false;
-    star_members = ref [];
+    star = Array.make (max 1 n) 0;
+    star_n = 0;
     slot_free = Array.make n false;
+    best_found = false;
+    best = [| neg_infinity; nan |];
   }
 
 
@@ -220,54 +232,90 @@ let make_ctx ?size_cap ~r inst relax =
 let prepare_slot ctx scratch ~slot =
   Csf.fill_slot_empty ctx.state ~slot scratch.slot_free
 
-(* Evaluates the best threshold for a focal pair. O(n + degree sum of
-   eligible users). Only [scratch] is mutated; [scratch.slot_free] must
-   hold [slot]'s emptiness flags (see [prepare_slot]). A locked pair
-   has no eligible user, so it short-circuits without the user scan. *)
-let evaluate_pair_prepared ctx scratch ~item ~slot =
-  if Csf.locked ctx.state ~item ~slot then None
-  else begin
-    let facts = Csf.factors ctx.state in
-    let order = Csf.sorted_users ctx.state item in
+(* Evaluates the best threshold for a focal pair into
+   [scratch.best_found] and [scratch.best]. O(n + degree sum of
+   eligible users), and allocation-free: the loops below are written
+   without closures ([Array.iter] bodies capture their environment) or
+   intermediate structures, so the same-slot invalidation sweep — m
+   calls against one prepared slot — stays off the minor heap
+   entirely, which the [csf_slot_eval] bench row asserts. Only
+   [scratch] is mutated; [scratch.slot_free] must hold [slot]'s
+   emptiness flags (see [prepare_slot]). A locked pair has no eligible
+   user, so it short-circuits without the user scan. *)
+let evaluate_pair_hot ctx scratch ~item ~slot =
+  scratch.best_found <- false;
+  scratch.best.(0) <- neg_infinity;
+  scratch.best.(1) <- nan;
+  if not (Csf.locked ctx.state ~item ~slot) then begin
+    let state = ctx.state in
+    let facts = Csf.factors state in
+    let order = Csf.sorted_users state item in
     let slot_free = scratch.slot_free in
-    let best = ref None in
+    let in_star = scratch.in_star in
+    let star = scratch.star in
+    let pcell = ctx.pcell and wedge = ctx.wedge and adj = ctx.adj in
+    let r = ctx.r in
     let alg = ref 0.0 and removed = ref 0.0 in
-    let record alpha =
-      let score = !alg -. (ctx.r *. !removed) in
-      match !best with
-      | Some { score = s; _ } when s >= score -> ()
-      | Some _ | None -> best := Some { score; alpha }
-    in
-    let add u =
-      scratch.in_star.(u) <- true;
-      scratch.star_members := u :: !(scratch.star_members);
-      alg := !alg +. ctx.p'.(u).(item);
-      removed := !removed +. ctx.pcell.(u);
-      Array.iter
-        (fun (v, e) ->
+    (* [pending] is the factor of the last user added; [started] stands
+       in for the seed code's NaN sentinel. The threshold-recording
+       step is written out twice below instead of as a helper: a local
+       function would capture these refs, forcing them onto the heap
+       per call. On ties the earlier (higher) threshold keeps the
+       seat, matching the seed's [s >= score] skip. *)
+    let pending = ref 0.0 and started = ref false in
+    let nstar = ref 0 in
+    for oi = 0 to Array.length order - 1 do
+      let u = order.(oi) in
+      if slot_free.(u) && not (Csf.item_used state ~user:u ~item) then begin
+        let f = facts.(u).(item) in
+        (* Record the previous threshold once a strictly smaller
+           factor appears (ties must enter the subgroup together). *)
+        if !started && f < !pending then begin
+          let score = !alg -. (r *. !removed) in
+          if (not scratch.best_found) || score > scratch.best.(0) then begin
+            scratch.best_found <- true;
+            scratch.best.(0) <- score;
+            scratch.best.(1) <- !pending
+          end
+        end;
+        in_star.(u) <- true;
+        star.(!nstar) <- u;
+        incr nstar;
+        alg := !alg +. ctx.p'.(u).(item);
+        removed := !removed +. pcell.(u);
+        let a = adj.(u) in
+        for i = 0 to Array.length a - 1 do
+          let v, e = a.(i) in
           if slot_free.(v) then
-            if scratch.in_star.(v) then alg := !alg +. ctx.pair_w.(e).(item)
-            else removed := !removed +. ctx.wedge.(e))
-        ctx.adj.(u)
-    in
-    let pending = ref nan in
-    Array.iter
-      (fun u ->
-        if slot_free.(u) && not (Csf.item_used ctx.state ~user:u ~item) then begin
-          let f = facts.(u).(item) in
-          (* Record the previous threshold once a strictly smaller
-             factor appears (ties must enter the subgroup together). *)
-          if (not (Float.is_nan !pending)) && f < !pending then record !pending;
-          add u;
-          pending := f
-        end)
-      order;
-    if not (Float.is_nan !pending) then record !pending;
+            if in_star.(v) then alg := !alg +. ctx.pair_w.(e).(item)
+            else removed := !removed +. wedge.(e)
+        done;
+        pending := f;
+        started := true
+      end
+    done;
+    if !started then begin
+      let score = !alg -. (r *. !removed) in
+      if (not scratch.best_found) || score > scratch.best.(0) then begin
+        scratch.best_found <- true;
+        scratch.best.(0) <- score;
+        scratch.best.(1) <- !pending
+      end
+    end;
     (* Reset scratch state. *)
-    List.iter (fun u -> scratch.in_star.(u) <- false) !(scratch.star_members);
-    scratch.star_members := [];
-    !best
+    for i = 0 to !nstar - 1 do
+      in_star.(star.(i)) <- false
+    done;
+    scratch.star_n <- 0
   end
+
+(* Option-returning wrapper, kept for the reference implementation and
+   anyone who wants the candidate materialized. *)
+let evaluate_pair_prepared ctx scratch ~item ~slot =
+  evaluate_pair_hot ctx scratch ~item ~slot;
+  if scratch.best_found then
+    Some { score = scratch.best.(0); alpha = scratch.best.(1) }
+  else None
 
 let evaluate_pair ctx scratch ~item ~slot =
   prepare_slot ctx scratch ~slot;
@@ -357,20 +405,19 @@ let avg_d ?(r = 0.25) ?size_cap ?domains inst relax =
     let ctx = make_ctx ?size_cap ~r inst relax in
     (* Force the per-state lazy user ordering before fanning out. *)
     ignore (Csf.sorted_users ctx.state 0);
-    let cache =
-      Pool.parallel_map_local ?domains (m * k)
-        ~local:(fun () -> make_scratch n)
-        (fun scratch idx ->
-          evaluate_pair ctx scratch ~item:(idx / k) ~slot:(idx mod k))
-    in
-    (* Flat score mirror of [cache] (-inf = no candidate), so champion
-       folds and rescans touch one unboxed float array instead of
-       chasing options. *)
-    let score =
-      Array.map
-        (function Some { score; _ } -> score | None -> neg_infinity)
-        cache
-    in
+    (* Flat candidate cache (-inf score = no candidate), written
+       straight off the hot evaluator's scratch fields: champion folds
+       and rescans touch unboxed float arrays, and no candidate
+       options/records are ever built on the avg_d path. *)
+    let score = Array.make (m * k) neg_infinity in
+    let alpha = Array.make (m * k) nan in
+    Pool.parallel_for_local ?domains (m * k)
+      ~local:(fun () -> make_scratch n)
+      (fun scratch idx ->
+        prepare_slot ctx scratch ~slot:(idx mod k);
+        evaluate_pair_hot ctx scratch ~item:(idx / k) ~slot:(idx mod k);
+        score.(idx) <- scratch.best.(0);
+        alpha.(idx) <- scratch.best.(1));
     (* champ.(s): cache index of the slot maximum (lowest index on
        ties), -1 when the slot has no candidate. guard.(s): upper bound
        on every non-champion score of the slot; it may drift high
@@ -402,11 +449,10 @@ let avg_d ?(r = 0.25) ?size_cap ?domains inst relax =
     done;
     let scratch = make_scratch n in
     let recompute_raw idx =
-      cache.(idx) <- evaluate_pair ctx scratch ~item:(idx / k) ~slot:(idx mod k);
-      score.(idx) <-
-        (match cache.(idx) with
-        | Some { score; _ } -> score
-        | None -> neg_infinity)
+      prepare_slot ctx scratch ~slot:(idx mod k);
+      evaluate_pair_hot ctx scratch ~item:(idx / k) ~slot:(idx mod k);
+      score.(idx) <- scratch.best.(0);
+      alpha.(idx) <- scratch.best.(1)
     in
     let recompute idx =
       recompute_raw idx;
@@ -447,38 +493,67 @@ let avg_d ?(r = 0.25) ?size_cap ?domains inst relax =
         else begin
           let idx = best_idx in
           let c = idx / k and s = idx mod k in
-          match cache.(idx) with
-          | None -> assert false
-          | Some { alpha; _ } ->
-              let assigned = Csf.apply ctx.state ~item:c ~slot:s ~alpha in
-              if assigned = [] then recompute idx
-              else begin
-                (* Invalidate exactly the pairs whose eligibility or
-                   future-mass terms changed: same slot (any item),
-                   same item (any slot). The same-slot sweep touches
-                   every candidate of slot [s], so its champion is
-                   refolded inline instead of by a separate rescan. *)
-                champ.(s) <- -1;
-                guard.(s) <- neg_infinity;
-                prepare_slot ctx scratch ~slot:s;
-                for c' = 0 to m - 1 do
-                  let idx' = (c' * k) + s in
-                  cache.(idx') <-
-                    evaluate_pair_prepared ctx scratch ~item:c' ~slot:s;
-                  score.(idx') <-
-                    (match cache.(idx') with
-                    | Some { score; _ } -> score
-                    | None -> neg_infinity);
-                  fold_entry s idx'
-                done;
-                for s' = 0 to k - 1 do
-                  if s' <> s then recompute ((c * k) + s')
-                done
-              end
+          let assigned = Csf.apply ctx.state ~item:c ~slot:s ~alpha:alpha.(idx) in
+          if assigned = [] then recompute idx
+          else begin
+            (* Invalidate exactly the pairs whose eligibility or
+               future-mass terms changed: same slot (any item),
+               same item (any slot). The same-slot sweep touches
+               every candidate of slot [s], so its champion is
+               refolded inline instead of by a separate rescan. *)
+            champ.(s) <- -1;
+            guard.(s) <- neg_infinity;
+            prepare_slot ctx scratch ~slot:s;
+            for c' = 0 to m - 1 do
+              let idx' = (c' * k) + s in
+              evaluate_pair_hot ctx scratch ~item:c' ~slot:s;
+              score.(idx') <- scratch.best.(0);
+              alpha.(idx') <- scratch.best.(1);
+              fold_entry s idx'
+            done;
+            for s' = 0 to k - 1 do
+              if s' <> s then recompute ((c * k) + s')
+            done
+          end
         end
       end
     done;
     Csf.to_config ctx.state
+
+(* ------------------------------------------------------------------ *)
+(* Bench hook: one Csf slot-eval sweep in isolation                    *)
+(* ------------------------------------------------------------------ *)
+
+module Slot_eval = struct
+  type t = {
+    ctx : avg_d_ctx;
+    scratch : scratch;
+    score : float array;
+    alpha : float array;
+  }
+
+  let create ?(r = 0.25) inst relax =
+    let ctx = make_ctx ~r inst relax in
+    (* Force the lazy per-item user ordering so the sweep never hits a
+       thunk. *)
+    ignore (Csf.sorted_users ctx.state 0);
+    let m = Instance.m inst in
+    {
+      ctx;
+      scratch = make_scratch (Instance.n inst);
+      score = Array.make m neg_infinity;
+      alpha = Array.make m nan;
+    }
+
+  let sweep t ~slot =
+    let m = Instance.m (Csf.instance t.ctx.state) in
+    prepare_slot t.ctx t.scratch ~slot;
+    for c = 0 to m - 1 do
+      evaluate_pair_hot t.ctx t.scratch ~item:c ~slot;
+      t.score.(c) <- t.scratch.best.(0);
+      t.alpha.(c) <- t.scratch.best.(1)
+    done
+end
 
 (* ------------------------------------------------------------------ *)
 (* Independent rounding (Algorithm 1, kept as a counter-example)       *)

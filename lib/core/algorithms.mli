@@ -82,6 +82,26 @@ val avg_d_reference :
     the "before" side of the candidate-selection benchmark; prefer
     [avg_d]. *)
 
+(** The AVG-D inner loop in isolation: one prepared-slot evaluation
+    sweep (re-score every item of one slot against the frozen rounding
+    state). This is the per-iteration hot path of [avg_d]; it is
+    exposed so the allocation bench can pin it — a sweep over a
+    created [t] allocates no words at all (no closures, options or
+    list cells on the path), which the [csf_slot_eval] bench row
+    asserts. *)
+module Slot_eval : sig
+  type t
+
+  val create : ?r:float -> Instance.t -> Relaxation.t -> t
+  (** Fresh AVG-D evaluation context over an empty rounding state
+      ([r] defaults to 1/4, as in [avg_d]). *)
+
+  val sweep : t -> slot:int -> unit
+  (** Prepare [slot]'s per-user emptiness flags, then evaluate every
+      item of the slot, leaving per-item best scores/thresholds in
+      internal flat arrays. Allocation-free. *)
+end
+
 val independent_rounding :
   Svgic_util.Rng.t -> Instance.t -> Relaxation.t -> int array array
 (** Algorithm 1: each cell independently draws an item with probability

@@ -15,21 +15,27 @@ type backend =
 type budget = { exact_vars : int; exact_nnz : int; dense_vars : int }
 
 (* Calibrated against BENCH_kernels.json lp_solve rows (revised
-   engine): ~0.13 s at 1.9k variables, ~10.3 s at 13.3k. Fitting the
-   power law between those points puts the ~2 s exact-solve envelope
-   at ~6.5k variables / ~20k matrix nonzeros; instances beyond it go
-   to the certified Frank-Wolfe engine. The dense-tableau window stops
-   at the measured engine crossover: the paired lp_solve rows show the
-   revised engine ahead from ~290 variables (2.4x) through the old 1.5k
-   ceiling (4.5-6.8x), so dense is only picked for the tiny programs
-   below that — which matters doubly for the sharded pipeline, whose
-   per-shard programs land exactly in the former dense window. *)
+   engine, sparse-LU factorization): ~64 ms at 1.9k variables, ~3.9 s
+   at 13.3k. Fitting the power law between those points puts the ~2 s
+   exact-solve envelope at ~9.5k variables / ~32k matrix nonzeros —
+   half again what the product-form eta engine could afford (~6.5k /
+   ~20k), because the LU basis keeps the per-pivot FTRAN/BTRAN cost
+   flat where the eta file's grew with the pivot count. Instances
+   beyond the envelope go to the certified Frank-Wolfe engine. The
+   dense-tableau window stops at the measured engine crossover: the
+   paired lp_solve rows show the revised engine ahead from ~290
+   variables (2.7x) through 1.9k (12x), so dense is only picked for
+   the tiny programs below that — which matters doubly for the sharded
+   pipeline, whose per-shard programs land exactly in the former dense
+   window. *)
 let default_budget =
-  { exact_vars = 6_000; exact_nnz = 20_000; dense_vars = 256 }
+  { exact_vars = 9_500; exact_nnz = 32_000; dense_vars = 256 }
 
 let budget_ref = ref default_budget
 let backend_budget () = !budget_ref
 let set_backend_budget b = budget_ref := b
+
+type lp_stats = { pivots : int; factor : Revised.stats }
 
 type t = {
   xbar : float array array;
@@ -37,6 +43,7 @@ type t = {
   basis : Revised.vbasis option;
   fw_gap : float option;
   degraded : bool;
+  lp_stats : lp_stats option;
 }
 
 (* LP_SIMP shape without building the program: (n + np) * m variables,
@@ -99,7 +106,8 @@ let solve_exact ?warm ?token ?(force_revised = false) ~what problem =
     | Some t when Supervise.expired t -> raise Deadline_exhausted
     | Some _ | None -> ());
     match Svgic_lp.Simplex.solve problem with
-    | Svgic_lp.Simplex.Optimal { x; objective; _ } -> (x, objective, None, true)
+    | Svgic_lp.Simplex.Optimal { x; objective; _ } ->
+        (x, objective, None, None, true)
     | Svgic_lp.Simplex.Infeasible ->
         failwith (Printf.sprintf "Relaxation.solve: %s reported infeasible" what)
     | Svgic_lp.Simplex.Unbounded ->
@@ -107,8 +115,8 @@ let solve_exact ?warm ?token ?(force_revised = false) ~what problem =
   end
   else
     match Revised.solve ?basis:warm ?token problem with
-    | Revised.Optimal { x; objective; basis; _ } ->
-        (x, objective, Some basis, true)
+    | Revised.Optimal { x; objective; basis; pivots; stats } ->
+        (x, objective, Some basis, Some { pivots; factor = stats }, true)
     | Revised.Infeasible ->
         failwith (Printf.sprintf "Relaxation.solve: %s reported infeasible" what)
     | Revised.Unbounded ->
@@ -117,20 +125,24 @@ let solve_exact ?warm ?token ?(force_revised = false) ~what problem =
         (* A feasible partial is a usable (degraded) relaxation point:
            every downstream consumer only needs feasibility, the
            optimality only sharpened the bound. *)
-        (p.Revised.x, p.Revised.objective, Some p.Revised.basis, false)
+        ( p.Revised.x,
+          p.Revised.objective,
+          Some p.Revised.basis,
+          Some { pivots = p.Revised.pivots; factor = p.Revised.stats },
+          false )
     | Revised.Timeout _ -> raise Deadline_exhausted
 
 let solve_simplex ?warm ?token ?force_revised inst =
   let problem, x_var = Lp_build.simp_lp inst in
   (* The uniform point k/m is always feasible, so infeasibility here is
      a solver bug, not an input condition. *)
-  let x, objective, basis, complete =
+  let x, objective, basis, lp_stats, complete =
     solve_exact ?warm ?token ?force_revised ~what:"LP_SIMP" problem
   in
   let n = Instance.n inst and m = Instance.m inst in
   let xbar = Array.init n (fun u -> Array.init m (fun c -> x.(x_var u c))) in
   { xbar; scaled_objective = objective; basis; fw_gap = None;
-    degraded = not complete }
+    degraded = not complete; lp_stats }
 
 let solve_fw ~iterations ~smoothing ~gap_tol ~domains ?token inst =
   let problem = Lp_build.fw_problem inst in
@@ -144,6 +156,7 @@ let solve_fw ~iterations ~smoothing ~gap_tol ~domains ?token inst =
     basis = None;
     fw_gap = Some solution.gap;
     degraded = solution.timed_out;
+    lp_stats = None;
   }
 
 (* Bottom rung of the ladder: each user's top-k preferred items as an
@@ -163,7 +176,7 @@ let greedy_fallback inst =
   done;
   let objective = Svgic_lp.Pairwise_fw.objective (Lp_build.fw_problem inst) xbar in
   { xbar; scaled_objective = objective; basis = None; fw_gap = None;
-    degraded = true }
+    degraded = true; lp_stats = None }
 
 (* The config-phase degradation ladder (DESIGN.md §5):
      exact -> exact retry (revised engine, no warm basis)
@@ -214,7 +227,7 @@ let solve ?(backend = Auto) ?warm ?token inst =
 
 let solve_without_transform inst =
   let problem, maps = Lp_build.full_lp inst in
-  let x, objective, basis, _ = solve_exact ~what:"LP_SVGIC" problem in
+  let x, objective, basis, lp_stats, _ = solve_exact ~what:"LP_SVGIC" problem in
   let n = Instance.n inst
   and m = Instance.m inst
   and k = Instance.k inst in
@@ -227,7 +240,8 @@ let solve_without_transform inst =
             done;
             !acc))
   in
-  { xbar; scaled_objective = objective; basis; fw_gap = None; degraded = false }
+  { xbar; scaled_objective = objective; basis; fw_gap = None; degraded = false;
+    lp_stats }
 
 let upper_bound inst r = Instance.objective_scale inst *. r.scaled_objective
 

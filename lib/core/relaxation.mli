@@ -31,15 +31,16 @@ type budget = {
 }
 (** Backend-selection thresholds, calibrated from the committed
     BENCH_kernels.json [lp_solve] rows so that [Auto]'s exact solves
-    stay inside a ~2 s envelope: the revised simplex measured ~0.13 s
-    at 1.9k LP variables and ~10.3 s at 13.3k, and the fitted power
-    law crosses 2 s near 6.5k variables / 20k nonzeros. Defaults:
-    [exact_vars = 6_000], [exact_nnz = 20_000], [dense_vars = 256] —
-    the dense tableau is only picked below the measured engine
-    crossover (the paired rows show the revised engine 2.4x ahead
-    already at ~290 variables). Instances beyond the envelope route to
-    the Frank–Wolfe engine, which reports its achieved gap in
-    {!t.fw_gap}. *)
+    stay inside a ~2 s envelope: the revised simplex (sparse-LU
+    factorization) measured ~64 ms at 1.9k LP variables and ~3.9 s at
+    13.3k, and the fitted power law crosses 2 s near 9.5k variables /
+    32k nonzeros — up from ~6.5k / 20k under the product-form eta
+    engine. Defaults: [exact_vars = 9_500], [exact_nnz = 32_000],
+    [dense_vars = 256] — the dense tableau is only picked below the
+    measured engine crossover (the paired rows show the revised engine
+    2.7x ahead already at ~290 variables). Instances beyond the
+    envelope route to the Frank–Wolfe engine, which reports its
+    achieved gap in {!t.fw_gap}. *)
 
 val backend_budget : unit -> budget
 val set_backend_budget : budget -> unit
@@ -52,6 +53,15 @@ val choose_backend : Instance.t -> backend
     {!backend_budget}. Never returns [Auto]. The Frank–Wolfe fallback
     carries a default [gap_tol] of [1e-3 · n · k] (the objective's
     natural scale), so Auto solves are certified, not fixed-budget. *)
+
+type lp_stats = {
+  pivots : int;  (** basis changes of the final simplex attempt *)
+  factor : Svgic_lp.Revised_simplex.stats;
+      (** factorization counters (refactorizations, fill, update etas,
+          refactorization seconds) of the same attempt *)
+}
+(** Solver counters of the exact revised-simplex path, surfaced for
+    diagnostics (the CLI prints them under [--verbose]). *)
 
 type t = {
   xbar : float array array;  (** [n x m] utility factors, rows sum to k *)
@@ -71,6 +81,10 @@ type t = {
           feasible and [scaled_objective] is its true value, but it is
           a lower bound on the relaxation optimum, not the optimum —
           {!upper_bound} must not be read as an upper bound *)
+  lp_stats : lp_stats option;
+      (** pivot and factorization counters when the revised simplex
+          produced [xbar] (optimal or feasible deadline partial);
+          [None] on the dense-tableau, Frank–Wolfe and greedy paths *)
 }
 
 val solve :

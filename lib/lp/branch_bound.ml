@@ -27,6 +27,7 @@ type result = {
   bound : float;
   nodes : int;
   pivots : int;
+  refactorizations : int;
   proved_optimal : bool;
 }
 
@@ -130,6 +131,7 @@ let solve ?(options = default_options) base ~binary =
   push { fixings = []; parent_bound = infinity; parent_basis = None };
   let nodes = ref 0 in
   let pivots = ref 0 in
+  let refactors = ref 0 in
   let exhausted = ref false in
   let continue = ref true in
   while !continue do
@@ -158,8 +160,10 @@ let solve ?(options = default_options) base ~binary =
                    bound. *)
                 exhausted := true;
                 continue := false
-            | Revised_simplex.Optimal { x; objective; pivots = p; basis } ->
+            | Revised_simplex.Optimal { x; objective; pivots = p; basis; stats }
+              ->
                 pivots := !pivots + p;
+                refactors := !refactors + stats.Revised_simplex.refactorizations;
                 if objective <= !incumbent_obj +. options.gap_tol then ()
                 else begin
                   let branch_var = pick_branch_var options base x binary in
@@ -200,5 +204,6 @@ let solve ?(options = default_options) base ~binary =
     bound;
     nodes = !nodes;
     pivots = !pivots;
+    refactorizations = !refactors;
     proved_optimal = (not !exhausted) && Float.abs (bound -. !incumbent_obj) <= options.gap_tol *. 10.0;
   }

@@ -42,6 +42,10 @@ type result = {
   bound : float;  (** proven global upper bound *)
   nodes : int;
   pivots : int;  (** total simplex pivots across all node re-solves *)
+  refactorizations : int;
+      (** total basis refactorizations across all node re-solves — the
+          warm-start payoff shows up here: a well-warmed child usually
+          pivots to optimality without a single rebuild *)
   proved_optimal : bool;
 }
 

@@ -178,7 +178,142 @@ let gradient ?(smoothing = 0.05) p x =
    fanning users out over Pool blocks is bit-identical to the serial
    run for every worker count; the objective and gap are reduced
    serially by user index afterwards. A second per-user pass applies
-   the updates (it must not run concurrently with gradient reads). *)
+   the updates (it must not run concurrently with gradient reads).
+
+   All sweep inputs and outputs live in a [sweep_state] built once per
+   solve: the iterate, the CSR adjacency, the per-user output slots
+   and one preallocated serial scratch gradient. The serial sweep over
+   a state allocates nothing (for the k <= 16 masked-argmax oracle
+   path) — every float stays in flat arrays or locals the compiler
+   unboxes, and there are no closures, options or lists on the path —
+   which is what the zero-allocation bench row pins. *)
+
+type sweep_state = {
+  sp : problem;
+  adj : csr;
+  smoothing : float;
+  swap_steps : bool;
+  small_k : bool;
+      (* Select.top_k sorts the whole row; for the small k of display
+         configurations, k masked argmax passes over the scratch
+         gradient are cheaper and allocation-free. Both paths keep the
+         lowest-index tie-break. *)
+  x : float array array;  (* current iterate, n x m *)
+  (* Per-user slots written by the sweep. *)
+  obj_u : float array;
+  gap_u : float array;
+  tops : int array array;
+  swap_to : int array;
+  swap_from : int array;
+  swap_cap : float array;
+  swap_gain : float array;
+  g0 : float array;  (* serial-path scratch gradient, length m *)
+}
+
+let sweep_state ?(smoothing = 0.05) ?(swap_steps = false) p =
+  assert (p.k >= 1 && p.k <= p.m);
+  assert (smoothing > 0.0);
+  let n = p.n and m = p.m and k = p.k in
+  {
+    sp = p;
+    adj = build_csr p;
+    smoothing;
+    swap_steps;
+    small_k = k <= 16;
+    x = Array.init n (fun _ -> Array.make m (float_of_int k /. float_of_int m));
+    obj_u = Array.make n 0.0;
+    gap_u = Array.make n 0.0;
+    tops = Array.init n (fun _ -> Array.make k 0);
+    swap_to = Array.make n (-1);
+    swap_from = Array.make n (-1);
+    swap_cap = Array.make n 0.0;
+    swap_gain = Array.make n 0.0;
+    g0 = Array.make m 0.0;
+  }
+
+let sweep_user st g u =
+  let p = st.sp and adj = st.adj and x = st.x in
+  let m = p.m and k = p.k in
+  let smoothing = st.smoothing in
+  let xu = x.(u) and lin = p.linear.(u) in
+  Array.blit lin 0 g 0 m;
+  let lin_obj = ref 0.0 in
+  for c = 0 to m - 1 do
+    lin_obj := !lin_obj +. (lin.(c) *. xu.(c))
+  done;
+  let pair_obj = ref 0.0 in
+  for e = adj.ptr.(u) to adj.ptr.(u + 1) - 1 do
+    let c = adj.item.(e) in
+    let v = adj.nbr.(e) in
+    let xuc = xu.(c) and xvc = x.(v).(c) in
+    (* [sigmoid] inlined by hand: a non-inlined float-returning call
+       would box its result, breaking the zero-allocation contract. *)
+    let z = (xvc -. xuc) /. smoothing in
+    let share =
+      if z >= 0.0 then 1.0 /. (1.0 +. exp (-.z)) else exp z /. (1.0 +. exp z)
+    in
+    g.(c) <- g.(c) +. (adj.wgt.(e) *. share);
+    (* Each pair's exact min term is attributed to its lower
+       endpoint, so the serial by-index reduction counts it once. *)
+    if v > u then
+      pair_obj := !pair_obj +. (adj.wgt.(e) *. if xuc <= xvc then xuc else xvc)
+  done;
+  st.obj_u.(u) <- !lin_obj +. !pair_obj;
+  let dot = ref 0.0 in
+  for c = 0 to m - 1 do
+    dot := !dot +. (g.(c) *. xu.(c))
+  done;
+  if st.swap_steps then begin
+    (* Best single mass swap: move weight onto the best coordinate
+       with headroom from the worst coordinate with mass. *)
+    let hi = ref (-1) and lo = ref (-1) in
+    for c = 0 to m - 1 do
+      if xu.(c) < 1.0 -. 1e-12 && (!hi < 0 || g.(c) > g.(!hi)) then hi := c;
+      if xu.(c) > 1e-12 && (!lo < 0 || g.(c) < g.(!lo)) then lo := c
+    done;
+    if !hi >= 0 && !lo >= 0 && !hi <> !lo && g.(!hi) > g.(!lo) then begin
+      st.swap_to.(u) <- !hi;
+      st.swap_from.(u) <- !lo;
+      let headroom = 1.0 -. xu.(!hi) and mass = xu.(!lo) in
+      st.swap_cap.(u) <- (if headroom <= mass then headroom else mass);
+      st.swap_gain.(u) <- g.(!hi) -. g.(!lo)
+    end
+    else begin
+      st.swap_to.(u) <- -1;
+      st.swap_from.(u) <- -1;
+      st.swap_cap.(u) <- 0.0;
+      st.swap_gain.(u) <- 0.0
+    end
+  end;
+  let top = st.tops.(u) in
+  let top_sum = ref 0.0 in
+  if st.small_k then
+    for slot = 0 to k - 1 do
+      let arg = ref 0 in
+      for c = 1 to m - 1 do
+        if g.(c) > g.(!arg) then arg := c
+      done;
+      top.(slot) <- !arg;
+      top_sum := !top_sum +. g.(!arg);
+      g.(!arg) <- neg_infinity
+    done
+  else begin
+    let sel = Select.top_k k g in
+    Array.blit sel 0 top 0 k;
+    (* An explicit loop, not [Array.iter]: an iter body would capture
+       [top_sum], and a captured ref lives on the heap with boxed
+       float stores — on the small_k path too, since the capture is a
+       compile-time property of the whole function. *)
+    for i = 0 to k - 1 do
+      top_sum := !top_sum +. g.(sel.(i))
+    done
+  end;
+  st.gap_u.(u) <- !top_sum -. !dot
+
+let sweep_serial st =
+  for u = 0 to st.sp.n - 1 do
+    sweep_user st st.g0 u
+  done
 
 (* Default fan-out: parallel only when the per-sweep work can amortize
    the per-iteration domain spawns. *)
@@ -210,91 +345,19 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
   in
   let n = p.n and m = p.m and k = p.k in
   let domains = match domains with Some d -> d | None -> auto_domains p in
-  let adj = build_csr p in
-  let x = Array.init n (fun _ -> Array.make m (float_of_int k /. float_of_int m)) in
+  let st = sweep_state ~smoothing ~swap_steps p in
+  let x = st.x in
   let best = Array.init n (fun u -> Array.copy x.(u)) in
   let best_obj = ref neg_infinity in
   let best_gap = ref infinity in
-  (* Per-user slots written by the sweep. *)
-  let obj_u = Array.make n 0.0 in
-  let gap_u = Array.make n 0.0 in
-  let tops = Array.init n (fun _ -> Array.make k 0) in
-  let swap_to = Array.make n (-1) in
-  let swap_from = Array.make n (-1) in
-  let swap_cap = Array.make n 0.0 in
-  let swap_gain = Array.make n 0.0 in
-  (* Select.top_k sorts the whole row; for the small k of display
-     configurations, k masked argmax passes over the scratch gradient
-     are cheaper and allocation-free. Both paths keep the lowest-index
-     tie-break. *)
-  let small_k = k <= 16 in
-  let sweep_user g u =
-    let xu = x.(u) and lin = p.linear.(u) in
-    Array.blit lin 0 g 0 m;
-    let lin_obj = ref 0.0 in
-    for c = 0 to m - 1 do
-      lin_obj := !lin_obj +. (lin.(c) *. xu.(c))
-    done;
-    let pair_obj = ref 0.0 in
-    for e = adj.ptr.(u) to adj.ptr.(u + 1) - 1 do
-      let c = adj.item.(e) in
-      let v = adj.nbr.(e) in
-      let xuc = xu.(c) and xvc = x.(v).(c) in
-      let share = sigmoid ((xvc -. xuc) /. smoothing) in
-      g.(c) <- g.(c) +. (adj.wgt.(e) *. share);
-      (* Each pair's exact min term is attributed to its lower
-         endpoint, so the serial by-index reduction counts it once. *)
-      if v > u then pair_obj := !pair_obj +. (adj.wgt.(e) *. Float.min xuc xvc)
-    done;
-    obj_u.(u) <- !lin_obj +. !pair_obj;
-    let dot = ref 0.0 in
-    for c = 0 to m - 1 do
-      dot := !dot +. (g.(c) *. xu.(c))
-    done;
-    if swap_steps then begin
-      (* Best single mass swap: move weight onto the best coordinate
-         with headroom from the worst coordinate with mass. *)
-      let hi = ref (-1) and lo = ref (-1) in
-      for c = 0 to m - 1 do
-        if xu.(c) < 1.0 -. 1e-12 && (!hi < 0 || g.(c) > g.(!hi)) then hi := c;
-        if xu.(c) > 1e-12 && (!lo < 0 || g.(c) < g.(!lo)) then lo := c
-      done;
-      if !hi >= 0 && !lo >= 0 && !hi <> !lo && g.(!hi) > g.(!lo) then begin
-        swap_to.(u) <- !hi;
-        swap_from.(u) <- !lo;
-        swap_cap.(u) <- Float.min (1.0 -. xu.(!hi)) xu.(!lo);
-        swap_gain.(u) <- g.(!hi) -. g.(!lo)
-      end
-      else begin
-        swap_to.(u) <- -1;
-        swap_from.(u) <- -1;
-        swap_cap.(u) <- 0.0;
-        swap_gain.(u) <- 0.0
-      end
-    end;
-    let top = tops.(u) in
-    let top_sum = ref 0.0 in
-    if small_k then
-      for slot = 0 to k - 1 do
-        let arg = ref 0 in
-        for c = 1 to m - 1 do
-          if g.(c) > g.(!arg) then arg := c
-        done;
-        top.(slot) <- !arg;
-        top_sum := !top_sum +. g.(!arg);
-        g.(!arg) <- neg_infinity
-      done
-    else begin
-      let sel = Select.top_k k g in
-      Array.blit sel 0 top 0 k;
-      Array.iter (fun c -> top_sum := !top_sum +. g.(c)) sel
-    end;
-    gap_u.(u) <- !top_sum -. !dot
-  in
+  (* The fan-out closures are built once here, not per sweep: the
+     serial path calls [sweep_serial] directly, so an iteration of the
+     single-domain engine allocates nothing at all. *)
+  let par_local () = Array.make m 0.0 in
+  let par_body g u = sweep_user st g u in
   let sweep () =
-    Pool.parallel_for_local ~domains n
-      ~local:(fun () -> Array.make m 0.0)
-      (fun g u -> sweep_user g u)
+    if domains <= 1 then sweep_serial st
+    else Pool.parallel_for_local ~domains n ~local:par_local par_body
   in
   (* Applies the recorded step to user u. The swap step is taken when
      its first-order progress beats the classic step's; both choices
@@ -302,17 +365,19 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
      identical for every worker count. *)
   let apply gamma u =
     let xu = x.(u) in
-    let t = Float.min swap_cap.(u) gamma in
-    if swap_steps && swap_to.(u) >= 0 && swap_gain.(u) *. t > gap_u.(u) *. gamma
+    let t = Float.min st.swap_cap.(u) gamma in
+    if
+      swap_steps && st.swap_to.(u) >= 0
+      && st.swap_gain.(u) *. t > st.gap_u.(u) *. gamma
     then begin
-      xu.(swap_to.(u)) <- xu.(swap_to.(u)) +. t;
-      xu.(swap_from.(u)) <- xu.(swap_from.(u)) -. t
+      xu.(st.swap_to.(u)) <- xu.(st.swap_to.(u)) +. t;
+      xu.(st.swap_from.(u)) <- xu.(st.swap_from.(u)) -. t
     end
     else begin
       for c = 0 to m - 1 do
         xu.(c) <- (1.0 -. gamma) *. xu.(c)
       done;
-      let top = tops.(u) in
+      let top = st.tops.(u) in
       for slot = 0 to k - 1 do
         let c = top.(slot) in
         xu.(c) <- xu.(c) +. gamma
@@ -322,8 +387,8 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
   let record_iterate () =
     let obj = ref 0.0 and gap = ref 0.0 in
     for u = 0 to n - 1 do
-      obj := !obj +. obj_u.(u);
-      gap := !gap +. gap_u.(u)
+      obj := !obj +. st.obj_u.(u);
+      gap := !gap +. st.gap_u.(u)
     done;
     if !obj > !best_obj then begin
       best_obj := !obj;
@@ -359,7 +424,11 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
         | Some tol when gap <= tol -> stopped := true
         | _ ->
             let gamma = 2.0 /. float_of_int (!steps + 2) in
-            Pool.parallel_for ~domains n (apply gamma);
+            if domains <= 1 then
+              for u = 0 to n - 1 do
+                apply gamma u
+              done
+            else Pool.parallel_for ~domains n (apply gamma);
             incr steps
     end
   done;

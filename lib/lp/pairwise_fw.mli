@@ -65,6 +65,26 @@ type solution = {
 val objective : problem -> float array array -> float
 (** Exact objective (with true [min]) of a feasible point. *)
 
+type sweep_state
+(** Everything one fused sweep reads and writes: the current iterate,
+    the CSR adjacency, the per-user output slots (objective and gap
+    contributions, oracle vertex, optional swap move) and one
+    preallocated serial scratch gradient. [solve] builds one per call;
+    it is exposed so the allocation bench can measure the sweep in
+    isolation. *)
+
+val sweep_state : ?smoothing:float -> ?swap_steps:bool -> problem -> sweep_state
+(** Fresh sweep state at the uniform feasible iterate [x_u_c = k/m].
+    Defaults match {!solve}. *)
+
+val sweep_serial : sweep_state -> unit
+(** One fused sweep over every user against the state's current
+    iterate, on the calling domain. For [k <= 16] (the masked-argmax
+    oracle path) this allocates no words at all — every float lives in
+    a flat array or a compiler-unboxed local, and the path builds no
+    closures, options or lists; the [fw_sweep] bench row asserts the 0
+    words/op. *)
+
 val gradient : ?smoothing:float -> problem -> float array array -> float array array
 (** Dense [n x m] soft-min gradient at a point, computed through the
     CSR adjacency. Exposed so tests can pin the sparse accumulation

@@ -106,6 +106,15 @@ let set_obj t v obj =
   if v < 0 || v >= t.nv then invalid_arg "Problem.set_obj: unknown variable";
   t.objs.(v) <- obj
 
+(* Bulk bound readout into caller scratch: the solver build path reads
+   every bound once, and going through [upper_bound]'s option would
+   allocate per variable. *)
+let bounds_into t ~lo ~up =
+  for i = 0 to t.nv - 1 do
+    lo.(i) <- t.lowers.(i);
+    up.(i) <- (match t.uppers.(i) with Some u -> u | None -> infinity)
+  done
+
 let num_vars t = t.nv
 let num_rows t = t.nr
 let num_nonzeros t = t.nnz

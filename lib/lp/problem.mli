@@ -69,6 +69,13 @@ val objective : t -> float array
 
 val upper_bound : t -> int -> float option
 val lower_bound : t -> int -> float
+
+val bounds_into : t -> lo:float array -> up:float array -> unit
+(** Write every variable's bounds into the first [num_vars] cells of
+    the caller's arrays ([infinity] for a missing upper bound).
+    Allocation-free, unlike reading {!upper_bound} per variable — used
+    by the revised-simplex build path. *)
+
 val var_name : t -> int -> string
 val rows : t -> row array
 (** All rows (copy of the internal order). *)

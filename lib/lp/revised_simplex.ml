@@ -8,13 +8,16 @@
    opposite bound without a basis change), so no bound is ever
    materialized as a row.
 
-   The basis inverse is kept in product form (an eta file) with the
-   identity as the root factor: the initial all-logical basis *is* the
-   identity, and periodic reinversion rebuilds the file from the
-   current basis with a logicals-first, sparsest-column-first pivot
-   order that keeps fill negligible on the near-triangular bases these
-   LPs produce. Phase 1 is the composite method: minimize the total
-   bound violation of the basic variables, with piecewise costs
+   The basis inverse lives in a [Factor.t] behind the FTRAN/BTRAN
+   entry points: by default a Markowitz-ordered sparse LU with
+   threshold partial pivoting ([Sparse_lu]), with the historical
+   Gauss-Jordan product form retained as [Eta_file] for benchmarking
+   and cross-checks. Either way, basis changes between
+   refactorizations are absorbed by bounded eta-append updates, and
+   [Factor.should_refactor] decides when the update file has outgrown
+   the base factors (fill-growth policy for LU, the old fixed period
+   for the eta file). Phase 1 is the composite method: minimize the
+   total bound violation of the basic variables, with piecewise costs
    recomputed from the current iterate, so it works unchanged from any
    (possibly warm-started, possibly infeasible) basis.
 
@@ -25,7 +28,7 @@
    Numerical health is guarded at two levels — problem data is
    screened for NaN/Inf before any algebra, and the basic values are
    re-screened every iteration; a non-finite iterate triggers a
-   reinversion, and only if a *fresh* factorization still produces
+   refactorization, and only if a *fresh* factorization still produces
    garbage does the solve escalate through the recovery ladder
    (cold restart under Bland's rule, then one perturbed-objective
    retry) before giving up. *)
@@ -36,11 +39,22 @@ type vbasis = { stat0 : int array }
 (* Per-column status snapshot: 0 = basic, 1 = at lower bound,
    2 = at upper bound; length = structural + logical columns. *)
 
+type engine = Eta_file | Sparse_lu
+
+type stats = {
+  refactorizations : int;
+  fill_nnz : int;
+  basis_nnz : int;
+  eta_appends : int;
+  factor_s : float;
+}
+
 type solution = {
   x : float array;
   objective : float;
   pivots : int;
   basis : vbasis;
+  stats : stats;
 }
 
 type partial = {
@@ -49,6 +63,7 @@ type partial = {
   pivots : int;
   basis : vbasis;
   feasible : bool;
+  stats : stats;
 }
 
 type status =
@@ -63,15 +78,6 @@ let vbasis_of_entries a = { stat0 = Array.copy a }
 let dtol = 1e-9 (* reduced-cost (dual) tolerance *)
 let ztol = 1e-9 (* pivot-element tolerance *)
 let ftol = 1e-7 (* primal feasibility classification tolerance *)
-let drop_tol = 1e-12 (* eta entries below this are discarded *)
-let refactor_interval = 128
-
-type eta = {
-  ep : int; (* pivot position *)
-  epv : float; (* pivot value *)
-  eidx : int array; (* non-pivot positions *)
-  evals : float array; (* matching values *)
-}
 
 type state = {
   m : int; (* rows = basis size *)
@@ -85,65 +91,84 @@ type state = {
   stat : int array; (* column -> 0 basic / 1 lower / 2 upper *)
   pos : int array; (* column -> basis position, -1 when nonbasic *)
   xb : float array; (* basic value per position *)
-  mutable etas : eta array;
-  mutable neta : int;
-  w : float array; (* FTRAN scratch *)
+  f : Factor.t; (* the basis inverse *)
+  row_of : int array; (* refactorization out: slot -> pivot row *)
+  tmpb : int array; (* basis remap scratch *)
+  w : float array; (* FTRAN scratch; kept all-zero between pivots *)
+  wnz : int array; (* nonzero pattern of [w] *)
   y : float array; (* BTRAN scratch *)
   cb : float array; (* basic-cost scratch *)
 }
 
-(* ---------------- eta file ---------------------------------------- *)
+(* ---------------- factorization ----------------------------------- *)
 
-let push_eta st e =
-  if st.neta >= Array.length st.etas then begin
-    let ncap = max 64 (2 * Array.length st.etas) in
-    let etas = Array.make ncap e in
-    Array.blit st.etas 0 etas 0 st.neta;
-    st.etas <- etas
-  end;
-  st.etas.(st.neta) <- e;
-  st.neta <- st.neta + 1
-
-(* Solve B z = w in place (w dense). Etas apply in creation order; an
-   eta whose pivot entry is zero in [w] is a no-op, which is where the
-   sparsity of these LPs pays off. *)
-let ftran st w =
-  for t = 0 to st.neta - 1 do
-    let e = st.etas.(t) in
-    let wp = w.(e.ep) in
-    if wp <> 0.0 then begin
-      let z = wp /. e.epv in
-      w.(e.ep) <- z;
-      let idx = e.eidx and vals = e.evals in
-      for i = 0 to Array.length idx - 1 do
-        w.(idx.(i)) <- w.(idx.(i)) -. (vals.(i) *. z)
-      done
-    end
+(* Rebuild the base factors from the current basis *set*; basis
+   positions (row assignments) are rewritten from the factorization's
+   pivot order. Raises [Factor.Singular] if the set is not a basis. *)
+let refactor st =
+  let c = st.csc in
+  Factor.refactorize st.f
+    ~nnz:(fun slot ->
+      let j = st.basis.(slot) in
+      if j < st.nv then c.Problem.col_ptr.(j + 1) - c.Problem.col_ptr.(j)
+      else 1)
+    ~load:(fun slot idx vals ->
+      let j = st.basis.(slot) in
+      if j < st.nv then begin
+        let p0 = c.Problem.col_ptr.(j) in
+        let n = c.Problem.col_ptr.(j + 1) - p0 in
+        for p = 0 to n - 1 do
+          idx.(p) <- c.Problem.row_ind.(p0 + p);
+          vals.(p) <- c.Problem.values.(p0 + p)
+        done;
+        n
+      end
+      else begin
+        idx.(0) <- j - st.nv;
+        vals.(0) <- 1.0;
+        1
+      end)
+    ~row_of:st.row_of;
+  Array.blit st.basis 0 st.tmpb 0 st.m;
+  for slot = 0 to st.m - 1 do
+    st.basis.(st.row_of.(slot)) <- st.tmpb.(slot)
+  done;
+  for r = 0 to st.m - 1 do
+    st.pos.(st.basis.(r)) <- r
   done
 
-(* Solve B^T y = c in place (y dense): transposed etas in reverse. *)
-let btran st y =
-  for t = st.neta - 1 downto 0 do
-    let e = st.etas.(t) in
-    let idx = e.eidx and vals = e.evals in
-    let acc = ref y.(e.ep) in
-    for i = 0 to Array.length idx - 1 do
-      acc := !acc -. (vals.(i) *. y.(idx.(i)))
-    done;
-    y.(e.ep) <- !acc /. e.epv
-  done
+let ftran st w = Factor.ftran st.f w
+let btran st y = Factor.btran st.f y
 
 (* ---------------- columns ----------------------------------------- *)
 
-(* Scatter column [j] (structural or logical) into zeroed [w]. *)
-let scatter_col st j w =
+(* Scatter column [j] (structural or logical) into the all-zero [w],
+   recording the touched rows in [wnz]. A row whose terms cancel to
+   exact zero may stay in (or re-enter) the pattern; that is harmless
+   because every consumer re-checks the value, and
+   [Factor.ftran_pattern] dedups its input. *)
+let scatter_col_pattern st j w wnz =
   if j < st.nv then begin
     let c = st.csc in
+    let n = ref 0 in
     for p = c.Problem.col_ptr.(j) to c.Problem.col_ptr.(j + 1) - 1 do
-      w.(c.Problem.row_ind.(p)) <- w.(c.Problem.row_ind.(p)) +. c.Problem.values.(p)
-    done
+      let v = c.Problem.values.(p) in
+      if v <> 0.0 then begin
+        let r = c.Problem.row_ind.(p) in
+        if w.(r) = 0.0 then begin
+          wnz.(!n) <- r;
+          incr n
+        end;
+        w.(r) <- w.(r) +. v
+      end
+    done;
+    !n
   end
-  else w.(j - st.nv) <- w.(j - st.nv) +. 1.0
+  else begin
+    w.(j - st.nv) <- 1.0;
+    wnz.(0) <- j - st.nv;
+    1
+  end
 
 let dot_col st j y =
   if j < st.nv then begin
@@ -163,124 +188,6 @@ let nbval st j =
     if st.up.(j) < infinity then st.up.(j) else st.lo.(j)
   else if st.lo.(j) > neg_infinity then st.lo.(j)
   else st.up.(j)
-
-(* ---------------- (re)inversion ----------------------------------- *)
-
-exception Singular
-
-(* Rebuild the eta file to represent the current basis *set*; basis
-   positions (row assignments) are rewritten. Logical columns are unit
-   vectors and pivot on their own row with an identity eta (skipped);
-   the structural remainder is pivoted sparsest-first, FTRANed through
-   the partial file with touched-entry tracking so the scratch clear
-   costs O(fill), not O(m). Raises [Singular] if the set is not a
-   basis. *)
-let reinvert st =
-  st.neta <- 0;
-  let row_taken = Array.make (max 1 st.m) false in
-  let new_basis = Array.make (max 1 st.m) (-1) in
-  let struct_cols = ref [] in
-  for r = 0 to st.m - 1 do
-    let j = st.basis.(r) in
-    if j >= st.nv then begin
-      let lr = j - st.nv in
-      row_taken.(lr) <- true;
-      new_basis.(lr) <- j
-    end
-    else struct_cols := j :: !struct_cols
-  done;
-  let cols =
-    List.sort
-      (fun a b ->
-        compare
-          (st.csc.Problem.col_ptr.(a + 1) - st.csc.Problem.col_ptr.(a))
-          (st.csc.Problem.col_ptr.(b + 1) - st.csc.Problem.col_ptr.(b)))
-      !struct_cols
-  in
-  let w = st.w in
-  Array.fill w 0 st.m 0.0;
-  let touched = ref [] in
-  (* Membership must be tracked separately from the value: with the
-     unit-heavy columns of these LPs an entry regularly cancels back
-     to exactly 0.0 mid-column, and re-touching it by value would
-     duplicate it in [touched] (and then in the eta). *)
-  let in_touched = Array.make (max 1 st.m) false in
-  let touch i =
-    if not in_touched.(i) then begin
-      in_touched.(i) <- true;
-      touched := i :: !touched
-    end
-  in
-  List.iter
-    (fun j ->
-      (* scatter + partial FTRAN with touch tracking *)
-      let c = st.csc in
-      for p = c.Problem.col_ptr.(j) to c.Problem.col_ptr.(j + 1) - 1 do
-        let r = c.Problem.row_ind.(p) in
-        touch r;
-        w.(r) <- w.(r) +. c.Problem.values.(p)
-      done;
-      for t = 0 to st.neta - 1 do
-        let e = st.etas.(t) in
-        let wp = w.(e.ep) in
-        if wp <> 0.0 then begin
-          let z = wp /. e.epv in
-          w.(e.ep) <- z;
-          let idx = e.eidx and vals = e.evals in
-          for i = 0 to Array.length idx - 1 do
-            let r = idx.(i) in
-            touch r;
-            w.(r) <- w.(r) -. (vals.(i) *. z)
-          done
-        end
-      done;
-      (* pivot row: best remaining magnitude *)
-      let best = ref (-1) and best_mag = ref ztol in
-      List.iter
-        (fun r ->
-          if not row_taken.(r) then begin
-            let mag = Float.abs w.(r) in
-            if mag > !best_mag then begin
-              best := r;
-              best_mag := mag
-            end
-          end)
-        !touched;
-      if !best < 0 then raise Singular;
-      let r = !best in
-      (* build eta, clearing the scratch as we go *)
-      let n_entries = ref 0 in
-      List.iter
-        (fun i -> if i <> r && Float.abs w.(i) > drop_tol then incr n_entries)
-        !touched;
-      let eidx = Array.make !n_entries 0 in
-      let evals = Array.make !n_entries 0.0 in
-      let cursor = ref 0 in
-      List.iter
-        (fun i ->
-          if i <> r && Float.abs w.(i) > drop_tol then begin
-            eidx.(!cursor) <- i;
-            evals.(!cursor) <- w.(i);
-            incr cursor
-          end)
-        !touched;
-      push_eta st { ep = r; epv = w.(r); eidx; evals };
-      List.iter
-        (fun i ->
-          w.(i) <- 0.0;
-          in_touched.(i) <- false)
-        !touched;
-      touched := [];
-      row_taken.(r) <- true;
-      new_basis.(r) <- j)
-    cols;
-  for r = 0 to st.m - 1 do
-    if new_basis.(r) < 0 then raise Singular
-  done;
-  Array.blit new_basis 0 st.basis 0 st.m;
-  for r = 0 to st.m - 1 do
-    st.pos.(st.basis.(r)) <- r
-  done
 
 (* Recompute the basic values exactly: xb = B^-1 (b - N x_N). *)
 let recompute_xb st =
@@ -334,7 +241,7 @@ let screen_problem problem =
   done;
   if not !ok then failwith "Revised_simplex.solve: non-finite problem data"
 
-let build problem =
+let build ~engine ?refactor_every problem =
   let nv = Problem.num_vars problem in
   let csc = Problem.csc problem in
   let m = csc.Problem.c_nr in
@@ -343,12 +250,8 @@ let build problem =
   let up = Array.make ncols infinity in
   let cost = Array.make ncols 0.0 in
   let objs = Problem.objective problem in
-  for j = 0 to nv - 1 do
-    cost.(j) <- objs.(j);
-    lo.(j) <- Problem.lower_bound problem j;
-    up.(j) <-
-      (match Problem.upper_bound problem j with Some u -> u | None -> infinity)
-  done;
+  Array.blit objs 0 cost 0 nv;
+  Problem.bounds_into problem ~lo ~up;
   for r = 0 to m - 1 do
     match csc.Problem.row_cmp.(r) with
     | Problem.Le -> () (* [0, inf) *)
@@ -357,6 +260,13 @@ let build problem =
         up.(nv + r) <- 0.0
     | Problem.Eq -> up.(nv + r) <- 0.0 (* [0, 0] *)
   done;
+  let mode =
+    match engine with
+    | Eta_file -> Factor.Product_form
+    | Sparse_lu -> Factor.Lu
+  in
+  let f = Factor.create mode ~m in
+  Factor.set_refactor_every f refactor_every;
   {
     m;
     nv;
@@ -369,11 +279,23 @@ let build problem =
     stat = Array.make ncols 1;
     pos = Array.make ncols (-1);
     xb = Array.make (max 1 m) 0.0;
-    etas = [||];
-    neta = 0;
+    f;
+    row_of = Array.make (max 1 m) 0;
+    tmpb = Array.make (max 1 m) (-1);
     w = Array.make (max 1 m) 0.0;
+    wnz = Array.make (max 1 m) 0;
     y = Array.make (max 1 m) 0.0;
     cb = Array.make (max 1 m) 0.0;
+  }
+
+let solver_stats st =
+  let s = Factor.stats st.f in
+  {
+    refactorizations = s.Factor.refactorizations;
+    fill_nnz = s.Factor.fill_nnz;
+    basis_nnz = s.Factor.basis_nnz;
+    eta_appends = s.Factor.eta_appends;
+    factor_s = s.Factor.factor_s;
   }
 
 (* All-logical starting basis; structural columns at their finite
@@ -389,7 +311,7 @@ let install_cold st =
     st.stat.(j) <- 0;
     st.pos.(j) <- r
   done;
-  st.neta <- 0;
+  Factor.reset_identity st.f;
   recompute_xb st
 
 (* Adopt a prior basis snapshot if its shape matches and its basic set
@@ -418,10 +340,10 @@ let install_warm st (b : vbasis) =
           | _ -> 1)
       done;
       try
-        reinvert st;
+        refactor st;
         recompute_xb st;
         true
-      with Singular ->
+      with Factor.Singular ->
         install_cold st;
         false
     end
@@ -449,8 +371,9 @@ let extract_x st =
    fresh factorization repairs — the retry ladder in [solve] owns
    recovery. [force_bland] pins pricing and the ratio test to Bland's
    rule from the first pivot (the anti-cycling restart rung). *)
-let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
-  let st = build problem in
+let attempt ?basis ?(force_bland = false) ~engine ?refactor_every ~max_pivots
+    ~token problem =
+  let st = build ~engine ?refactor_every problem in
   (* Bound sanity: an empty box is infeasible before any algebra. *)
   let box_ok = ref true in
   for j = 0 to st.ncols - 1 do
@@ -462,60 +385,71 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
     | Some b -> ignore (install_warm st b)
     | None -> install_cold st);
     let pivots = ref 0 in
-    let since_refactor = ref 0 in
     (* Rebuild the factorization from the current basis; a (rare,
        numerical) singular rebuild restarts from the all-logical
        basis — progress is lost but phase 1 recovers correctness. *)
     let refresh st =
       try
-        reinvert st;
+        refactor st;
         recompute_xb st
-      with Singular -> install_cold st
+      with Factor.Singular -> install_cold st
     in
-    (* [clean] = the eta file and xb were just rebuilt exactly; a
+    (* [clean] = the factorization and xb were just rebuilt exactly; a
        terminal verdict (optimal / infeasible) is only trusted when
        clean, otherwise we refresh and re-examine. *)
     let clean = ref true in
+    (* Stall detector: pivots and bound flips whose step fails to move
+       the objective (degenerate steps, [t * |d| ~ 0]) count toward
+       the Bland trigger; any real step resets it. This replaces the
+       seed's explicit merit recomputation — an O(ncols) pass per
+       iteration — with the same signal read off the step itself. *)
     let stall = ref 0 in
     let stall_limit = 100 + ((st.m + st.ncols) / 4) in
-    let last_merit = ref neg_infinity in
     let prev_phase1 = ref true in
+    (* Sectional Dantzig pricing: scan a window of columns from a
+       roving cursor and enter the best favorable one, falling through
+       to the next window (and eventually a full wrap-around) only
+       while nothing favorable has been seen. An optimal verdict still
+       requires the full scan to come up empty, so verdicts are exactly
+       as trustworthy as under full pricing — the window only changes
+       which favorable column enters first. Small programs (ncols
+       within one window) get classic full Dantzig pricing. *)
+    let section = max 512 ((st.ncols + 15) / 16) in
+    let price_cursor = ref 0 in
     let verdict : verdict option ref = ref None in
     (try
        while !verdict = None do
-         (* Numerical-health guard: a non-finite basic value (the
-            [v -. v <> 0.0] test catches NaN and both infinities in one
-            branch) means the eta file has drifted into garbage. A
-            refresh usually repairs it; if a *clean* factorization
-            still produces non-finite values the program itself is
-            numerically hostile and the retry ladder takes over. *)
+         (* Fused health + feasibility scan. The health guard: a
+            non-finite basic value (the [v -. v <> 0.0] test catches
+            NaN and both infinities in one branch) means the
+            factorization has drifted into garbage. A refresh usually
+            repairs it; if a *clean* factorization still produces
+            non-finite values the program itself is numerically
+            hostile and the retry ladder takes over. The same pass
+            classifies feasibility and writes the phase-1 costs ([cb]
+            doubles as scratch). *)
          let healthy = ref true in
+         let infeas = ref 0.0 in
          for r = 0 to st.m - 1 do
+           let j = st.basis.(r) in
            let v = st.xb.(r) in
            if v -. v <> 0.0 then healthy := false
+           else if v < st.lo.(j) -. ftol then begin
+             st.cb.(r) <- 1.0;
+             infeas := !infeas +. (st.lo.(j) -. v)
+           end
+           else if v > st.up.(j) +. ftol then begin
+             st.cb.(r) <- -1.0;
+             infeas := !infeas +. (v -. st.up.(j))
+           end
+           else st.cb.(r) <- 0.0
          done;
          if not !healthy then begin
            if !clean then raise Breakdown;
            refresh st;
-           since_refactor := 0;
            clean := true
          end
          else begin
-           (* Feasibility scan + phase-1 costs (cb doubles as scratch). *)
-           let infeas = ref 0.0 in
-           for r = 0 to st.m - 1 do
-             let j = st.basis.(r) in
-             let v = st.xb.(r) in
-             if v < st.lo.(j) -. ftol then begin
-               st.cb.(r) <- 1.0;
-               infeas := !infeas +. (st.lo.(j) -. v)
-             end
-             else if v > st.up.(j) +. ftol then begin
-               st.cb.(r) <- -1.0;
-               infeas := !infeas +. (v -. st.up.(j))
-             end
-             else st.cb.(r) <- 0.0
-           done;
            let phase1 = !infeas > 0.0 in
            (* Deadline poll: after the scan, so the [feasible] flag of
               the partial describes the iterate we actually return. *)
@@ -524,63 +458,63 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
              for r = 0 to st.m - 1 do
                st.cb.(r) <- st.cost.(st.basis.(r))
              done;
-           (* Merit function for the stall detector: phase 1 shrinks the
-              total violation, phase 2 grows the objective. *)
-           let merit =
-             if phase1 then -. !infeas
-             else begin
-               let z = ref 0.0 in
-               for r = 0 to st.m - 1 do
-                 z := !z +. (st.cb.(r) *. st.xb.(r))
-               done;
-               for j = 0 to st.ncols - 1 do
-                 if st.stat.(j) <> 0 && st.cost.(j) <> 0.0 then
-                   z := !z +. (st.cost.(j) *. nbval st j)
-               done;
-               !z
-             end
-           in
            if phase1 <> !prev_phase1 then begin
-             (* Phase switch rescales the merit; don't let the stale
-                reference trip the stall detector. *)
+             (* Phase switch changes the objective; give the new phase
+                a fresh stall budget. *)
              prev_phase1 := phase1;
-             last_merit := neg_infinity;
              stall := 0
            end;
-           if merit > !last_merit +. 1e-12 then begin
-             stall := 0;
-             last_merit := merit
-           end
-           else incr stall;
            let bland = force_bland || !stall > stall_limit in
            (* BTRAN + pricing. *)
            Array.blit st.cb 0 st.y 0 st.m;
            btran st st.y;
            let enter = ref (-1) and enter_d = ref 0.0 in
-           let best_score = ref dtol in
-           (try
-              for j = 0 to st.ncols - 1 do
-                let s = st.stat.(j) in
-                if s <> 0 && st.up.(j) -. st.lo.(j) > 1e-12 then begin
-                  let cj = if phase1 then 0.0 else st.cost.(j) in
-                  let d = cj -. dot_col st j st.y in
-                  let favorable =
-                    (s = 1 && d > dtol) || (s = 2 && d < -.dtol)
-                  in
-                  if favorable then
-                    if bland then begin
+           if bland then
+             (* Bland's rule: lowest favorable index, in index order —
+                the anti-cycling guarantee needs the full scan. *)
+             (try
+                for j = 0 to st.ncols - 1 do
+                  let s = st.stat.(j) in
+                  if s <> 0 && st.up.(j) -. st.lo.(j) > 1e-12 then begin
+                    let cj = if phase1 then 0.0 else st.cost.(j) in
+                    let d = cj -. dot_col st j st.y in
+                    if (s = 1 && d > dtol) || (s = 2 && d < -.dtol) then begin
                       enter := j;
                       enter_d := d;
                       raise Exit
                     end
-                    else if Float.abs d > !best_score then begin
-                      enter := j;
-                      enter_d := d;
-                      best_score := Float.abs d
-                    end
-                end
-              done
-            with Exit -> ());
+                  end
+                done
+              with Exit -> ())
+           else begin
+             let best_score = ref dtol in
+             let scanned = ref 0 in
+             let window = ref 0 in
+             let j = ref !price_cursor in
+             if !j >= st.ncols then j := 0;
+             while !scanned < st.ncols && (!enter < 0 || !window < section) do
+               let jj = !j in
+               let s = st.stat.(jj) in
+               if s <> 0 && st.up.(jj) -. st.lo.(jj) > 1e-12 then begin
+                 let cj = if phase1 then 0.0 else st.cost.(jj) in
+                 let d = cj -. dot_col st jj st.y in
+                 if
+                   ((s = 1 && d > dtol) || (s = 2 && d < -.dtol))
+                   && Float.abs d > !best_score
+                 then begin
+                   enter := jj;
+                   enter_d := d;
+                   best_score := Float.abs d
+                 end
+               end;
+               incr scanned;
+               incr window;
+               if !window >= section && !enter < 0 then window := 0;
+               j := jj + 1;
+               if !j >= st.ncols then j := 0
+             done;
+             price_cursor := !j
+           end;
            if !enter < 0 then begin
              (* No favorable column: the verdict is only as good as the
                 factorization it was computed with. *)
@@ -588,7 +522,6 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
                verdict := Some (if phase1 then V_infeasible else V_done)
              else begin
                refresh st;
-               since_refactor := 0;
                clean := true
              end
            end
@@ -596,9 +529,16 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
              let q = !enter in
              let sigma = if st.stat.(q) = 1 then 1.0 else -1.0 in
              let w = st.w in
-             Array.fill w 0 st.m 0.0;
-             scatter_col st q w;
-             ftran st w;
+             let wnz = st.wnz in
+             (* [w] is all-zero here (every consumer clears its own
+                pattern). The entering column is scattered and FTRANed
+                with its nonzero pattern tracked, so the ratio test,
+                the basics update and the factorization update all run
+                over the few touched rows instead of every basis row —
+                the entering columns of these LPs are hypersparse
+                (tens of nonzeros against tens of thousands of rows). *)
+             let nw = ref (scatter_col_pattern st q w wnz) in
+             nw := Factor.ftran_pattern st.f w wnz !nw;
              (* Ratio test over basics, plus the entering bound flip.
                 In phase 1 a basic already outside a bound blocks only
                 when moving back toward feasibility (at the violated
@@ -609,7 +549,8 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
              and best_t = ref (if flip_t < infinity then flip_t else infinity)
              and best_target = ref 0 (* 1 leave at lower, 2 at upper *)
              and best_mag = ref 0.0 in
-             for r = 0 to st.m - 1 do
+             for k = 0 to !nw - 1 do
+               let r = wnz.(k) in
                let wr = w.(r) in
                if Float.abs wr > ztol then begin
                  let delta = sigma *. wr in
@@ -654,18 +595,25 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
              let t = !best_t in
              if !best_r < 0 || (flip_t < infinity && flip_t <= t) then begin
                (* Bound flip: no basis change. *)
-               for r = 0 to st.m - 1 do
+               for k = 0 to !nw - 1 do
+                 let r = wnz.(k) in
                  if w.(r) <> 0.0 then
                    st.xb.(r) <- st.xb.(r) -. (flip_t *. sigma *. w.(r))
                done;
                st.stat.(q) <- (if st.stat.(q) = 1 then 2 else 1);
-               clean := false
+               clean := false;
+               if flip_t *. Float.abs !enter_d > 1e-12 then stall := 0
+               else incr stall;
+               for k = 0 to !nw - 1 do
+                 w.(wnz.(k)) <- 0.0
+               done
              end
              else begin
                let r = !best_r in
                let leaving = st.basis.(r) in
                let entering_value = nbval st q +. (sigma *. t) in
-               for i = 0 to st.m - 1 do
+               for k = 0 to !nw - 1 do
+                 let i = wnz.(k) in
                  if w.(i) <> 0.0 then
                    st.xb.(i) <- st.xb.(i) -. (t *. sigma *. w.(i))
                done;
@@ -675,34 +623,25 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
                st.stat.(q) <- 0;
                st.pos.(q) <- r;
                st.basis.(r) <- q;
-               (* Append the eta for this pivot. *)
-               let n_entries = ref 0 in
-               for i = 0 to st.m - 1 do
-                 if i <> r && Float.abs w.(i) > drop_tol then incr n_entries
-               done;
-               let eidx = Array.make !n_entries 0 in
-               let evals = Array.make !n_entries 0.0 in
-               let cursor = ref 0 in
-               for i = 0 to st.m - 1 do
-                 if i <> r && Float.abs w.(i) > drop_tol then begin
-                   eidx.(!cursor) <- i;
-                   evals.(!cursor) <- w.(i);
-                   incr cursor
-                 end
-               done;
-               push_eta st { ep = r; epv = w.(r); eidx; evals };
+               (* Absorb the basis change into the factorization. *)
+               Factor.update_pattern st.f ~pivot_row:r w wnz !nw;
                incr pivots;
-               incr since_refactor;
                clean := false;
+               if t *. Float.abs !enter_d > 1e-12 then stall := 0
+               else incr stall;
+               (* Restore the all-zero scratch invariant before any
+                  refresh can reuse [w] densely. *)
+               for k = 0 to !nw - 1 do
+                 w.(wnz.(k)) <- 0.0
+               done;
                if !pivots > max_pivots then
                  failwith
                    (Printf.sprintf
                       "Revised_simplex.solve: pivot limit exceeded (%d rows, \
                        %d cols)"
                       st.m st.ncols);
-               if !since_refactor >= refactor_interval then begin
+               if Factor.should_refactor st.f then begin
                  refresh st;
-                 since_refactor := 0;
                  clean := true
                end
              end
@@ -723,6 +662,7 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
             objective = Problem.eval_objective problem x;
             pivots = !pivots;
             basis = { stat0 = Array.copy st.stat };
+            stats = solver_stats st;
           }
     | Some (V_timeout feasible) ->
         let x = extract_x st in
@@ -733,6 +673,7 @@ let attempt ?basis ?(force_bland = false) ~max_pivots ~token problem =
             pivots = !pivots;
             basis = { stat0 = Array.copy st.stat };
             feasible;
+            stats = solver_stats st;
           }
     | None -> assert false
   end
@@ -749,18 +690,22 @@ let jitter j =
   let z = logxor z (shift_right_logical z 31) in
   (to_float (shift_right_logical z 11) *. 0x1p-52) -. 1.0
 
-let solve ?(max_pivots = 500_000) ?basis ?token problem =
+let solve ?(max_pivots = 500_000) ?basis ?token ?(engine = Sparse_lu)
+    ?refactor_every problem =
   let token =
     match token with Some t -> t | None -> Supervise.unlimited ()
   in
   screen_problem problem;
-  match attempt ?basis ~max_pivots ~token problem with
+  match attempt ?basis ~engine ?refactor_every ~max_pivots ~token problem with
   | result -> result
   | exception Breakdown -> (
       (* Rung 2: cold restart under Bland's rule. Slower but immune to
          cycling, and the cold install discards whatever basis drove
          the numerics into the ground. *)
-      match attempt ~force_bland:true ~max_pivots ~token problem with
+      match
+        attempt ~force_bland:true ~engine ?refactor_every ~max_pivots ~token
+          problem
+      with
       | result -> result
       | exception Breakdown -> (
           (* Rung 3: one perturbed retry. A relative + absolute jitter
@@ -782,11 +727,15 @@ let solve ?(max_pivots = 500_000) ?basis ?token problem =
               "Revised_simplex.solve: numerical breakdown persisted after \
                Bland restart and perturbed retry"
           in
-          match attempt ~force_bland:true ~max_pivots ~token perturbed with
+          match
+            attempt ~force_bland:true ~engine ?refactor_every ~max_pivots
+              ~token perturbed
+          with
           | exception Breakdown -> fail ()
           | Optimal { basis = pb; _ } -> (
               match
-                attempt ~basis:pb ~force_bland:true ~max_pivots ~token problem
+                attempt ~basis:pb ~force_bland:true ~engine ?refactor_every
+                  ~max_pivots ~token problem
               with
               | result -> result
               | exception Breakdown -> fail ())

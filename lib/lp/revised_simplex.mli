@@ -5,24 +5,27 @@
     rows are kept sparse (the CSC view built by {!Problem.csc}),
     variable bounds are handled natively in the ratio test instead of
     being materialized as rows, and the basis inverse lives in a
-    product-form eta file that is periodically reinverted for
-    stability. Bland's rule takes over pricing and the ratio test
+    {!Factor.t} — by default a Markowitz-ordered sparse LU with
+    threshold partial pivoting and bounded eta-append updates,
+    refactorized on fill growth rather than a fixed pivot period (the
+    historical product-form eta file remains available as
+    {!Eta_file}). Bland's rule takes over pricing and the ratio test
     after a stall, so degenerate programs terminate.
 
     Supervision (DESIGN.md §5 "Failure handling"): problem data is
     screened for NaN/Inf before any algebra; the basic values are
-    re-screened every iteration, with a reinversion as first aid and a
-    recovery ladder behind it (cold restart under Bland's rule, then a
-    single deterministic perturbed-objective retry whose basis warm
-    starts a final solve of the true program). A
+    re-screened every iteration, with a refactorization as first aid
+    and a recovery ladder behind it (cold restart under Bland's rule,
+    then a single deterministic perturbed-objective retry whose basis
+    warm starts a final solve of the true program). A
     {!Svgic_util.Supervise.token} is polled once per pivot, so a
     deadline or cancellation surfaces as {!Timeout} within one
     iteration, carrying the best iterate reached.
 
     The dense tableau in [Simplex] solves the same class of programs
     and is kept as the cross-check oracle; the randomized equivalence
-    tests in [test/test_revised_simplex.ml] pin the two solvers to
-    each other. *)
+    tests in [test/test_revised_simplex.ml] pin the two solvers (and
+    both factorization engines) to each other. *)
 
 type vbasis
 (** Snapshot of a basis: the basic/at-lower/at-upper status of every
@@ -31,11 +34,27 @@ type vbasis
     which is exactly the shape of branch-and-bound node re-solves and
     of repeated relaxation solves. *)
 
+type engine =
+  | Eta_file  (** Gauss-Jordan product form (the pre-LU engine). *)
+  | Sparse_lu  (** Markowitz LU + eta-append updates (default). *)
+
+type stats = {
+  refactorizations : int;  (** base-factorization rebuilds *)
+  fill_nnz : int;  (** factor nonzeros after the last rebuild *)
+  basis_nnz : int;  (** basis-column nonzeros at the last rebuild *)
+  eta_appends : int;  (** update etas appended across the solve *)
+  factor_s : float;  (** seconds spent refactorizing *)
+}
+(** Factorization counters for the attempt that produced the verdict
+    (the recovery ladder reports its final rung). [pivots] lives on
+    the solution itself. *)
+
 type solution = {
   x : float array;  (** structural variable values *)
   objective : float;
   pivots : int;  (** basis changes performed (bound flips excluded) *)
   basis : vbasis;  (** final basis, reusable via [solve ?basis] *)
+  stats : stats;
 }
 
 type partial = {
@@ -46,6 +65,7 @@ type partial = {
   feasible : bool;
       (** whether [x] satisfied the constraints when the clock ran out;
           an infeasible partial is only good for warm-starting *)
+  stats : stats;
 }
 
 type status =
@@ -69,6 +89,8 @@ val solve :
   ?max_pivots:int ->
   ?basis:vbasis ->
   ?token:Svgic_util.Supervise.token ->
+  ?engine:engine ->
+  ?refactor_every:int ->
   Problem.t ->
   status
 (** [solve ?basis p] maximizes [p]. When [basis] is given and its
@@ -78,6 +100,14 @@ val solve :
     falls back silently to a cold start, so passing a stale basis is
     always safe. [max_pivots] (default [500_000]) bounds basis
     changes per attempt; exceeding it raises [Failure].
+
+    [engine] selects the basis factorization (default {!Sparse_lu});
+    both engines implement identical FTRAN/BTRAN semantics, so
+    verdicts and iterates agree to factorization roundoff — the
+    equivalence tests assert agreement within [1e-7] on the programs
+    in the suite. [refactor_every] overrides the refactorization
+    policy with a fixed update period ([~refactor_every:1] = a fresh
+    factorization after every pivot, the testing anchor).
 
     [token] supervises the solve: it is polled once per iteration and
     expiry returns [Timeout] with the current iterate. Without it the

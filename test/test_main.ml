@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("lp", Test_lp.suite);
+      ("factor", Test_factor.suite);
       ("fw", Test_fw.suite);
       ("revised", Test_revised_simplex.suite);
       ("graph", Test_graph.suite);

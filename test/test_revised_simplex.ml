@@ -188,6 +188,145 @@ let test_random_cross_check () =
   done;
   Alcotest.(check bool) "at least 100 instances" true (!checked >= 100)
 
+(* ------------------ factorization engines ------------------------- *)
+
+(* The eta-file and LU engines implement the same FTRAN/BTRAN
+   semantics, so every verdict must agree and optimal objectives must
+   match to factorization roundoff across the full random-program
+   matrix (degenerate, bound-tight, duplicate-row seeds included). *)
+let test_engine_agreement () =
+  let optimal = ref 0 in
+  for seed = 0 to 119 do
+    let p, _ = random_problem seed in
+    let eta = Revised.solve ~engine:Revised.Eta_file p in
+    let lu = Revised.solve ~engine:Revised.Sparse_lu p in
+    match (eta, lu) with
+    | Revised.Optimal e, Revised.Optimal l ->
+        incr optimal;
+        if Float.abs (e.objective -. l.objective) > 1e-7 then
+          Alcotest.failf "seed %d: eta %.9f vs lu %.9f" seed e.objective
+            l.objective;
+        if not (Problem.check_feasible ~eps:1e-6 p l.x) then
+          Alcotest.failf "seed %d: lu solution infeasible" seed
+    | Revised.Infeasible, Revised.Infeasible
+    | Revised.Unbounded, Revised.Unbounded -> ()
+    | _ -> Alcotest.failf "seed %d: engine status disagreement" seed
+  done;
+  Alcotest.(check bool) "at least 100 optimal programs" true (!optimal >= 100)
+
+(* Eta-append updates against the testing anchor: a fresh
+   factorization after every pivot. Any drift between the updated
+   factor and the recomputed one would surface here as an objective
+   gap or a status flip. *)
+let test_lu_updates_equal_fresh_factorization () =
+  let optimal = ref 0 in
+  for seed = 0 to 119 do
+    let p, _ = random_problem seed in
+    let updated = Revised.solve ~engine:Revised.Sparse_lu p in
+    let fresh = Revised.solve ~engine:Revised.Sparse_lu ~refactor_every:1 p in
+    match (updated, fresh) with
+    | Revised.Optimal u, Revised.Optimal f ->
+        incr optimal;
+        if Float.abs (u.objective -. f.objective) > 1e-7 then
+          Alcotest.failf "seed %d: updated %.9f vs fresh %.9f" seed u.objective
+            f.objective;
+        if not (Problem.check_feasible ~eps:1e-6 p u.x) then
+          Alcotest.failf "seed %d: updated solution infeasible" seed
+    | Revised.Infeasible, Revised.Infeasible
+    | Revised.Unbounded, Revised.Unbounded -> ()
+    | _ -> Alcotest.failf "seed %d: update-policy status disagreement" seed
+  done;
+  Alcotest.(check bool) "at least 100 optimal programs" true (!optimal >= 100)
+
+(* Counter plumbing on a program big enough to pivot and rebuild:
+   [LP_SIMP] of a mid-size instance, solved through [Relaxation] so
+   the [lp_stats] surfacing is pinned at the same time. *)
+let test_lu_stats_sanity () =
+  let rng = Rng.create 321 in
+  let inst =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:30 ~m:40 ~k:3
+      ~lambda:0.5
+  in
+  let relax = Svgic.Relaxation.solve inst in
+  (match relax.Svgic.Relaxation.lp_stats with
+  | None -> Alcotest.fail "exact revised solve must surface lp_stats"
+  | Some { Svgic.Relaxation.pivots; factor } ->
+      Alcotest.(check bool) "pivoted" true (pivots > 0);
+      Alcotest.(check bool)
+        "rebuilt at least the initial basis" true
+        (factor.Revised.refactorizations >= 1);
+      Alcotest.(check bool) "factor holds nonzeros" true
+        (factor.Revised.fill_nnz > 0);
+      Alcotest.(check bool) "basis nonzeros counted" true
+        (factor.Revised.basis_nnz > 0);
+      Alcotest.(check bool)
+        "one update eta per pivot at most" true
+        (factor.Revised.eta_appends <= pivots);
+      Alcotest.(check bool) "factor time is sane" true
+        (factor.Revised.factor_s >= 0.0));
+  let fw =
+    Svgic.Relaxation.solve
+      ~backend:
+        (Svgic.Relaxation.Frank_wolfe
+           { iterations = 50; smoothing = 0.05; gap_tol = None; domains = None })
+      inst
+  in
+  Alcotest.(check bool)
+    "first-order path carries no simplex counters" true
+    (fw.Svgic.Relaxation.lp_stats = None)
+
+(* A Timeout partial from the LU engine must hand back an installable
+   basis: resuming from it reaches the same optimum as a cold solve. *)
+let test_lu_timeout_partial_resumes () =
+  let p, _ = random_problem 11 in
+  let cold = solve_revised_optimal p in
+  match Revised.solve ~token:(Supervise.expired_token ()) p with
+  | Revised.Timeout partial -> (
+      match Revised.solve ~basis:partial.Revised.basis p with
+      | Revised.Optimal resumed ->
+          Alcotest.(check (float 1e-7))
+            "resume reaches the cold optimum" cold.objective resumed.objective
+      | Revised.Infeasible | Revised.Unbounded | Revised.Timeout _ ->
+          Alcotest.fail "resume from a partial basis must reach optimality")
+  | Revised.Optimal _ | Revised.Infeasible | Revised.Unbounded ->
+      Alcotest.fail "expected timeout under an expired token"
+
+(* PR-5 health-guard recovery, replayed on the LU engine (now the
+   relaxation default): a fault-injected sharded round completes, the
+   clean shards stay exact, and the objective never falls below the
+   all-greedy floor. *)
+let test_lu_fault_injection_recovers () =
+  let module Fault = Svgic_util.Fault in
+  let module Shard = Svgic.Shard in
+  let rng = Rng.create 4242 in
+  let inst =
+    Svgic_data.Datasets.make Svgic_data.Datasets.Timik rng ~n:24 ~m:8 ~k:2
+      ~lambda:0.5
+  in
+  let part =
+    Shard.partition ~rng:(Rng.create 0) ~labelling:(Shard.Balanced 4) inst
+  in
+  let floor =
+    Svgic.Config.total_utility inst (Svgic.Algorithms.top_k_greedy inst)
+  in
+  Fault.configure ~seed:5 ~rate:0.5
+    ~kinds:[ Fault.Timeout; Fault.Nan; Fault.Crash ];
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let res =
+        Shard.solve_round
+          ~rounding:(Shard.Avg_d { r = None })
+          (Rng.create 5) part
+      in
+      Alcotest.(check bool)
+        "degraded accounting matches the fault matrix" true
+        (Array.to_list res.Shard.degraded
+        = List.init
+            (Array.length res.Shard.degraded)
+            (fun i -> Fault.at ~site:"shard.solve" ~index:i <> None));
+      Alcotest.(check bool)
+        "objective at or above the greedy floor" true
+        (Svgic.Config.total_utility inst res.Shard.config >= floor -. 1e-9))
+
 (* ------------------ warm-start contract --------------------------- *)
 
 let test_warm_equals_cold () =
@@ -462,6 +601,16 @@ let suite =
     Alcotest.test_case "revised degenerate" `Quick test_degenerate;
     Alcotest.test_case "revised vs dense oracle (120 seeds)" `Quick
       test_random_cross_check;
+    Alcotest.test_case "eta vs lu engine agreement (120 seeds)" `Quick
+      test_engine_agreement;
+    Alcotest.test_case "lu updates = fresh factorization (120 seeds)" `Quick
+      test_lu_updates_equal_fresh_factorization;
+    Alcotest.test_case "lu stats sanity + lp_stats surfacing" `Quick
+      test_lu_stats_sanity;
+    Alcotest.test_case "lu timeout partial resumes" `Quick
+      test_lu_timeout_partial_resumes;
+    Alcotest.test_case "lu fault-injection recovery" `Quick
+      test_lu_fault_injection_recovers;
     Alcotest.test_case "warm start equals cold solve" `Quick
       test_warm_equals_cold;
     Alcotest.test_case "warm start shape fallback" `Quick
