@@ -69,8 +69,28 @@ let merge_into_json ~path records =
              find 0)
            r)
     in
+    (* Only lines inside the "kernels" array are candidate rows: the
+       "speedups" array uses the same indentation, and splicing its
+       entries into the kernels array would leave rows without a
+       "variant" field (and an empty speedups array) behind. *)
     let rows, others =
-      List.partition (fun l -> is_row l) (List.rev !lines)
+      let in_kernels = ref false in
+      let rows, others_rev =
+        List.fold_left
+          (fun (rows, others) l ->
+            if l = "  \"kernels\": [" then begin
+              in_kernels := true;
+              (rows, l :: others)
+            end
+            else if !in_kernels && l = "  ]," then begin
+              in_kernels := false;
+              (rows, l :: others)
+            end
+            else if !in_kernels && is_row l then (l :: rows, others)
+            else (rows, l :: others))
+          ([], []) (List.rev !lines)
+      in
+      (List.rev rows, List.rev others_rev)
     in
     let kept = List.filter (keeps records) rows in
     (* Re-emit: structural lines up to the kernels array open, then all

@@ -164,14 +164,28 @@ let warn_degraded relax =
 let report_lp_stats verbose relax =
   if verbose then
     match relax.Svgic.Relaxation.lp_stats with
-    | Some { Svgic.Relaxation.pivots; factor } ->
+    | Some
+        {
+          Svgic.Relaxation.pivots;
+          factor;
+          nodes;
+          fw_iterations;
+          max_depth;
+          gap_fathoms;
+          warm_starts;
+        } ->
         Printf.printf
           "lp engine          : %d pivots, %d refactorizations, fill %d nnz, \
            %d update etas (%.3f s refactorizing)\n"
           pivots factor.Svgic_lp.Revised_simplex.refactorizations
           factor.Svgic_lp.Revised_simplex.fill_nnz
           factor.Svgic_lp.Revised_simplex.eta_appends
-          factor.Svgic_lp.Revised_simplex.factor_s
+          factor.Svgic_lp.Revised_simplex.factor_s;
+        if nodes > 1 then
+          Printf.printf
+            "branch-and-bound   : %d nodes (max depth %d), %d fw iterations, \
+             %d gap fathoms, %d warm starts\n"
+            nodes max_depth fw_iterations gap_fathoms warm_starts
     | None ->
         Printf.printf
           "lp engine          : no revised-simplex counters on this path\n"

@@ -127,6 +127,7 @@ type result = {
   config : Config.t;
   objective : float;
   bound : float;
+  upper_bound : float option;
   shard_objectives : float array;
   cut_mass : float;
   repair_gain : float;
@@ -152,7 +153,8 @@ let serial_backend inst = function
   | b -> b
 
 let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
-    ?(repair_passes = 2) ?token ?(on_fault = Isolate) ~rounding rng part =
+    ?(repair_passes = 2) ?token ?(on_fault = Isolate)
+    ?(certify_integer = false) ~rounding rng part =
   let src = part.source in
   let nshards = Array.length part.shards in
   let n = Instance.n src and k = Instance.k src in
@@ -240,6 +242,25 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
       | Raise -> body ()
       | Isolate -> ( try body () with Fault.Injected _ | Failure _ -> greedy ())
     in
+    (* Optional certified *integer* shard bound: a branch-and-bound
+       solve of the shard's compact selection objective. The integer
+       selection optimum dominates every slot-aligned configuration's
+       within-shard utility, so Σ shard certificates + cut_mass upper
+       bounds the global optimum. Computed after the fault handling so
+       an injected fault in the primary solve cannot skip (or poison)
+       the certificate; a failed certificate is an honest [infinity],
+       never a guess. *)
+    let upper =
+      if not certify_integer then 0.0
+      else if Instance.num_pairs inst = 0 then
+        (* No social coupling: top-k greedy is the exact shard optimum
+           (the λ = 0 argument per shard), so it certifies itself. *)
+        Config.total_utility inst (top_k_pref inst)
+      else
+        match Relaxation.solve_integer ?token inst with
+        | r -> Instance.objective_scale inst *. r.Relaxation.int_bound
+        | exception Failure _ -> infinity
+    in
     (* Spill policy: write this shard's rows straight into the shared
        assignment (user rows are disjoint across shards, and the pool
        join publishes them) and drop the view's boxed caches, so the
@@ -253,7 +274,7 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
         done)
       users;
     Instance.drop_view_caches inst;
-    (util, degraded)
+    (util, degraded, upper)
   in
   let solved = Pool.parallel_map ?domains nshards solve_shard in
   (* Unchecked wrap: every row was written from a shard config that
@@ -286,13 +307,22 @@ let solve_round ?(backend = Relaxation.Auto) ?size_cap ?domains
     end
   in
   let objective = Config.total_utility src config in
-  let shard_objectives = Array.map fst solved in
-  let degraded = Array.map snd solved in
+  let shard_objectives = Array.map (fun (u, _, _) -> u) solved in
+  let degraded = Array.map (fun (_, d, _) -> d) solved in
   let bound = Array.fold_left ( +. ) 0.0 shard_objectives -. part.cut_mass in
+  let upper_bound =
+    if certify_integer then
+      Some
+        (Array.fold_left
+           (fun acc (_, _, up) -> acc +. up)
+           part.cut_mass solved)
+    else None
+  in
   {
     config;
     objective;
     bound;
+    upper_bound;
     shard_objectives;
     cut_mass = part.cut_mass;
     repair_gain = objective -. before;

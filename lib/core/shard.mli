@@ -82,6 +82,17 @@ type result = {
           [<= objective] (τ is non-negative, repair never decreases the
           objective), and [= objective] up to float summation order
           when the cut is empty *)
+  upper_bound : float option;
+      (** with [~certify_integer:true]: the certified *upper* bound
+          [Σ_shard integer_certificate + cut_mass] on the global
+          optimum, from one {!Relaxation.solve_integer} branch-and-bound
+          solve per shard — the integer selection optimum dominates
+          every slot-aligned configuration's within-shard utility, and
+          [cut_mass] dominates all cross-shard social utility. Together
+          with [objective] it brackets OPT:
+          [objective <= OPT <= upper_bound]. A shard whose certificate
+          rung failed contributes [infinity] (honest "no certificate").
+          [None] when certification was not requested *)
   shard_objectives : float array;  (** per shard, in shard order *)
   cut_mass : float;  (** copied from the partition *)
   repair_gain : float;
@@ -103,6 +114,7 @@ val solve_round :
   ?repair_passes:int ->
   ?token:Svgic_util.Supervise.token ->
   ?on_fault:on_fault ->
+  ?certify_integer:bool ->
   rounding:rounding ->
   Svgic_util.Rng.t ->
   partition ->
@@ -142,4 +154,12 @@ val solve_round :
     follow the same ladder, so chaos tests can assert exactly which
     shards degrade. The ladder and the fault polls engage only on
     failure/injection — a clean run is bit-identical to the
-    unsupervised one. *)
+    unsupervised one.
+
+    [certify_integer] (default [false] — the default path is
+    bit-identical to before the flag existed) additionally runs
+    {!Relaxation.solve_integer} per shard and fills
+    {!result.upper_bound}. Edge-free shards certify themselves (the
+    greedy optimum); the certificate solve runs after the shard's
+    fault handling, so an injected fault degrades the primary solve
+    without silently weakening the certificate. *)

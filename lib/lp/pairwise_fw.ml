@@ -15,8 +15,14 @@ type solution = {
   objective : float;
   iterations : int;
   gap : float;
+  ub : float;
   timed_out : bool;
 }
+
+(* Coordinate fixing states for branch-and-bound node solves. *)
+let fx_free = 0
+let fx_zero = 1
+let fx_one = 2
 
 (* Logistic weight of the soft-min gradient, numerically stable. *)
 let sigmoid z = if z >= 0.0 then 1.0 /. (1.0 +. exp (-.z)) else exp z /. (1.0 +. exp z)
@@ -94,10 +100,22 @@ module Reference = struct
       end
     done;
     { x = best; objective = !best_obj; iterations; gap = infinity;
-      timed_out = false }
+      ub = infinity; timed_out = false }
 end
 
 let objective = Reference.objective
+
+(* Total absolute pair-weight mass W: the soft-min smoothing brackets
+   the exact objective within [smoothing · ln 2 · W], which is the
+   slack certificate consumers add on top of [solution.ub]. *)
+let weight_mass p =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun (_, _, w) -> Array.iter (fun wc -> acc := !acc +. Float.abs wc) w)
+    p.pairs;
+  !acc
+
+let smoothing_slack ~smoothing p = smoothing *. Float.log 2.0 *. weight_mass p
 
 (* ------------------------------------------------------------------ *)
 (* Sparse pair storage: per-user CSR adjacency of (neighbor, item,
@@ -198,6 +216,11 @@ type sweep_state = {
          configurations, k masked argmax passes over the scratch
          gradient are cheaper and allocation-free. Both paths keep the
          lowest-index tie-break. *)
+  fixed : int array;
+      (* flat n*m fixing mask ([fx_free]/[fx_zero]/[fx_one]) for
+         branch-and-bound node solves; length 0 when nothing is fixed,
+         which keeps the pinned zero-allocation sweep path untouched *)
+  free_k : int array;  (* per user: vertex slots left to the free coords *)
   x : float array array;  (* current iterate, n x m *)
   (* Per-user slots written by the sweep. *)
   obj_u : float array;
@@ -210,17 +233,52 @@ type sweep_state = {
   g0 : float array;  (* serial-path scratch gradient, length m *)
 }
 
-let sweep_state ?(smoothing = 0.05) ?(swap_steps = false) p =
+let sweep_state ?(smoothing = 0.05) ?(swap_steps = false) ?fixed p =
   assert (p.k >= 1 && p.k <= p.m);
   assert (smoothing > 0.0);
   let n = p.n and m = p.m and k = p.k in
+  let fixed =
+    match fixed with
+    | None -> [||]
+    | Some f ->
+        if Array.length f <> n * m then
+          invalid_arg "Pairwise_fw: fixing mask length <> n*m";
+        f
+  in
+  let free_k = Array.make n k in
+  let x =
+    if Array.length fixed = 0 then
+      Array.init n (fun _ -> Array.make m (float_of_int k /. float_of_int m))
+    else
+      Array.init n (fun u ->
+          let ones = ref 0 and zeros = ref 0 in
+          for c = 0 to m - 1 do
+            let f = fixed.((u * m) + c) in
+            if f = fx_one then incr ones else if f = fx_zero then incr zeros
+          done;
+          let free = m - !ones - !zeros in
+          if !ones > k || free < k - !ones then
+            invalid_arg "Pairwise_fw: infeasible fixing (user over-constrained)";
+          free_k.(u) <- k - !ones;
+          let fill =
+            if free = 0 then 0.0
+            else float_of_int (k - !ones) /. float_of_int free
+          in
+          Array.init m (fun c ->
+              match fixed.((u * m) + c) with
+              | f when f = fx_one -> 1.0
+              | f when f = fx_zero -> 0.0
+              | _ -> fill))
+  in
   {
     sp = p;
     adj = build_csr p;
     smoothing;
     swap_steps;
     small_k = k <= 16;
-    x = Array.init n (fun _ -> Array.make m (float_of_int k /. float_of_int m));
+    fixed;
+    free_k;
+    x;
     obj_u = Array.make n 0.0;
     gap_u = Array.make n 0.0;
     tops = Array.init n (fun _ -> Array.make k 0);
@@ -263,14 +321,25 @@ let sweep_user st g u =
   for c = 0 to m - 1 do
     dot := !dot +. (g.(c) *. xu.(c))
   done;
+  let has_fixed = Array.length st.fixed > 0 in
+  let fb = u * m in
   if st.swap_steps then begin
     (* Best single mass swap: move weight onto the best coordinate
-       with headroom from the worst coordinate with mass. *)
+       with headroom from the worst coordinate with mass. Fixed
+       coordinates are pinned and never take part. *)
     let hi = ref (-1) and lo = ref (-1) in
-    for c = 0 to m - 1 do
-      if xu.(c) < 1.0 -. 1e-12 && (!hi < 0 || g.(c) > g.(!hi)) then hi := c;
-      if xu.(c) > 1e-12 && (!lo < 0 || g.(c) < g.(!lo)) then lo := c
-    done;
+    if has_fixed then
+      for c = 0 to m - 1 do
+        if st.fixed.(fb + c) = fx_free then begin
+          if xu.(c) < 1.0 -. 1e-12 && (!hi < 0 || g.(c) > g.(!hi)) then hi := c;
+          if xu.(c) > 1e-12 && (!lo < 0 || g.(c) < g.(!lo)) then lo := c
+        end
+      done
+    else
+      for c = 0 to m - 1 do
+        if xu.(c) < 1.0 -. 1e-12 && (!hi < 0 || g.(c) > g.(!hi)) then hi := c;
+        if xu.(c) > 1e-12 && (!lo < 0 || g.(c) < g.(!lo)) then lo := c
+      done;
     if !hi >= 0 && !lo >= 0 && !hi <> !lo && g.(!hi) > g.(!lo) then begin
       st.swap_to.(u) <- !hi;
       st.swap_from.(u) <- !lo;
@@ -287,7 +356,34 @@ let sweep_user st g u =
   end;
   let top = st.tops.(u) in
   let top_sum = ref 0.0 in
-  if st.small_k then
+  if has_fixed then begin
+    (* Oracle under fixings: fixed-one coordinates are in every
+       feasible vertex (their gradient joins [top_sum] directly),
+       fixed coordinates of either kind never compete for the
+       remaining [free_k] slots. Unused slots carry a -1 sentinel the
+       update pass skips. *)
+    for c = 0 to m - 1 do
+      let f = st.fixed.(fb + c) in
+      if f <> fx_free then begin
+        if f = fx_one then top_sum := !top_sum +. g.(c);
+        g.(c) <- neg_infinity
+      end
+    done;
+    let fk = st.free_k.(u) in
+    for slot = 0 to k - 1 do
+      if slot < fk then begin
+        let arg = ref 0 in
+        for c = 1 to m - 1 do
+          if g.(c) > g.(!arg) then arg := c
+        done;
+        top.(slot) <- !arg;
+        top_sum := !top_sum +. g.(!arg);
+        g.(!arg) <- neg_infinity
+      end
+      else top.(slot) <- -1
+    done
+  end
+  else if st.small_k then
     for slot = 0 to k - 1 do
       let arg = ref 0 in
       for c = 1 to m - 1 do
@@ -335,8 +431,8 @@ let screen p =
     p.pairs;
   if not !ok then failwith "Pairwise_fw.solve: non-finite problem data"
 
-let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
-    ?(swap_steps = false) p =
+let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?ub_target ?x0
+    ?fixed ?domains ?token ?(swap_steps = false) p =
   assert (p.k >= 1 && p.k <= p.m);
   assert (smoothing > 0.0);
   screen p;
@@ -345,11 +441,30 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
   in
   let n = p.n and m = p.m and k = p.k in
   let domains = match domains with Some d -> d | None -> auto_domains p in
-  let st = sweep_state ~smoothing ~swap_steps p in
+  let st = sweep_state ~smoothing ~swap_steps ?fixed p in
   let x = st.x in
+  (* Warm start: adopt the caller's iterate (a parent branch-and-bound
+     node's best point, projected by the caller onto this node's
+     fixings). A poisoned warm start is rejected like poisoned problem
+     data — the caller's recovery ladder retries cold. *)
+  (match x0 with
+  | None -> ()
+  | Some x0 ->
+      if Array.length x0 <> n then
+        invalid_arg "Pairwise_fw.solve: warm start has wrong user count";
+      if not (Supervise.finite_mat x0) then
+        failwith "Pairwise_fw.solve: non-finite warm start";
+      Array.iteri
+        (fun u row ->
+          if Array.length row <> m then
+            invalid_arg "Pairwise_fw.solve: warm start has wrong item count";
+          Array.blit row 0 x.(u) 0 m)
+        x0);
+  let has_fixed = Array.length st.fixed > 0 in
   let best = Array.init n (fun u -> Array.copy x.(u)) in
   let best_obj = ref neg_infinity in
   let best_gap = ref infinity in
+  let best_ub = ref infinity in
   (* The fan-out closures are built once here, not per sweep: the
      serial path calls [sweep_serial] directly, so an iteration of the
      single-domain engine allocates nothing at all. *)
@@ -380,8 +495,18 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
       let top = st.tops.(u) in
       for slot = 0 to k - 1 do
         let c = top.(slot) in
-        xu.(c) <- xu.(c) +. gamma
-      done
+        if c >= 0 then xu.(c) <- xu.(c) +. gamma
+      done;
+      (* Fixed coordinates are at their pinned value in both the
+         iterate and the vertex, so the convex combination preserves
+         them up to rounding; re-pin exactly to stop drift from
+         compounding down a deep branch-and-bound path. *)
+      if has_fixed then
+        for c = 0 to m - 1 do
+          let f = st.fixed.((u * m) + c) in
+          if f = fx_one then xu.(c) <- 1.0
+          else if f = fx_zero then xu.(c) <- 0.0
+        done
     end
   in
   let record_iterate () =
@@ -397,6 +522,14 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
       done
     end;
     if !gap < !best_gap then best_gap := !gap;
+    (* Sound per-iterate upper bound on the smoothed optimum x_opt: by
+       concavity f_s(x_opt) <= f_s(x) + <grad f_s(x), v - x>, and the
+       soft-min undershoots the true min so f_s(x) <= f(x); hence
+       f_s(x_opt) <= f(x) + gap. The caller adds the smoothing slack
+       [smoothing·ln 2·W] (f <= f_s + slack) to recover a bound on the
+       exact optimum. *)
+    let cand = !obj +. !gap in
+    if cand -. cand = 0.0 && cand < !best_ub then best_ub := cand;
     (!obj, !gap)
   in
   let steps = ref 0 in
@@ -422,6 +555,15 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
       else
         match gap_tol with
         | Some tol when gap <= tol -> stopped := true
+        | _ when
+            (match ub_target with
+            | Some target -> obj +. gap <= target
+            | None -> false) ->
+            (* The certificate already proves this solve cannot beat
+               the caller's target (a branch-and-bound incumbent):
+               iterating further would only sharpen a bound that is
+               tight enough to fathom on. *)
+            stopped := true
         | _ ->
             let gamma = 2.0 /. float_of_int (!steps + 2) in
             if domains <= 1 then
@@ -447,5 +589,6 @@ let solve ?(iterations = 400) ?(smoothing = 0.05) ?gap_tol ?domains ?token
     objective = !best_obj;
     iterations = !steps;
     gap = !best_gap;
+    ub = !best_ub;
     timed_out = !timed_out;
   }

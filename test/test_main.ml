@@ -8,6 +8,7 @@ let () =
       ("factor", Test_factor.suite);
       ("fw", Test_fw.suite);
       ("revised", Test_revised_simplex.suite);
+      ("bnb_fw", Test_bnb_fw.suite);
       ("graph", Test_graph.suite);
       ("core", Test_core.suite);
       ("algorithms", Test_algorithms.suite);

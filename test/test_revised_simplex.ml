@@ -250,7 +250,7 @@ let test_lu_stats_sanity () =
   let relax = Svgic.Relaxation.solve inst in
   (match relax.Svgic.Relaxation.lp_stats with
   | None -> Alcotest.fail "exact revised solve must surface lp_stats"
-  | Some { Svgic.Relaxation.pivots; factor } ->
+  | Some { Svgic.Relaxation.pivots; factor; _ } ->
       Alcotest.(check bool) "pivoted" true (pivots > 0);
       Alcotest.(check bool)
         "rebuilt at least the initial basis" true

@@ -238,6 +238,69 @@ let test_certificate_sound () =
       (res.Shard.bound <= res.Shard.objective +. 1e-9)
   done
 
+(* Certified integer shard bounds: with ~certify_integer the round
+   brackets OPT — objective <= upper_bound — with a finite certificate
+   on instances whose shards fit a branch-and-bound engine, and the
+   default path's result is unchanged by the flag's existence. *)
+let test_certified_integer_bracket () =
+  for seed = 1 to 6 do
+    let rng = Rng.create (300 + seed) in
+    let inst =
+      community_instance ~p_cross:0.1 rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2
+    in
+    let part = Shard.partition ~labelling:Shard.Modularity inst in
+    let rounding = Shard.Avg { repeats = 2; advanced_sampling = true } in
+    let plain = Shard.solve_round ~rounding (Rng.create seed) part in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: no certificate unless requested" seed)
+      true
+      (plain.Shard.upper_bound = None);
+    let cert =
+      Shard.solve_round ~certify_integer:true ~rounding (Rng.create seed) part
+    in
+    (match cert.Shard.upper_bound with
+    | None -> Alcotest.fail "certified round must fill upper_bound"
+    | Some ub ->
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: certificate is finite (%.4f)" seed ub)
+          true (ub < infinity);
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: objective %.4f <= upper bound %.4f" seed
+             cert.Shard.objective ub)
+          true
+          (cert.Shard.objective <= ub +. 1e-9));
+    (* Certification must not perturb the solve itself. *)
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "seed %d: certification leaves the config alone" seed)
+      plain.Shard.objective cert.Shard.objective
+  done
+
+(* Edge-free self-certification: with no social edges every component
+   shard is a lone user, whose greedy top-k is the exact optimum — the
+   certificate must equal the objective bit for bit (empty cut). *)
+let test_certified_edge_free_exact () =
+  let rng = Rng.create 77 in
+  let g = Graph.of_edges ~n:10 [] in
+  let pref =
+    Array.init 10 (fun _ -> Array.init 6 (fun _ -> Rng.float rng 1.0))
+  in
+  let inst =
+    Instance.create ~graph:g ~m:6 ~k:2 ~lambda:0.0 ~pref ~tau:(fun _ _ _ -> 0.0)
+  in
+  let part = Shard.partition inst in
+  let res =
+    Shard.solve_round ~certify_integer:true
+      ~rounding:(Shard.Avg_d { r = None })
+      (Rng.create 1) part
+  in
+  match res.Shard.upper_bound with
+  | None -> Alcotest.fail "certified round must fill upper_bound"
+  | Some ub ->
+      (* Edge-free shards: objective = optimum = certificate (empty
+         cut, so the sums agree up to float order). *)
+      Alcotest.(check (float 1e-9)) "greedy optimum certifies itself"
+        res.Shard.objective ub
+
 let suite =
   [
     Alcotest.test_case "partition structure" `Quick test_partition_structure;
@@ -250,4 +313,8 @@ let suite =
       test_bit_identity_across_domains;
     Alcotest.test_case "cut repair monotone" `Quick test_cut_repair_monotone;
     Alcotest.test_case "certificate soundness" `Quick test_certificate_sound;
+    Alcotest.test_case "certified integer bracket" `Quick
+      test_certified_integer_bracket;
+    Alcotest.test_case "certified edge-free self-certification" `Quick
+      test_certified_edge_free_exact;
   ]
