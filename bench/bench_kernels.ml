@@ -1063,6 +1063,9 @@ let speedups records =
     | "fw_bb" -> Some "simplex_bb"
     | "warm" -> Some "cold"
     | "sharded" -> Some "monolith"
+    (* serving pairs: the long-lived engine's per-tick (and per-event)
+       cost vs a stateless full re-solve on the same drifted data. *)
+    | "incremental" -> Some "cold"
     | "reuse" -> Some "naive"
     | "views" -> Some "materialized"
     (* Supervision pairs: the "speedup" reads as ~1.0x minus the poll

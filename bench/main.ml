@@ -41,6 +41,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig16", "user study", Bench_user_study.run);
     ("kernels", "bechamel kernel micro-benchmarks", Bench_kernels.run);
     ("xl", "million-user sharded pipeline + peak-RSS gate", Bench_xl.run);
+    ("serve", "online serving: incremental vs cold per tick", Bench_serve.run);
   ]
 
 let list_experiments () =

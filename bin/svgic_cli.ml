@@ -322,9 +322,162 @@ let compare_cmd =
       const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
       $ cap_arg)
 
+(* -------------------------------------------------------------------
+   serve: replay a newline-delimited event trace through the online
+   engine (Serve), one stats line per tick. *)
+
+let events_arg =
+  Arg.(
+    value
+    & opt string "-"
+    & info [ "events"; "e" ]
+        ~doc:
+          "Event trace to replay ('-' reads stdin). Lines: 'tick', 'pref u c \
+           v', 'tau u v c x', 'leave u', 'join p0,...,pm-1 \
+           [friend:tau_out:tau_in ...]'; '#' comments and blank lines are \
+           skipped. A trailing batch without a final 'tick' is flushed at \
+           end of stream.")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ]
+        ~doc:
+          "Per-tick latency budget in milliseconds. A shard whose warm \
+           re-solve overruns it degrades down the ladder (certified \
+           Frank-Wolfe, then the greedy floor) instead of missing the tick.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Maintain the upper bracket too: touched shards re-certify via the \
+           integer selection bound, so each tick reports objective <= upper \
+           (printed 'inf' while any shard's certificate is degraded)")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ]
+        ~doc:
+          "Solver fan-out cap for touched shards. Replay is bit-identical \
+           for every value (per-tick Rng.split_n streams, reduce by index).")
+
+let repair_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "repair-passes" ] ~doc:"per-tick cut-repair sweeps over touched cut endpoints")
+
+let serve_labelling_arg =
+  Arg.(
+    value
+    & opt string "components"
+    & info [ "shards" ]
+        ~doc:"partition labelling: 'components', 'modularity', or an integer (balanced parts)")
+
+let percentile sorted q =
+  let len = Array.length sorted in
+  if len = 0 then nan
+  else sorted.(min (len - 1) (int_of_float (ceil (q *. float_of_int len)) - 1))
+
+let print_tick_stats (s : Svgic.Serve.tick_stats) =
+  Printf.printf
+    "tick %4d: events %d applied %d dropped %d | shards %d warm %d degraded \
+     %d%s | %.2f ms | obj %.4f bound %.4f%s\n"
+    s.Svgic.Serve.tick s.events_seen s.events_applied s.events_dropped
+    s.shards_touched s.warm_hits s.degraded
+    (if s.structural then " structural" else "")
+    (1e3 *. s.elapsed_s) s.objective s.bound
+    (match s.upper with
+    | None -> ""
+    | Some u when u = infinity -> " upper inf"
+    | Some u -> Printf.sprintf " upper %.4f" u);
+  flush stdout
+
+let serve_cmd =
+  let run preset n m k lambda seed load events shards deadline_ms certify
+      domains repair_passes =
+    match parse_labelling shards with
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | Ok labelling ->
+        let inst = make_instance ?load preset seed ~n ~m ~k ~lambda in
+        let deadline_s = Option.map (fun ms -> ms /. 1e3) deadline_ms in
+        let t =
+          Svgic.Serve.create ~labelling ?deadline_s ~certify ?domains
+            ~repair_passes (Rng.create seed) inst
+        in
+        Printf.printf "serving %d users in %d shards (seed %d)\n"
+          (Svgic.Serve.num_users t) (Svgic.Serve.num_shards t) seed;
+        let ic = if events = "-" then stdin else open_in events in
+        let ticks = ref [] in
+        let do_tick () =
+          let s = Svgic.Serve.tick t in
+          ticks := s :: !ticks;
+          print_tick_stats s
+        in
+        (try
+           let lineno = ref 0 in
+           (try
+              while true do
+                let raw = input_line ic in
+                incr lineno;
+                match Svgic.Serve.parse_line raw with
+                | Ok Svgic.Serve.Line_blank -> ()
+                | Ok Svgic.Serve.Line_tick -> do_tick ()
+                | Ok (Svgic.Serve.Line_event ev) ->
+                    ignore (Svgic.Serve.submit t ev : int option)
+                | Error msg ->
+                    Printf.eprintf "%s:%d: %s\n" events !lineno msg;
+                    exit 1
+              done
+            with End_of_file -> ());
+           if Svgic.Serve.pending_events t > 0 then do_tick ()
+         with e ->
+           if events <> "-" then close_in_noerr ic;
+           raise e);
+        if events <> "-" then close_in ic;
+        let ticks = Array.of_list (List.rev !ticks) in
+        let times =
+          Array.map (fun s -> s.Svgic.Serve.elapsed_s) ticks
+        in
+        Array.sort compare times;
+        let sum f = Array.fold_left (fun a s -> a + f s) 0 ticks in
+        Printf.printf
+          "\nsummary: %d ticks, %d events applied (%d dropped), %d shard \
+           solves (%d warm, %d degraded)\n"
+          (Array.length ticks)
+          (sum (fun s -> s.Svgic.Serve.events_applied))
+          (sum (fun s -> s.Svgic.Serve.events_dropped))
+          (sum (fun s -> s.Svgic.Serve.shards_touched))
+          (sum (fun s -> s.Svgic.Serve.warm_hits))
+          (sum (fun s -> s.Svgic.Serve.degraded));
+        if Array.length times > 0 then
+          Printf.printf "tick latency: p50 %.2f ms, p99 %.2f ms\n"
+            (1e3 *. percentile times 0.50)
+            (1e3 *. percentile times 0.99);
+        Printf.printf "final bracket: %.4f <= objective %.4f%s\n"
+          (Svgic.Serve.bound t) (Svgic.Serve.objective t)
+          (match Svgic.Serve.upper t with
+          | None -> ""
+          | Some u when u = infinity -> " <= inf (certificate degraded)"
+          | Some u -> Printf.sprintf " <= %.4f" u)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Replay an event trace through the online serving engine")
+    Term.(
+      const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
+      $ load_arg $ events_arg $ serve_labelling_arg $ deadline_ms_arg
+      $ certify_arg $ domains_arg $ repair_arg)
+
 let () =
   (* Deterministic fault injection is opt-in via SVGIC_FAULT_SEED (see
      DESIGN.md §5) — inert unless the variable is set. *)
   ignore (Svgic_util.Fault.init_from_env () : bool);
   let info = Cmd.info "svgic_cli" ~doc:"Social-aware VR group-item configuration" in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; compare_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; compare_cmd; serve_cmd ]))

@@ -396,6 +396,59 @@ let pairs t =
 
 let objective_scale t = if lambda t = 0.0 then 1.0 else lambda t
 
+(* ---- in-place arena deltas (the serving layer's write path) ------ *)
+
+let check_delta what value =
+  if not (Float.is_finite value && value >= 0.0) then
+    invalid_arg
+      (Printf.sprintf "Instance.%s: value %g not finite and non-negative" what
+         value)
+
+let set_pref t ~user ~item value =
+  match t with
+  | View _ -> invalid_arg "Instance.set_pref: root instances only"
+  | Root a ->
+      check_delta "set_pref" value;
+      if user < 0 || user >= Graph.n a.agraph then
+        invalid_arg "Instance.set_pref: user out of range";
+      if item < 0 || item >= a.am then
+        invalid_arg "Instance.set_pref: item out of range";
+      let idx = (user * a.am) + item in
+      let old = FA.get a.apref idx in
+      FA.set a.apref idx value;
+      (* Cached boxed rows are views over the arena in spirit but
+         copies in fact; patch the touched cell so a later consumer
+         sees the delta without a full rebuild. *)
+      (match a.pref_rows with
+      | Some rows -> rows.(user).(item) <- value
+      | None -> ());
+      (match a.scaled_rows with
+      | Some rows ->
+          rows.(user).(item) <-
+            (if a.alambda = 0.0 then value
+             else (1.0 -. a.alambda) /. a.alambda *. value)
+      | None -> ());
+      old
+
+let set_tau t ~u ~v ~item value =
+  match t with
+  | View _ -> invalid_arg "Instance.set_tau: root instances only"
+  | Root a ->
+      check_delta "set_tau" value;
+      if item < 0 || item >= a.am then
+        invalid_arg "Instance.set_tau: item out of range";
+      let e = Graph.edge_index a.agraph u v in
+      if e < 0 then invalid_arg "Instance.set_tau: (u,v) is not an edge";
+      let idx = (e * a.am) + item in
+      let old = FA.get a.atau idx in
+      FA.set a.atau idx value;
+      (* The pair-weight cache aggregates both directions of an edge;
+         there is no edge->pair index, so the whole table is dropped
+         (rebuilt lazily — the serving layer's solve path reads the
+         arenas through per-shard sub-instances, never this cache). *)
+      if old <> value then a.pw_rows <- None;
+      old
+
 (* ---- derived instances ------------------------------------------- *)
 
 let with_lambda t lambda =

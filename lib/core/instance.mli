@@ -162,6 +162,27 @@ val objective_scale : t -> float
 (** Factor converting a scaled objective [Σ p'·x + Σ w·y] back to the
     paper's total SAVG utility: [λ] when [λ > 0], else [1]. *)
 
+(** {2 In-place arena deltas}
+
+    The write path of the online serving layer ({!Serve}): utility
+    drift events mutate a root's arenas directly — O(1) per cell, no
+    instance rebuild. Both setters validate the value (finite,
+    non-negative), keep the lazily cached boxed row tables coherent
+    (patched in place, or dropped when no cheap patch exists), return
+    the previous value (the serving layer's incremental cut-mass
+    bookkeeping needs the difference), and raise [Invalid_argument] on
+    views — shard views share their parent's arenas, so deltas must go
+    through the owning root. *)
+
+val set_pref : t -> user:int -> item:int -> float -> float
+(** [set_pref t ~user ~item value] sets p(user,item) and returns the
+    previous value. *)
+
+val set_tau : t -> u:int -> v:int -> item:int -> float -> float
+(** [set_tau t ~u ~v ~item value] sets τ(u,v,item) on the directed
+    edge [(u,v)] and returns the previous value; raises
+    [Invalid_argument] if [(u,v)] is not an edge. *)
+
 val with_lambda : t -> float -> t
 (** Same data under a different weight. On a root this shares the
     pref/τ arenas (O(1)); a view is materialized first. *)

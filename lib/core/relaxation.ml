@@ -218,7 +218,7 @@ let greedy_fallback inst =
    straight to the greedy floor. A caller that would rather crash than
    degrade can watch the [degraded] flag — or not pass a token and let
    [Failure] escape from the final rung. *)
-let solve ?(backend = Auto) ?warm ?token inst =
+let solve ?(backend = Auto) ?warm ?token ?(force_revised = false) inst =
   let backend = match backend with Auto -> choose_backend inst | b -> b in
   let expired () =
     match token with Some t -> Supervise.expired t | None -> false
@@ -239,7 +239,7 @@ let solve ?(backend = Auto) ?warm ?token inst =
       try solve_fw ~iterations ~smoothing ~gap_tol ~domains ?token inst
       with Failure _ -> greedy_fallback inst)
   | Exact_simplex -> (
-      match solve_simplex ?warm ?token inst with
+      match solve_simplex ?warm ?token ~force_revised inst with
       | r -> r
       | exception Deadline_exhausted -> greedy_fallback inst
       | exception Failure msg -> (

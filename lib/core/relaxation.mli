@@ -107,6 +107,7 @@ val solve :
   ?backend:backend ->
   ?warm:Svgic_lp.Revised_simplex.vbasis ->
   ?token:Svgic_util.Supervise.token ->
+  ?force_revised:bool ->
   Instance.t ->
   t
 (** Solves [LP_SIMP] (with the advanced LP transformation). Default
@@ -114,7 +115,10 @@ val solve :
     returned by an earlier solve of a same-shaped instance (same [n],
     [m] and friend pairs — e.g. a re-solve after utility drift); a
     mismatched basis is ignored, so passing a stale one is safe.
-    Giving [warm] forces the exact path onto the revised engine.
+    Giving [warm] forces the exact path onto the revised engine;
+    [force_revised] does the same without a basis — a solve below the
+    dense-tableau ceiling then still returns a reusable [basis], which
+    is what {!Serve}'s per-shard warm restarts need on small shards.
 
     [token] supervises the solve (DESIGN.md §5 "Failure handling"):
     it is threaded into the simplex pivot loop / Frank–Wolfe sweep

@@ -1,12 +1,29 @@
 type event = { name : string }
 
+(* The LP shape the stored warm basis was built for: a basis only
+   transfers to a program of identical shape, and [Relaxation.solve]'s
+   own shape check keys on variable/row counts — which can collide
+   across *different* populations (same n·m with different pairs). The
+   plan pins the population signature so [replan] can drop a stale
+   basis itself instead of trusting the caller to know. *)
+type shape = { sn : int; sm : int; sk : int; spairs : int }
+
 type plan = {
   instance : Instance.t;
   config : Config.t;
   events : event array;
   capacity : int;
   relax : Relaxation.t;
+  shape : shape;
 }
+
+let shape_of inst =
+  {
+    sn = Instance.n inst;
+    sm = Instance.m inst;
+    sk = Instance.k inst;
+    spairs = Instance.num_pairs inst;
+  }
 
 let organize rng ~graph ~events ~rounds ~capacity ~pref ~tau ~lambda =
   let m = Array.length events in
@@ -16,17 +33,26 @@ let organize rng ~graph ~events ~rounds ~capacity ~pref ~tau ~lambda =
   let inst = Instance.create ~graph ~m ~k:rounds ~lambda ~pref ~tau in
   let relax = Relaxation.solve inst in
   let config = St.avg rng inst relax ~m_cap:capacity in
-  { instance = inst; config; events; capacity; relax }
+  { instance = inst; config; events; capacity; relax; shape = shape_of inst }
 
 (* Re-run the randomized rounding phase — the LP re-solve warm starts
    from the stored basis, so a replan costs a handful of pivots plus
-   the rounding itself. *)
-let replan rng plan =
-  let relax =
-    Relaxation.solve ?warm:plan.relax.Relaxation.basis plan.instance
+   the rounding itself. Self-checking, like [Dynamic.resolve]: when
+   the population changed shape since the plan was built (a caller
+   swapped in a grown instance via [?instance]), the stored basis is
+   dropped here rather than handed to the solver's weaker
+   count-keyed shape check. *)
+let replan ?instance rng plan =
+  let inst = match instance with Some i -> i | None -> plan.instance in
+  if instance <> None && Array.length plan.events <> Instance.m inst then
+    invalid_arg "Seo.replan: instance item count must match the event list";
+  let shape = shape_of inst in
+  let warm =
+    if shape = plan.shape then plan.relax.Relaxation.basis else None
   in
-  let config = St.avg rng plan.instance relax ~m_cap:plan.capacity in
-  { plan with config; relax }
+  let relax = Relaxation.solve ?warm inst in
+  let config = St.avg rng inst relax ~m_cap:plan.capacity in
+  { plan with instance = inst; config; relax; shape }
 
 let attendees plan ~round ~event =
   let n = Instance.n plan.instance in

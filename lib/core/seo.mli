@@ -9,13 +9,23 @@
 
 type event = { name : string }
 
+type shape = { sn : int; sm : int; sk : int; spairs : int }
+(** Population signature (users, events, rounds, friend pairs) the
+    stored warm basis was built for. *)
+
 type plan = {
   instance : Instance.t;
   config : Config.t;
   events : event array;
   capacity : int;  (** per-(event, round) attendance cap [M] *)
-  relax : Relaxation.t;  (** relaxation behind [config]; carries the
-                             simplex basis for warm replans *)
+  relax : Relaxation.t;
+      (** relaxation behind [config]; carries the simplex basis for
+          warm replans *)
+  shape : shape;
+      (** signature of [instance] when [relax] was solved — {!replan}
+          checks the current instance against it and drops the basis
+          on mismatch, so a caller never has to know whether the
+          population changed shape *)
 }
 
 val organize :
@@ -33,11 +43,20 @@ val organize :
     [capacity * |events| >= n + (rounds-1)*capacity] so a feasible
     schedule exists. *)
 
-val replan : Svgic_util.Rng.t -> plan -> plan
-(** Re-draws the schedule for the same instance: the LP relaxation is
-    re-solved warm from the stored basis (near-instant — the old basis
-    is still optimal) and only the randomized rounding is re-run. Use
-    to generate alternative schedules cheaply. *)
+val replan : ?instance:Instance.t -> Svgic_util.Rng.t -> plan -> plan
+(** Re-draws the schedule: the LP relaxation is re-solved warm from
+    the stored basis (near-instant — the old basis is still optimal)
+    and only the randomized rounding is re-run. Use to generate
+    alternative schedules cheaply.
+
+    [?instance] replans over an updated population (attendees joined
+    or left, utilities drifted) while keeping the event list and
+    capacity. The replan is {e self-checking}: the stored basis is
+    used only when the instance still matches the plan's recorded
+    {!shape} (same attendees, events, rounds and friend pairs) —
+    after a shape change the solve cold-starts on its own, exactly
+    like [Dynamic.resolve]. Raises [Invalid_argument] when the new
+    instance's item count does not match the event list. *)
 
 val attendees : plan -> round:int -> event:int -> int array
 (** Who attends an event in a round. *)

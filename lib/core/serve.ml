@@ -1,0 +1,952 @@
+module Graph = Svgic_graph.Graph
+module Rng = Svgic_util.Rng
+module Pool = Svgic_util.Pool
+module Supervise = Svgic_util.Supervise
+module Mclock = Svgic_util.Mclock
+module Fault = Svgic_util.Fault
+module FA = Float.Array
+
+type event =
+  | Join of Dynamic.user_profile
+  | Leave of int
+  | Pref_delta of { user : int; item : int; value : float }
+  | Tau_delta of { u : int; v : int; item : int; value : float }
+
+(* Structural events keep submission order (the list is reversed);
+   value deltas live in the coalescing tables instead. *)
+type pending = P_join of int * Dynamic.user_profile | P_leave of int
+
+(* Per-shard solve state. [members] are internal ids, increasing
+   (= local id order of the sub-instance [solve_shard] builds, so the
+   warm basis and the incumbent rows line up across ticks as long as
+   the membership set is unchanged — [freshened] tracks that). *)
+type shard_state = {
+  mutable members : int array;
+  mutable warm : Svgic_lp.Revised_simplex.vbasis option;
+  mutable warm_n : int;
+  mutable warm_pairs : int;
+  mutable obj : float;  (** within-shard utility of the incumbent rows *)
+  mutable upper_b : float;
+      (** certified upper bound on the shard optimum (utility units);
+          [infinity] = no current certificate, [0] for empty shards *)
+  mutable degraded : bool;
+  mutable freshened : bool;  (** membership changed since last solve *)
+}
+
+type t = {
+  mutable inst : Instance.t;  (** root; mutated in place by value deltas *)
+  mutable assign : int array array;  (** incumbent rows, internal ids *)
+  mutable label : int array;  (** internal id -> shard id (stable across ticks) *)
+  mutable shards : shard_state array;  (** grows; emptied husks stay *)
+  mutable ext_of : int array;  (** internal -> external *)
+  ext_slot : (int, int) Hashtbl.t;  (** external -> internal (alive only) *)
+  mutable next_ext : int;
+  pref_coal : (int * int, float) Hashtbl.t;  (** (ext, item) -> value, LWW *)
+  tau_coal : (int * int * int, float) Hashtbl.t;  (** (ext, ext, item) -> value *)
+  mutable structural : pending list;  (** reversed submission order *)
+  mutable seen : int;
+  (* Cut bookkeeping: pair endpoints (internal) plus both directed edge
+     indices (-1 when that direction is absent), so the per-tick
+     realized-cut and mass sums never pay the O(log deg) edge lookup. *)
+  mutable cut_u : int array;
+  mutable cut_v : int array;
+  mutable cut_euv : int array;
+  mutable cut_evu : int array;
+  mutable cut_mass : float;
+  mutable scratch : bool array;  (** per-shard touched marks, reused *)
+  rng : Rng.t;
+  rounding : Shard.rounding;
+  deadline_s : float option;
+  certify : bool;
+  domains : int option;
+  repair_passes : int;
+  mutable tick_no : int;
+  mutable objective_v : float;
+  mutable bound_v : float;
+  mutable upper_v : float;
+}
+
+type tick_stats = {
+  tick : int;
+  events_seen : int;
+  events_applied : int;
+  events_dropped : int;
+  shards_touched : int;
+  warm_hits : int;
+  degraded : int;
+  structural : bool;
+  elapsed_s : float;
+  objective : float;
+  bound : float;
+  upper : float option;
+}
+
+(* ---- helpers ----------------------------------------------------- *)
+
+let ensure_scratch t =
+  let nsh = Array.length t.shards in
+  if Array.length t.scratch < nsh then begin
+    let s = Array.make nsh false in
+    Array.blit t.scratch 0 s 0 (Array.length t.scratch);
+    t.scratch <- s
+  end
+
+(* Within-shard utility of the incumbent rows of [members], read off
+   the global state: preference part plus λ·τ over same-shard directed
+   edges whose endpoints co-display. Each directed edge is counted
+   once, from its source — the same accounting as
+   [Config.total_utility] restricted to one shard. *)
+let shard_obj_of t members =
+  let inst = t.inst in
+  let lambda = Instance.lambda inst in
+  let k = Instance.k inst in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun u ->
+      let row = t.assign.(u) in
+      for s = 0 to k - 1 do
+        acc := !acc +. ((1.0 -. lambda) *. Instance.pref inst u row.(s))
+      done;
+      Instance.iter_out_tau inst u (fun v e ->
+          if t.label.(v) = t.label.(u) then begin
+            let vrow = t.assign.(v) in
+            for s = 0 to k - 1 do
+              if row.(s) = vrow.(s) then
+                acc := !acc +. (lambda *. Instance.tau_edge inst e row.(s))
+            done
+          end))
+    members;
+  !acc
+
+(* Cross-shard social utility the incumbent configuration actually
+   realizes — the gap between [Σ shard_obj] and the true objective. *)
+let cut_realized t =
+  let inst = t.inst in
+  let lambda = Instance.lambda inst in
+  let k = Instance.k inst in
+  let acc = ref 0.0 in
+  for i = 0 to Array.length t.cut_u - 1 do
+    let ru = t.assign.(t.cut_u.(i)) and rv = t.assign.(t.cut_v.(i)) in
+    for s = 0 to k - 1 do
+      if ru.(s) = rv.(s) then begin
+        if t.cut_euv.(i) >= 0 then
+          acc := !acc +. (lambda *. Instance.tau_edge inst t.cut_euv.(i) ru.(s));
+        if t.cut_evu.(i) >= 0 then
+          acc := !acc +. (lambda *. Instance.tau_edge inst t.cut_evu.(i) ru.(s))
+      end
+    done
+  done;
+  !acc
+
+(* Full recomputation of the cut tables after a structural rebuild.
+   Non-structural ticks never call this: value deltas adjust
+   [cut_mass] incrementally from the old cell value [set_tau]
+   returns. *)
+let rebuild_cut t =
+  let inst = t.inst in
+  let g = Instance.graph inst in
+  let m = Instance.m inst in
+  let lambda = Instance.lambda inst in
+  let count = ref 0 in
+  Instance.iter_pairs inst (fun _ u v ->
+      if t.label.(u) <> t.label.(v) then incr count);
+  let cu = Array.make !count 0
+  and cv = Array.make !count 0
+  and ce1 = Array.make !count (-1)
+  and ce2 = Array.make !count (-1) in
+  let w = ref 0 and mass = ref 0.0 in
+  Instance.iter_pairs inst (fun _ u v ->
+      if t.label.(u) <> t.label.(v) then begin
+        cu.(!w) <- u;
+        cv.(!w) <- v;
+        let e1 = Graph.edge_index g u v and e2 = Graph.edge_index g v u in
+        ce1.(!w) <- e1;
+        ce2.(!w) <- e2;
+        for c = 0 to m - 1 do
+          if e1 >= 0 then mass := !mass +. Instance.tau_edge inst e1 c;
+          if e2 >= 0 then mass := !mass +. Instance.tau_edge inst e2 c
+        done;
+        incr w
+      end);
+  t.cut_u <- cu;
+  t.cut_v <- cv;
+  t.cut_euv <- ce1;
+  t.cut_evu <- ce2;
+  t.cut_mass <- lambda *. !mass
+
+(* A newcomer's placeholder row (her k preferred items, ties to the
+   smaller id): valid immediately, and overwritten by her shard's
+   re-solve unless the tick deadline already expired. *)
+let top_k_row inst u =
+  let m = Instance.m inst and k = Instance.k inst in
+  let idx = Array.init m (fun c -> c) in
+  Array.sort
+    (fun a b ->
+      let pa = Instance.pref inst u a and pb = Instance.pref inst u b in
+      if pa = pb then compare a b else compare pb pa)
+    idx;
+  Array.sub idx 0 k
+
+(* Inner parallelism must not nest inside the shard fan-out (same rule
+   as [Shard.solve_round]): pin an unresolved FW backend to one
+   domain. *)
+let serial_backend inst =
+  match Relaxation.choose_backend inst with
+  | Relaxation.Frank_wolfe ({ domains = None; _ } as fw) ->
+      Relaxation.Frank_wolfe { fw with domains = Some 1 }
+  | b -> b
+
+(* ---- event intake ------------------------------------------------ *)
+
+let submit t ev =
+  t.seen <- t.seen + 1;
+  match ev with
+  | Join p ->
+      let ext = t.next_ext in
+      t.next_ext <- ext + 1;
+      t.structural <- P_join (ext, p) :: t.structural;
+      Some ext
+  | Leave ext ->
+      t.structural <- P_leave ext :: t.structural;
+      None
+  | Pref_delta { user; item; value } ->
+      Hashtbl.replace t.pref_coal (user, item) value;
+      None
+  | Tau_delta { u; v; item; value } ->
+      Hashtbl.replace t.tau_coal (u, v, item) value;
+      None
+
+let pending_events t = t.seen
+
+let touched_preview t =
+  ensure_scratch t;
+  let sc = t.scratch in
+  let mark ext =
+    match Hashtbl.find_opt t.ext_slot ext with
+    | Some i -> sc.(t.label.(i)) <- true
+    | None -> ()
+  in
+  Hashtbl.iter (fun (u, _) _ -> mark u) t.pref_coal;
+  Hashtbl.iter
+    (fun (u, v, _) _ ->
+      mark u;
+      mark v)
+    t.tau_coal;
+  let count = ref 0 in
+  Array.iter (fun b -> if b then incr count) sc;
+  let out = Array.make !count 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        out.(!j) <- i;
+        incr j;
+        sc.(i) <- false
+      end)
+    sc;
+  out
+
+(* ---- structural rebuild ------------------------------------------ *)
+
+(* Applies the tick's joins/leaves in submission order and rebuilds the
+   instance: survivors keep their rows, labels and external ids
+   (internal indices compact); newcomers get the majority label of
+   their already-labelled friends (ties to the smallest label, no
+   labelled friends -> a fresh singleton shard). Returns the shard ids
+   whose membership changed. *)
+let apply_structural t ~applied ~dropped =
+  let inst = t.inst in
+  let old_n = Instance.n inst in
+  let m = Instance.m inst
+  and kk = Instance.k inst
+  and lambda = Instance.lambda inst in
+  let g = Instance.graph inst in
+  let alive = Array.make old_n true in
+  let jlist = ref [] in
+  let jalive = Hashtbl.create ~random:false 16 in
+  let touched = ref [] in
+  let evs = List.rev t.structural in
+  t.structural <- [];
+  List.iter
+    (fun p ->
+      match p with
+      | P_join (ext, profile) ->
+          if
+            Array.length profile.Dynamic.pref <> m
+            || not
+                 (Array.for_all
+                    (fun x -> Float.is_finite x && x >= 0.0)
+                    profile.Dynamic.pref)
+          then incr dropped
+          else begin
+            jlist := (ext, profile) :: !jlist;
+            Hashtbl.replace jalive ext ();
+            incr applied
+          end
+      | P_leave ext -> (
+          match Hashtbl.find_opt t.ext_slot ext with
+          | Some i when alive.(i) ->
+              alive.(i) <- false;
+              touched := t.label.(i) :: !touched;
+              t.shards.(t.label.(i)).freshened <- true;
+              incr applied
+          | _ ->
+              (* A leave can cancel a join from the same tick; anything
+                 else targets a dead or never-issued id. *)
+              if Hashtbl.mem jalive ext then begin
+                Hashtbl.remove jalive ext;
+                incr applied
+              end
+              else incr dropped))
+    evs;
+  let joins =
+    List.rev !jlist
+    |> List.filter (fun (e, _) -> Hashtbl.mem jalive e)
+    |> Array.of_list
+  in
+  (* Renumber: survivors first (old order), then newcomers. *)
+  let new_of_old = Array.make old_n (-1) in
+  let nsurv = ref 0 in
+  for u = 0 to old_n - 1 do
+    if alive.(u) then begin
+      new_of_old.(u) <- !nsurv;
+      incr nsurv
+    end
+  done;
+  let nsurv = !nsurv in
+  let njoin = Array.length joins in
+  let new_n = nsurv + njoin in
+  let ext_of = Array.make new_n (-1) in
+  for u = 0 to old_n - 1 do
+    if alive.(u) then ext_of.(new_of_old.(u)) <- t.ext_of.(u)
+  done;
+  Array.iteri (fun j (ext, _) -> ext_of.(nsurv + j) <- ext) joins;
+  Hashtbl.clear t.ext_slot;
+  Array.iteri (fun i ext -> Hashtbl.replace t.ext_slot ext i) ext_of;
+  (* Friends resolve through the rebuilt external map, so a newcomer
+     can befriend another newcomer from the same tick; unknown ids are
+     skipped. *)
+  let friends_of =
+    Array.map
+      (fun (_, p) ->
+        let out = ref [] in
+        Array.iter
+          (fun fext ->
+            match Hashtbl.find_opt t.ext_slot fext with
+            | Some i -> out := i :: !out
+            | None -> ())
+          p.Dynamic.friends;
+        Array.of_list (List.rev !out))
+      joins
+  in
+  let kept = ref 0 in
+  Graph.iteri_edges g (fun _ u v -> if alive.(u) && alive.(v) then incr kept);
+  let extra =
+    Array.fold_left (fun acc fs -> acc + (2 * Array.length fs)) 0 friends_of
+  in
+  let eu = Array.make (!kept + extra) 0 and ev = Array.make (!kept + extra) 0 in
+  let w = ref 0 in
+  Graph.iteri_edges g (fun _ u v ->
+      if alive.(u) && alive.(v) then begin
+        eu.(!w) <- new_of_old.(u);
+        ev.(!w) <- new_of_old.(v);
+        incr w
+      end);
+  Array.iteri
+    (fun j fs ->
+      let nj = nsurv + j in
+      Array.iter
+        (fun f ->
+          eu.(!w) <- nj;
+          ev.(!w) <- f;
+          incr w;
+          eu.(!w) <- f;
+          ev.(!w) <- nj;
+          incr w)
+        fs)
+    friends_of;
+  let graph' = Graph.of_edge_arrays ~n:new_n eu ev in
+  let apref = FA.create (new_n * m) in
+  for u = 0 to old_n - 1 do
+    if alive.(u) then begin
+      let base = new_of_old.(u) * m in
+      for c = 0 to m - 1 do
+        FA.set apref (base + c) (Instance.pref inst u c)
+      done
+    end
+  done;
+  Array.iteri
+    (fun j (_, p) ->
+      let base = (nsurv + j) * m in
+      for c = 0 to m - 1 do
+        FA.set apref (base + c) p.Dynamic.pref.(c)
+      done)
+    joins;
+  let old_of_new = Array.make new_n (-1) in
+  for u = 0 to old_n - 1 do
+    if alive.(u) then old_of_new.(new_of_old.(u)) <- u
+  done;
+  let ne = Graph.num_edges graph' in
+  let atau = FA.create (ne * m) in
+  Graph.iteri_edges graph' (fun e u v ->
+      let base = e * m in
+      if u < nsurv && v < nsurv then begin
+        let oe = Graph.edge_index g old_of_new.(u) old_of_new.(v) in
+        for c = 0 to m - 1 do
+          FA.set atau (base + c) (Instance.tau_edge inst oe c)
+        done
+      end
+      else
+        (* A newcomer endpoint: her profile defines τ, keyed by the
+           other endpoint's external id. Non-finite or negative
+           callback values are clamped to 0 rather than killing the
+           session. *)
+        let value c =
+          if u >= nsurv then
+            let _, p = joins.(u - nsurv) in
+            p.Dynamic.tau_out ext_of.(v) c
+          else
+            let _, p = joins.(v - nsurv) in
+            p.Dynamic.tau_in ext_of.(u) c
+        in
+        for c = 0 to m - 1 do
+          let x = value c in
+          FA.set atau (base + c)
+            (if Float.is_finite x && x >= 0.0 then x else 0.0)
+        done);
+  let inst' =
+    Instance.of_flat ~graph:graph' ~m ~k:kk ~lambda ~pref:apref ~tau:atau
+  in
+  let assign' = Array.make new_n [||] in
+  for u = 0 to old_n - 1 do
+    if alive.(u) then assign'.(new_of_old.(u)) <- t.assign.(u)
+  done;
+  let label' = Array.make new_n 0 in
+  for u = 0 to old_n - 1 do
+    if alive.(u) then label'.(new_of_old.(u)) <- t.label.(u)
+  done;
+  t.inst <- inst';
+  t.assign <- assign';
+  t.ext_of <- ext_of;
+  for j = 0 to njoin - 1 do
+    assign'.(nsurv + j) <- top_k_row inst' (nsurv + j)
+  done;
+  (* Sticky labels for newcomers: majority vote over already-labelled
+     friends, ties to the smallest label. *)
+  let husks = ref [] in
+  let nsh = ref (Array.length t.shards) in
+  let counts = Hashtbl.create ~random:false 16 in
+  for j = 0 to njoin - 1 do
+    let nj = nsurv + j in
+    Hashtbl.clear counts;
+    let bestl = ref (-1) and bestc = ref 0 in
+    Array.iter
+      (fun f ->
+        if f < nj then begin
+          let l = label'.(f) in
+          let c = (try Hashtbl.find counts l with Not_found -> 0) + 1 in
+          Hashtbl.replace counts l c;
+          if c > !bestc || (c = !bestc && l < !bestl) then begin
+            bestl := l;
+            bestc := c
+          end
+        end)
+      friends_of.(j);
+    if !bestl >= 0 then label'.(nj) <- !bestl
+    else begin
+      label'.(nj) <- !nsh;
+      incr nsh;
+      husks :=
+        {
+          members = [||];
+          warm = None;
+          warm_n = -1;
+          warm_pairs = -1;
+          obj = 0.0;
+          upper_b = infinity;
+          degraded = false;
+          freshened = true;
+        }
+        :: !husks
+    end;
+    touched := label'.(nj) :: !touched
+  done;
+  if !husks <> [] then
+    t.shards <- Array.append t.shards (Array.of_list (List.rev !husks));
+  t.label <- label';
+  for j = 0 to njoin - 1 do
+    t.shards.(label'.(nsurv + j)).freshened <- true
+  done;
+  (* Rebuild every shard's member array under the new numbering
+     (membership sets of untouched shards are unchanged, so their
+     stored objectives and warm bases stay valid). *)
+  let nsh = Array.length t.shards in
+  let cnt = Array.make nsh 0 in
+  Array.iter (fun l -> cnt.(l) <- cnt.(l) + 1) label';
+  let fill = Array.init nsh (fun s -> Array.make cnt.(s) 0) in
+  let pos = Array.make nsh 0 in
+  Array.iteri
+    (fun u l ->
+      fill.(l).(pos.(l)) <- u;
+      pos.(l) <- pos.(l) + 1)
+    label';
+  Array.iteri
+    (fun s sh ->
+      sh.members <- fill.(s);
+      if cnt.(s) = 0 then begin
+        sh.obj <- 0.0;
+        sh.upper_b <- 0.0;
+        sh.degraded <- false;
+        sh.warm <- None;
+        sh.warm_n <- -1;
+        sh.warm_pairs <- -1
+      end)
+    t.shards;
+  rebuild_cut t;
+  !touched
+
+(* ---- per-shard solve --------------------------------------------- *)
+
+(* Re-solve one touched shard under the degradation ladder. Returns
+   (warm_hit, degraded). Runs inside the [Pool] fan-out: it only
+   mutates its own [shard_state] and its own members' rows, and only
+   reads shared state that is frozen during the fan-out. *)
+let solve_shard t token rng sid =
+  let sh = t.shards.(sid) in
+  let k = Instance.k t.inst in
+  let sub, mapping = Instance.restrict_users t.inst sh.members in
+  let npairs = Instance.num_pairs sub in
+  let write_rows cfg =
+    Array.iteri
+      (fun lu gu ->
+        let row = t.assign.(gu) in
+        for s = 0 to k - 1 do
+          row.(s) <- Config.item cfg ~user:lu ~slot:s
+        done)
+      mapping
+  in
+  let incumbent_cfg () =
+    Config.make_unchecked (Array.map (fun gu -> t.assign.(gu)) mapping)
+  in
+  let greedy () = Algorithms.top_k_greedy sub in
+  let certificate tok =
+    if not t.certify then infinity
+    else
+      match Relaxation.solve_integer ~token:tok sub with
+      | r -> Instance.objective_scale sub *. r.Relaxation.int_bound
+      | exception _ -> infinity
+  in
+  let injected =
+    if Fault.enabled () then
+      Fault.at ~site:"serve.shard" ~index:((t.tick_no * 8191) + sid)
+    else None
+  in
+  let token =
+    match injected with
+    | Some Fault.Timeout | Some Fault.Nan -> Supervise.expired_token ()
+    | Some Fault.Crash | None -> token
+  in
+  let fallback warm_hit =
+    (* Deadline or fault: when the membership survived, the incumbent
+       rows are still feasible — keep them and re-price (utilities may
+       have drifted); a reshaped shard drops to the greedy floor. *)
+    if sh.freshened then begin
+      let cfg = greedy () in
+      write_rows cfg;
+      sh.obj <- Config.total_utility sub cfg;
+      sh.warm <- None;
+      sh.warm_n <- -1;
+      sh.warm_pairs <- -1
+    end
+    else sh.obj <- Config.total_utility sub (incumbent_cfg ());
+    sh.freshened <- false;
+    sh.degraded <- true;
+    sh.upper_b <- certificate token;
+    (warm_hit, true)
+  in
+  let solve_path () =
+    if npairs = 0 then begin
+      (* No social coupling: top-k greedy is the exact shard optimum
+         and certifies itself. *)
+      let cfg = greedy () in
+      write_rows cfg;
+      sh.obj <- Config.total_utility sub cfg;
+      sh.upper_b <- (if t.certify then sh.obj else infinity);
+      sh.degraded <- false;
+      sh.freshened <- false;
+      sh.warm <- None;
+      sh.warm_n <- Array.length sh.members;
+      sh.warm_pairs <- 0;
+      (false, false)
+    end
+    else begin
+      let warm =
+        if sh.warm_n = Array.length sh.members && sh.warm_pairs = npairs then
+          sh.warm
+        else None
+      in
+      let warm_hit = warm <> None in
+      (* [force_revised]: a dense-tableau solve returns no basis, so
+         small shards would never warm start across ticks. *)
+      let relax =
+        Relaxation.solve ?warm ~token ~force_revised:true
+          ~backend:(serial_backend sub) sub
+      in
+      if Supervise.expired token then fallback warm_hit
+      else begin
+        let cfg =
+          match t.rounding with
+          | Shard.Avg { repeats; advanced_sampling } ->
+              Algorithms.avg_best_of ~advanced_sampling ~domains:1 ~repeats rng
+                sub relax
+          | Shard.Avg_d { r } -> Algorithms.avg_d ?r ~domains:1 sub relax
+        in
+        let util = Config.total_utility sub cfg in
+        (* Floors: a degraded relaxation voids the rounding guarantee
+           (greedy floor, as in [Shard.solve_round]); and when the
+           membership survived, the incumbent is a free candidate — a
+           serving tick never publishes a worse configuration than the
+           one it already holds unless the data moved under it. *)
+        let cfg, util =
+          if relax.Relaxation.degraded then begin
+            let gc = greedy () in
+            let gu = Config.total_utility sub gc in
+            if gu > util then (gc, gu) else (cfg, util)
+          end
+          else (cfg, util)
+        in
+        let cfg, util =
+          if not sh.freshened then begin
+            let ic = incumbent_cfg () in
+            let iu = Config.total_utility sub ic in
+            if iu > util then (ic, iu) else (cfg, util)
+          end
+          else (cfg, util)
+        in
+        write_rows cfg;
+        sh.obj <- util;
+        sh.degraded <- relax.Relaxation.degraded;
+        sh.freshened <- false;
+        sh.warm <- relax.Relaxation.basis;
+        sh.warm_n <- Array.length sh.members;
+        sh.warm_pairs <- npairs;
+        sh.upper_b <- certificate token;
+        (warm_hit, relax.Relaxation.degraded)
+      end
+    end
+  in
+  try
+    (match injected with
+    | Some Fault.Crash ->
+        raise (Fault.Injected (Printf.sprintf "serve.shard[%d]" sid))
+    | _ -> ());
+    solve_path ()
+  with Fault.Injected _ | Failure _ -> fallback false
+
+(* ---- the tick ---------------------------------------------------- *)
+
+(* Shared tail of [tick] and [create]'s initial solve: [t.scratch]
+   already marks the touched shards. *)
+let finish_tick t ~t0 ~token ~seen ~applied ~dropped ~structural ~repair_extra
+    =
+  let sc = t.scratch in
+  let tl = ref [] in
+  for s = Array.length t.shards - 1 downto 0 do
+    if s < Array.length sc && sc.(s) then begin
+      sc.(s) <- false;
+      if Array.length t.shards.(s).members > 0 then tl := s :: !tl
+    end
+  done;
+  let touched_ids = Array.of_list !tl in
+  let ntouch = Array.length touched_ids in
+  (* Per-shard streams derived serially before the fan-out, results
+     reduced by index: bit-identical for every [domains] value. *)
+  let streams = Rng.split_n t.rng ntouch in
+  let results =
+    Pool.parallel_map ?domains:t.domains ntouch (fun i ->
+        solve_shard t token streams.(i) touched_ids.(i))
+  in
+  let warm_hits = ref 0 and degraded = ref 0 in
+  Array.iter
+    (fun (wh, dg) ->
+      if wh then incr warm_hits;
+      if dg then incr degraded)
+    results;
+  (* Cut repair: only cut endpoints incident to a re-solved shard (or
+     hit by a cut τ delta) can have mispriced cells. *)
+  Array.iter (fun s -> sc.(s) <- true) touched_ids;
+  if t.repair_passes > 0 then begin
+    let n = Instance.n t.inst in
+    let seen_u = Array.make n false in
+    let users = ref [] in
+    let add u =
+      if not seen_u.(u) then begin
+        seen_u.(u) <- true;
+        users := u :: !users
+      end
+    in
+    for i = 0 to Array.length t.cut_u - 1 do
+      let u = t.cut_u.(i) and v = t.cut_v.(i) in
+      if sc.(t.label.(u)) || sc.(t.label.(v)) then begin
+        add u;
+        add v
+      end
+    done;
+    List.iter add repair_extra;
+    if !users <> [] then begin
+      let us = Array.of_list !users in
+      Array.sort compare us;
+      let cfg = Config.make_unchecked t.assign in
+      let cfg' = Polish.improve_users ~max_passes:t.repair_passes t.inst cfg us in
+      Array.iter
+        (fun u ->
+          t.assign.(u) <- Config.row cfg' u;
+          (* repair may shift rows in shards the solves never touched *)
+          sc.(t.label.(u)) <- true)
+        us
+    end
+  end;
+  (* Re-establish the bracket: recompute the within-shard utility of
+     every shard whose rows (or data) moved; untouched shards keep
+     their stored values. *)
+  let sum_obj = ref 0.0 and sum_upper = ref 0.0 in
+  Array.iteri
+    (fun s sh ->
+      if s < Array.length sc && sc.(s) then begin
+        sc.(s) <- false;
+        if Array.length sh.members > 0 then sh.obj <- shard_obj_of t sh.members
+      end;
+      sum_obj := !sum_obj +. sh.obj;
+      sum_upper := !sum_upper +. sh.upper_b)
+    t.shards;
+  t.bound_v <- !sum_obj -. t.cut_mass;
+  t.objective_v <- !sum_obj +. cut_realized t;
+  t.upper_v <- !sum_upper +. t.cut_mass;
+  {
+    tick = t.tick_no;
+    events_seen = seen;
+    events_applied = !applied;
+    events_dropped = !dropped;
+    shards_touched = ntouch;
+    warm_hits = !warm_hits;
+    degraded = !degraded;
+    structural;
+    elapsed_s = Mclock.now_s () -. t0;
+    objective = t.objective_v;
+    bound = t.bound_v;
+    upper = (if t.certify then Some t.upper_v else None);
+  }
+
+let tick t =
+  let t0 = Mclock.now_s () in
+  let token = Supervise.create ?deadline_s:t.deadline_s () in
+  t.tick_no <- t.tick_no + 1;
+  let seen = t.seen in
+  t.seen <- 0;
+  let applied = ref 0 and dropped = ref 0 in
+  let structural = t.structural <> [] in
+  let touched_structural =
+    if structural then apply_structural t ~applied ~dropped else []
+  in
+  ensure_scratch t;
+  let sc = t.scratch in
+  List.iter (fun s -> sc.(s) <- true) touched_structural;
+  (* Value deltas (already coalesced last-writer-wins) mutate the
+     arenas in place; a within-shard τ change re-solves the shard, a
+     cut-edge τ change adjusts the cut mass and queues both endpoints
+     for repair. *)
+  let repair_extra = ref [] in
+  Hashtbl.iter
+    (fun (uext, item) value ->
+      match Hashtbl.find_opt t.ext_slot uext with
+      | None -> incr dropped
+      | Some u -> (
+          match Instance.set_pref t.inst ~user:u ~item value with
+          | _old ->
+              incr applied;
+              sc.(t.label.(u)) <- true
+          | exception Invalid_argument _ -> incr dropped))
+    t.pref_coal;
+  Hashtbl.clear t.pref_coal;
+  Hashtbl.iter
+    (fun (uext, vext, item) value ->
+      match (Hashtbl.find_opt t.ext_slot uext, Hashtbl.find_opt t.ext_slot vext)
+      with
+      | Some u, Some v -> (
+          match Instance.set_tau t.inst ~u ~v ~item value with
+          | old ->
+              incr applied;
+              if t.label.(u) = t.label.(v) then sc.(t.label.(u)) <- true
+              else begin
+                t.cut_mass <-
+                  t.cut_mass +. (Instance.lambda t.inst *. (value -. old));
+                repair_extra := u :: v :: !repair_extra
+              end
+          | exception Invalid_argument _ -> incr dropped)
+      | _ -> incr dropped)
+    t.tau_coal;
+  Hashtbl.clear t.tau_coal;
+  finish_tick t ~t0 ~token ~seen ~applied ~dropped ~structural
+    ~repair_extra:!repair_extra
+
+(* ---- construction ------------------------------------------------ *)
+
+let create ?(labelling = Shard.Components)
+    ?(rounding = Shard.Avg_d { r = None }) ?deadline_s ?(certify = false)
+    ?domains ?(repair_passes = 2) rng inst0 =
+  let inst = Instance.materialize inst0 in
+  let t0 = Mclock.now_s () in
+  let part = Shard.partition ~rng:(Rng.split rng) ~labelling inst in
+  let n = Instance.n inst and k = Instance.k inst in
+  let label = Array.make n 0 in
+  Array.iteri
+    (fun i { Shard.users; _ } -> Array.iter (fun u -> label.(u) <- i) users)
+    part.Shard.shards;
+  let shards =
+    Array.map
+      (fun { Shard.users; _ } ->
+        {
+          members = users;
+          warm = None;
+          warm_n = -1;
+          warm_pairs = -1;
+          obj = 0.0;
+          upper_b = infinity;
+          degraded = false;
+          freshened = true;
+        })
+      part.Shard.shards
+  in
+  let t =
+    {
+      inst;
+      assign = Array.init n (fun _ -> Array.init k (fun s -> s));
+      label;
+      shards;
+      ext_of = Array.init n Fun.id;
+      ext_slot = Hashtbl.create ~random:false ((2 * n) + 16);
+      next_ext = n;
+      pref_coal = Hashtbl.create ~random:false 4096;
+      tau_coal = Hashtbl.create ~random:false 4096;
+      structural = [];
+      seen = 0;
+      cut_u = [||];
+      cut_v = [||];
+      cut_euv = [||];
+      cut_evu = [||];
+      cut_mass = 0.0;
+      scratch = Array.make (Array.length shards) false;
+      rng;
+      rounding;
+      deadline_s;
+      certify;
+      domains;
+      repair_passes;
+      tick_no = 0;
+      objective_v = 0.0;
+      bound_v = 0.0;
+      upper_v = infinity;
+    }
+  in
+  for u = 0 to n - 1 do
+    Hashtbl.replace t.ext_slot u u
+  done;
+  rebuild_cut t;
+  (* Tick 0: solve everything (under the same deadline regime as any
+     other tick — a tight SLO degrades startup rather than blocking). *)
+  Array.iteri (fun s _ -> t.scratch.(s) <- true) t.shards;
+  let token = Supervise.create ?deadline_s () in
+  let (_ : tick_stats) =
+    finish_tick t ~t0 ~token ~seen:0 ~applied:(ref 0) ~dropped:(ref 0)
+      ~structural:false ~repair_extra:[]
+  in
+  t
+
+(* ---- accessors --------------------------------------------------- *)
+
+let instance t = t.inst
+let config t = Config.make_unchecked (Array.map Array.copy t.assign)
+let objective t = t.objective_v
+let bound t = t.bound_v
+let upper t = if t.certify then Some t.upper_v else None
+let num_users t = Instance.n t.inst
+let num_shards t = Array.length t.shards
+let user_ids t = Array.copy t.ext_of
+let internal_of t ext = Hashtbl.find_opt t.ext_slot ext
+
+(* ---- trace parsing ----------------------------------------------- *)
+
+type line = Line_event of event | Line_tick | Line_blank
+
+let parse_line s =
+  let s = String.trim s in
+  if s = "" || s.[0] = '#' then Ok Line_blank
+  else
+    let toks =
+      String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+    in
+    match toks with
+    | [ "tick" ] -> Ok Line_tick
+    | [ "pref"; u; c; v ] -> (
+        try
+          Ok
+            (Line_event
+               (Pref_delta
+                  {
+                    user = int_of_string u;
+                    item = int_of_string c;
+                    value = float_of_string v;
+                  }))
+        with _ -> Error ("malformed pref line: " ^ s))
+    | [ "tau"; u; v; c; x ] -> (
+        try
+          Ok
+            (Line_event
+               (Tau_delta
+                  {
+                    u = int_of_string u;
+                    v = int_of_string v;
+                    item = int_of_string c;
+                    value = float_of_string x;
+                  }))
+        with _ -> Error ("malformed tau line: " ^ s))
+    | [ "leave"; u ] -> (
+        try Ok (Line_event (Leave (int_of_string u)))
+        with _ -> Error ("malformed leave line: " ^ s))
+    | "join" :: prefs :: friends -> (
+        try
+          let pref =
+            String.split_on_char ',' prefs
+            |> List.map float_of_string
+            |> Array.of_list
+          in
+          let fr =
+            List.map
+              (fun f ->
+                match String.split_on_char ':' f with
+                | [ a; b; c ] ->
+                    (int_of_string a, float_of_string b, float_of_string c)
+                | _ -> failwith "friend triple")
+              friends
+            |> Array.of_list
+          in
+          let look sel fext =
+            let rec go i =
+              if i >= Array.length fr then 0.0
+              else
+                let a, b, c = fr.(i) in
+                if a = fext then sel b c else go (i + 1)
+            in
+            go 0
+          in
+          Ok
+            (Line_event
+               (Join
+                  {
+                    Dynamic.pref;
+                    friends = Array.map (fun (a, _, _) -> a) fr;
+                    tau_out = (fun fext _ -> look (fun b _ -> b) fext);
+                    tau_in = (fun fext _ -> look (fun _ c -> c) fext);
+                  }))
+        with _ -> Error ("malformed join line: " ^ s))
+    | _ -> Error ("unrecognized event line: " ^ s)

@@ -1,0 +1,170 @@
+(** Online serving engine: a long-lived session over the sharded solve
+    state (DESIGN.md §5 "Online serving").
+
+    A VR shopping deployment is not one solve but a stream of small
+    changes — users join and leave the session, preferences and social
+    utilities drift. Re-running the whole pipeline per change wastes
+    the structure the sharded solver already paid for: an event only
+    perturbs the shards its users live in, and every untouched shard's
+    certified within-shard objective stays exactly valid. The engine
+    therefore keeps the partition, the per-shard warm simplex bases and
+    the incumbent configuration alive across {e ticks}, and per tick
+    re-solves only the touched shards — warm-started, under a per-tick
+    latency deadline with the PR 5 degradation ladder (an overrunning
+    shard degrades to its certified-FW or greedy floor instead of
+    missing the tick).
+
+    {2 Event model}
+
+    Events are {!submit}ted between ticks and {e coalesced}: multiple
+    deltas to the same (user, item) or (edge, item) cell collapse
+    last-writer-wins before any solve sees them, so a hot cell costs
+    one write per tick no matter how fast it churns. Structural events
+    (joins/leaves) are kept in submission order and applied first;
+    value deltas are applied to the post-structural population, and a
+    delta whose target left in the same tick is dropped (and counted).
+    The coalescing path allocates no major-heap words per event — the
+    per-event cost of a saturated stream is a hash-table write.
+
+    {2 Ids}
+
+    The API speaks external user ids: the initial population is
+    [0 .. n-1] and every join mints the next fresh integer ({!submit}
+    returns it). Unlike {!Dynamic}, ids are {e never} reused — a
+    serving trace addresses users by ids written down earlier in the
+    trace, so recycling would make traces ambiguous. Internal
+    (instance) indices reshuffle on every structural tick; use
+    {!internal_of}/{!user_ids} to cross over.
+
+    {2 Certificates}
+
+    The engine maintains the sharded bracket incrementally:
+    [bound = Σ shard_obj − cut_mass <= objective], and with
+    [~certify:true] also [objective <= Σ shard_upper + cut_mass]
+    (touched shards re-certify via {!Relaxation.solve_integer};
+    a degraded certificate is an honest [infinity]). Both sides are
+    recomputed from per-shard state in O(shards + cut) per tick —
+    untouched shards contribute their stored values. *)
+
+type event =
+  | Join of Dynamic.user_profile
+      (** friends/τ callbacks keyed by {e external} ids, as in
+          {!Dynamic.user_profile} *)
+  | Leave of int  (** external id *)
+  | Pref_delta of { user : int; item : int; value : float }
+      (** p(user, item) <- value (external id) *)
+  | Tau_delta of { u : int; v : int; item : int; value : float }
+      (** τ(u, v, item) <- value on the directed edge [(u,v)]
+          (external ids); dropped (and counted) when [(u,v)] is not an
+          edge of the current graph *)
+
+type t
+
+type tick_stats = {
+  tick : int;  (** 1-based tick number ([create]'s initial solve is tick 0) *)
+  events_seen : int;  (** submitted since the previous tick *)
+  events_applied : int;  (** coalesced writes + structural events applied *)
+  events_dropped : int;
+      (** dead/unknown targets, non-edges, malformed profiles *)
+  shards_touched : int;
+  warm_hits : int;  (** touched shards whose stored basis matched and seeded the re-solve *)
+  degraded : int;  (** touched shards that fell down the degradation ladder *)
+  structural : bool;  (** the tick rebuilt the instance (joins/leaves) *)
+  elapsed_s : float;  (** wall time of the tick ({!Svgic_util.Mclock}) *)
+  objective : float;  (** total SAVG utility of the incumbent configuration *)
+  bound : float;  (** certified lower bracket [Σ shard_obj − cut_mass] *)
+  upper : float option;
+      (** certified upper bracket [Σ shard_upper + cut_mass] when the
+          engine was created with [~certify:true]; [infinity] when any
+          shard's certificate is currently degraded *)
+}
+
+val create :
+  ?labelling:Shard.labelling ->
+  ?rounding:Shard.rounding ->
+  ?deadline_s:float ->
+  ?certify:bool ->
+  ?domains:int ->
+  ?repair_passes:int ->
+  Svgic_util.Rng.t ->
+  Instance.t ->
+  t
+(** Builds the session: partitions the instance (default
+    [Shard.Components]), solves every shard (tick 0 — also under
+    [deadline_s], so a tight SLO degrades rather than blocks startup)
+    and stores the per-shard warm state. The instance is adopted: the
+    engine mutates its arenas in place on value deltas ([Instance]
+    deltas are root-only, so a view argument is materialized first).
+    [deadline_s] is the per-tick latency budget; absent, ticks run to
+    completion. [rounding] defaults to deterministic AVG-D;
+    [repair_passes] (default 2) bounds the per-tick cut-repair sweeps.
+    [rng] is adopted as the session's stream: each tick derives
+    per-shard child streams via [Rng.split_n], so a trace replayed
+    from the same seed is bit-identical for every [domains] value. *)
+
+val submit : t -> event -> int option
+(** Queues an event for the next {!tick}; [Some ext] (the minted
+    external id) for a [Join], [None] otherwise. O(1), no major-heap
+    allocation on the delta paths. *)
+
+val pending_events : t -> int
+(** Events submitted since the last tick (before coalescing). *)
+
+val touched_preview : t -> int array
+(** Shard ids the pending {e value deltas} would touch, sorted
+    (structural events excluded — their shard is only known after the
+    rebuild). This is the planning half of the tick hot path, exposed
+    so the allocation guard can measure coalesce + touched-set without
+    paying for solves. Deltas with dead targets are ignored here and
+    counted at {!tick}. *)
+
+val tick : t -> tick_stats
+(** Applies everything pending and re-establishes the bracket:
+    structural rebuild (if any) → value deltas → warm re-solve of
+    touched shards (fanned out over [domains], deterministic by
+    index) → cut repair over touched cut endpoints → incremental
+    bracket update. A tick with nothing pending is O(shards + cut)
+    and re-solves nothing. *)
+
+val instance : t -> Instance.t
+val config : t -> Config.t
+(** Incumbent configuration (rows indexed by {e internal} id). *)
+
+val objective : t -> float
+val bound : t -> float
+
+val upper : t -> float option
+(** See {!tick_stats.upper}. *)
+
+val num_users : t -> int
+val num_shards : t -> int
+(** Shard slots, including emptied husks kept so shard ids stay
+    stable across leaves. *)
+
+val user_ids : t -> int array
+(** External ids in internal order (entry [i] belongs to instance
+    user [i]). *)
+
+val internal_of : t -> int -> int option
+(** Internal index of an external id; [None] once the user left. *)
+
+(** {2 Trace format}
+
+    Newline-delimited events, replayed by [svgic serve]:
+    {v
+# comment (and blank lines) are skipped
+tick
+pref <user> <item> <value>
+tau <u> <v> <item> <value>
+leave <user>
+join <p0,p1,...,pm-1> [<friend>:<tau_out>:<tau_in> ...]
+    v}
+    [join] lists the newcomer's per-item preferences and, per friend,
+    a constant τ per direction across items. User ids are external;
+    a join's id is implied by mint order (first join of the trace gets
+    [n], the next [n+1], ...). *)
+
+type line = Line_event of event | Line_tick | Line_blank
+
+val parse_line : string -> (line, string) result
+(** Parses one trace line; [Error] carries a human-readable reason. *)

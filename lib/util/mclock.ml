@@ -1,0 +1,3 @@
+external now_s : unit -> (float[@unboxed])
+  = "svgic_mclock_byte" "svgic_mclock_unboxed"
+[@@noalloc]

@@ -1,0 +1,18 @@
+(** Monotonic process clock.
+
+    [Timer] spans and [Supervise] deadlines are measured on
+    [clock_gettime(CLOCK_MONOTONIC)]: a wall-clock step (NTP jump,
+    manual reset) moves [Unix.gettimeofday] but not this clock, so an
+    SLO token armed for 50 ms expires after 50 ms of real time — never
+    early or late because the system clock was corrected mid-solve.
+    Keep [Unix.gettimeofday] for human-readable log timestamps only.
+
+    The epoch is arbitrary (typically boot time): only differences
+    between two [now_s] reads are meaningful, and the value is not
+    comparable across processes or machines. *)
+
+val now_s : unit -> float
+(** Seconds on the monotonic clock. Native code: one [clock_gettime]
+    call, unboxed float return, no allocation — safe to poll from a
+    zero-allocation hot loop (the simplex pivot / Frank–Wolfe sweep
+    deadline checks). *)

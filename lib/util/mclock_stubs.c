@@ -1,0 +1,21 @@
+/* Monotonic clock for deadlines and timers: CLOCK_MONOTONIC is immune
+   to wall-clock steps (NTP slews/jumps), so an SLO token armed for
+   50 ms expires after 50 ms of real time, never early or late because
+   the system clock moved. The unboxed double return plus [@@noalloc]
+   keeps the hot-loop poll allocation-free in native code. */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+double svgic_mclock_unboxed(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+}
+
+CAMLprim value svgic_mclock_byte(value unit)
+{
+  return caml_copy_double(svgic_mclock_unboxed(unit));
+}

@@ -1,13 +1,17 @@
 type token = {
-  deadline : float; (* absolute gettimeofday time, infinity = none *)
+  deadline : float; (* absolute Mclock.now_s time, infinity = none *)
   cancelled : bool Atomic.t;
 }
 
+(* Deadlines live on the monotonic clock: a wall-clock step (NTP jump)
+   between [create] and the poll must neither expire an SLO token
+   early nor extend it. gettimeofday appears nowhere in this module
+   anymore — it is for log timestamps only. *)
 let create ?deadline_s () =
   let deadline =
     match deadline_s with
     | None -> infinity
-    | Some s -> Unix.gettimeofday () +. s
+    | Some s -> Mclock.now_s () +. s
   in
   { deadline; cancelled = Atomic.make false }
 
@@ -18,12 +22,12 @@ let cancelled t = Atomic.get t.cancelled
 
 let expired t =
   Atomic.get t.cancelled
-  || (t.deadline < infinity && Unix.gettimeofday () > t.deadline)
+  || (t.deadline < infinity && Mclock.now_s () > t.deadline)
 
 let remaining_s t =
   if Atomic.get t.cancelled then 0.0
   else if t.deadline = infinity then infinity
-  else Float.max 0.0 (t.deadline -. Unix.gettimeofday ())
+  else Float.max 0.0 (t.deadline -. Mclock.now_s ())
 
 let finite x = Float.is_finite x
 

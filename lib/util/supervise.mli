@@ -1,5 +1,9 @@
-(** Cooperative solve supervision: wall-clock deadlines, cancellation
-    tokens and numerical-health guards.
+(** Cooperative solve supervision: monotonic-clock deadlines,
+    cancellation tokens and numerical-health guards.
+
+    Deadlines are measured on {!Mclock} (CLOCK_MONOTONIC): wall-clock
+    steps — an NTP correction landing mid-solve — can neither expire
+    an SLO token early nor stretch it.
 
     A {!token} is the handle a caller threads through a long-running
     solve; the solver polls {!expired} at the top of its hot loop (a
@@ -37,10 +41,10 @@ val cancelled : token -> bool
 
 val expired : token -> bool
 (** Cancelled, or past the deadline. This is the hot-loop poll: one
-    atomic read plus (when a deadline is set) one [gettimeofday] —
-    tens of nanoseconds against the microseconds of a simplex pivot
-    or Frank–Wolfe sweep, which is how the clean path stays within
-    the < 2% supervision-overhead budget. *)
+    atomic read plus (when a deadline is set) one allocation-free
+    [Mclock.now_s] — tens of nanoseconds against the microseconds of
+    a simplex pivot or Frank–Wolfe sweep, which is how the clean path
+    stays within the < 2% supervision-overhead budget. *)
 
 val remaining_s : token -> float
 (** Seconds until expiry: [infinity] without a deadline, [0.] once

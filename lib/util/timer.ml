@@ -1,7 +1,10 @@
 type t = float
 
-let start () = Unix.gettimeofday ()
-let elapsed_s t = Unix.gettimeofday () -. t
+(* Spans are measured on the monotonic clock: a wall-clock step (NTP)
+   mid-measurement must not stretch or shrink a reported duration.
+   [Unix.gettimeofday] remains the right call for log timestamps. *)
+let start () = Mclock.now_s ()
+let elapsed_s t = Mclock.now_s () -. t
 
 let time f =
   let t = start () in

@@ -1,4 +1,9 @@
-(** Wall-clock timing for the experiment harness. *)
+(** Elapsed-time measurement for the experiment harness.
+
+    Spans run on {!Mclock} (monotonic), so a wall-clock step during a
+    measurement cannot distort it. For human-readable timestamps in
+    logs use [Unix.gettimeofday] directly — [Timer] values have an
+    arbitrary epoch. *)
 
 type t
 

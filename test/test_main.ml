@@ -23,4 +23,5 @@ let () =
       ("supervise", Test_supervise.suite);
       ("robustness", Test_robustness.suite);
       ("datagen", Test_datagen.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,476 @@
+(* Tests for the online serving engine: bracket validity, last-writer-
+   wins coalescing, structural joins/leaves with stable external ids,
+   bit-identical trace replay across runs and domain counts,
+   incremental-vs-cold quality within the certificate gap, deadline and
+   fault degradation, trace parsing — plus the satellite coverage for
+   [Dynamic]'s stable ids and the monotonic clock. *)
+
+module Rng = Svgic_util.Rng
+module Mclock = Svgic_util.Mclock
+module Timer = Svgic_util.Timer
+module Fault = Svgic_util.Fault
+module Graph = Svgic_graph.Graph
+module Instance = Svgic.Instance
+module Config = Svgic.Config
+module Shard = Svgic.Shard
+module Serve = Svgic.Serve
+module Dynamic = Svgic.Dynamic
+
+(* Planted-community instance (same shape as the shard tests). *)
+let community_instance ?(p_cross = 0.1) ?(lambda = 0.5) rng ~blobs ~blob_size
+    ~m ~k =
+  let n = blobs * blob_size in
+  let edges = ref [] in
+  for b = 0 to blobs - 1 do
+    let base = b * blob_size in
+    for i = 0 to blob_size - 1 do
+      for j = 0 to blob_size - 1 do
+        if i <> j && Rng.bernoulli rng 0.5 then
+          edges := (base + i, base + j) :: !edges
+      done
+    done
+  done;
+  if p_cross > 0.0 then
+    for b = 0 to blobs - 2 do
+      for i = 0 to blob_size - 1 do
+        for j = 0 to blob_size - 1 do
+          if Rng.bernoulli rng p_cross then
+            edges := ((b * blob_size) + i, ((b + 1) * blob_size) + j) :: !edges
+        done
+      done
+    done;
+  let g = Graph.of_edges ~n !edges in
+  let pref =
+    Array.init n (fun _ -> Array.init m (fun _ -> Rng.float rng 1.0))
+  in
+  let tau_table = Hashtbl.create 64 in
+  Array.iter
+    (fun (u, v) ->
+      Hashtbl.replace tau_table (u, v)
+        (Array.init m (fun _ -> Rng.float rng 0.5)))
+    (Graph.edges g);
+  let tau u v c =
+    match Hashtbl.find_opt tau_table (u, v) with
+    | Some row -> row.(c)
+    | None -> 0.0
+  in
+  Instance.create ~graph:g ~m ~k ~lambda ~pref ~tau
+
+let check_bracket ?upper_ok t =
+  let obj = Serve.objective t in
+  Alcotest.(check bool)
+    "bound <= objective"
+    true
+    (Serve.bound t <= obj +. 1e-9);
+  (match Serve.upper t with
+  | Some up -> Alcotest.(check bool) "objective <= upper" true (obj <= up +. 1e-9)
+  | None -> ());
+  (* the engine's incremental objective must agree with a from-scratch
+     evaluation of its own configuration *)
+  let full = Config.total_utility (Serve.instance t) (Serve.config t) in
+  Alcotest.(check (float 1e-6)) "objective = total_utility" full obj;
+  ignore upper_ok
+
+(* A deterministic pure-data event script (profiles use closed-over
+   constants, so replaying it is bit-reproducible). *)
+let profile ~m ~seed ~friends =
+  let r = Rng.create (31 * seed) in
+  let pref = Array.init m (fun _ -> Rng.float r 1.0) in
+  let tout = Rng.float r 0.5 and tin = Rng.float r 0.5 in
+  {
+    Dynamic.pref;
+    friends = Array.of_list friends;
+    tau_out = (fun _ _ -> tout);
+    tau_in = (fun _ _ -> tin);
+  }
+
+(* ------------------------- basic bracket -------------------------- *)
+
+let test_initial_bracket () =
+  let rng = Rng.create 3 in
+  let inst = community_instance rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2 in
+  let t = Serve.create ~certify:true (Rng.create 7) inst in
+  check_bracket t;
+  Alcotest.(check int) "users" 12 (Serve.num_users t);
+  Alcotest.(check bool) "upper finite" true (Option.get (Serve.upper t) < infinity)
+
+let test_delta_tick () =
+  let rng = Rng.create 4 in
+  let inst = community_instance rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2 in
+  let t = Serve.create ~certify:true (Rng.create 7) inst in
+  (* last-writer-wins: the 0.9 must be overwritten by 0.2 *)
+  ignore (Serve.submit t (Serve.Pref_delta { user = 0; item = 1; value = 0.9 }));
+  ignore (Serve.submit t (Serve.Pref_delta { user = 0; item = 1; value = 0.2 }));
+  ignore (Serve.submit t (Serve.Pref_delta { user = 5; item = 0; value = 0.7 }));
+  Alcotest.(check int) "pending" 3 (Serve.pending_events t);
+  let preview = Serve.touched_preview t in
+  Alcotest.(check bool) "preview non-empty" true (Array.length preview >= 1);
+  let st = Serve.tick t in
+  Alcotest.(check int) "seen" 3 st.Serve.events_seen;
+  Alcotest.(check int) "applied after coalescing" 2 st.Serve.events_applied;
+  Alcotest.(check int) "nothing dropped" 0 st.Serve.events_dropped;
+  Alcotest.(check (float 1e-12))
+    "LWW value landed" 0.2
+    (Instance.pref (Serve.instance t) 0 1);
+  check_bracket t;
+  (* an idle tick re-solves nothing *)
+  let st2 = Serve.tick t in
+  Alcotest.(check int) "idle tick touches nothing" 0 st2.Serve.shards_touched
+
+let test_tau_delta_and_drops () =
+  let rng = Rng.create 5 in
+  let inst = community_instance rng ~blobs:2 ~blob_size:4 ~m:4 ~k:2 in
+  let g = Instance.graph inst in
+  let e = Graph.edges g in
+  Alcotest.(check bool) "has edges" true (Array.length e > 0);
+  let u, v = e.(0) in
+  let t = Serve.create ~certify:true (Rng.create 9) inst in
+  ignore (Serve.submit t (Serve.Tau_delta { u; v; item = 0; value = 0.45 }));
+  (* not an edge of the graph: (u, u) — must be dropped and counted *)
+  ignore (Serve.submit t (Serve.Tau_delta { u; v = u; item = 0; value = 0.1 }));
+  (* unknown user: dropped *)
+  ignore (Serve.submit t (Serve.Pref_delta { user = 999; item = 0; value = 0.1 }));
+  let st = Serve.tick t in
+  Alcotest.(check int) "one applied" 1 st.Serve.events_applied;
+  Alcotest.(check int) "two dropped" 2 st.Serve.events_dropped;
+  Alcotest.(check (float 1e-12))
+    "tau landed" 0.45
+    (Instance.tau (Serve.instance t) u v 0);
+  check_bracket t
+
+(* ------------------------ structural ticks ------------------------ *)
+
+let test_join_leave () =
+  let rng = Rng.create 6 in
+  let inst = community_instance rng ~blobs:2 ~blob_size:4 ~m:5 ~k:2 in
+  let t = Serve.create ~certify:true (Rng.create 11) inst in
+  let ext =
+    Option.get (Serve.submit t (Serve.Join (profile ~m:5 ~seed:1 ~friends:[ 0; 3 ])))
+  in
+  Alcotest.(check int) "fresh external id" 8 ext;
+  ignore (Serve.submit t (Serve.Leave 1));
+  let st = Serve.tick t in
+  Alcotest.(check bool) "structural" true st.Serve.structural;
+  Alcotest.(check int) "population" 8 (Serve.num_users t);
+  Alcotest.(check bool) "left id gone" true (Serve.internal_of t 1 = None);
+  let i = Option.get (Serve.internal_of t ext) in
+  (* friend edges wired, τ from the profile (constant per direction) *)
+  let j = Option.get (Serve.internal_of t 0) in
+  Alcotest.(check bool)
+    "newcomer-friend edge exists" true
+    (Graph.has_edge (Instance.graph (Serve.instance t)) i j);
+  check_bracket t;
+  (* ids never recycled: the next join mints a fresh id *)
+  let ext2 =
+    Option.get (Serve.submit t (Serve.Join (profile ~m:5 ~seed:2 ~friends:[])))
+  in
+  Alcotest.(check int) "no id reuse" 9 ext2;
+  ignore (Serve.tick t);
+  (* a friendless newcomer gets her own singleton shard *)
+  let si = Option.get (Serve.internal_of t ext2) in
+  Alcotest.(check bool)
+    "singleton shard solved greedily" true
+    (Array.length (Config.row (Serve.config t) si) = 2);
+  check_bracket t
+
+let test_join_then_leave_same_tick () =
+  let rng = Rng.create 7 in
+  let inst = community_instance rng ~blobs:2 ~blob_size:3 ~m:4 ~k:2 in
+  let t = Serve.create (Rng.create 13) inst in
+  let ext =
+    Option.get (Serve.submit t (Serve.Join (profile ~m:4 ~seed:3 ~friends:[ 0 ])))
+  in
+  ignore (Serve.submit t (Serve.Leave ext));
+  let st = Serve.tick t in
+  Alcotest.(check int) "join cancelled" 6 (Serve.num_users t);
+  Alcotest.(check int) "both applied" 2 st.Serve.events_applied;
+  Alcotest.(check bool) "id never materialized" true
+    (Serve.internal_of t ext = None);
+  check_bracket t
+
+(* -------------------- deterministic replay ------------------------ *)
+
+let script ~m =
+  [
+    [
+      Serve.Pref_delta { user = 0; item = 1; value = 0.9 };
+      Serve.Tau_delta { u = 0; v = 1; item = 0; value = 0.3 };
+      Serve.Join (profile ~m ~seed:4 ~friends:[ 0; 2 ]);
+    ];
+    [
+      Serve.Leave 3;
+      Serve.Pref_delta { user = 1; item = 0; value = 0.1 };
+      Serve.Pref_delta { user = 1; item = 0; value = 0.8 };
+    ];
+    [
+      Serve.Join (profile ~m ~seed:5 ~friends:[ 1 ]);
+      Serve.Tau_delta { u = 2; v = 1; item = 1; value = 0.2 };
+    ];
+    [ Serve.Pref_delta { user = 12; item = 2; value = 0.5 } ];
+  ]
+
+let run_script ?domains seed =
+  let rng = Rng.create 21 in
+  let inst = community_instance rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2 in
+  let t = Serve.create ?domains (Rng.create seed) inst in
+  List.iter
+    (fun evs ->
+      List.iter (fun e -> ignore (Serve.submit t e)) evs;
+      ignore (Serve.tick t))
+    (script ~m:5);
+  t
+
+let test_replay_bit_identical () =
+  let a = run_script 42 and b = run_script 42 in
+  Alcotest.(check bool)
+    "same final assignment" true
+    (Config.assignment (Serve.config a) = Config.assignment (Serve.config b));
+  Alcotest.(check (float 0.0))
+    "same objective bits" (Serve.objective a) (Serve.objective b);
+  Alcotest.(check (float 0.0))
+    "same bound bits" (Serve.bound a) (Serve.bound b)
+
+let test_replay_across_domains () =
+  let base = run_script ~domains:1 42 in
+  List.iter
+    (fun d ->
+      let t = run_script ~domains:d 42 in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d identical" d)
+        true
+        (Config.assignment (Serve.config base)
+        = Config.assignment (Serve.config t)
+        && Serve.objective base = Serve.objective t))
+    [ 2; 4 ]
+
+(* ---------------- incremental vs cold batch solve ----------------- *)
+
+let test_incremental_within_cold_gap () =
+  for seed = 1 to 20 do
+    let rng = Rng.create (100 + seed) in
+    let inst = community_instance rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2 in
+    let t = Serve.create (Rng.create seed) inst in
+    (* a few ticks of drift + one structural event *)
+    for tickno = 1 to 4 do
+      for i = 0 to 2 do
+        ignore
+          (Serve.submit t
+             (Serve.Pref_delta
+                {
+                  user = (seed + (3 * tickno) + i) mod 12;
+                  item = (tickno + i) mod 5;
+                  value = Rng.float rng 1.0;
+                }))
+      done;
+      if tickno = 2 then
+        ignore
+          (Serve.submit t
+             (Serve.Join (profile ~m:5 ~seed:(1000 + seed) ~friends:[ 0; 5 ])));
+      ignore (Serve.tick t)
+    done;
+    let inc_obj = Serve.objective t in
+    (* cold batch solve of the final population, with certificates *)
+    let final = Serve.instance t in
+    let part = Shard.partition ~labelling:Shard.Components final in
+    let cold =
+      Shard.solve_round ~certify_integer:true
+        ~rounding:(Shard.Avg_d { r = None })
+        (Rng.create seed) part
+    in
+    let gap = Option.get cold.Shard.upper_bound -. cold.Shard.objective in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: incremental within cold certificate gap" seed)
+      true
+      (inc_obj >= cold.Shard.objective -. gap -. 1e-6);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: incremental below cold upper bound" seed)
+      true
+      (inc_obj <= Option.get cold.Shard.upper_bound +. 1e-6)
+  done
+
+(* ------------------- degradation under pressure ------------------- *)
+
+let test_deadline_degrades_not_fails () =
+  let rng = Rng.create 8 in
+  let inst = community_instance rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2 in
+  (* an impossible SLO: every touched shard must take the fallback and
+     the tick must still publish a valid bracket *)
+  let t = Serve.create ~certify:true ~deadline_s:0.0 (Rng.create 17) inst in
+  check_bracket t;
+  ignore (Serve.submit t (Serve.Pref_delta { user = 0; item = 0; value = 0.5 }));
+  let st = Serve.tick t in
+  Alcotest.(check bool) "tick degraded" true (st.Serve.degraded >= 1);
+  Alcotest.(check bool)
+    "degraded certificate is honest" true
+    (Option.get (Serve.upper t) = infinity);
+  check_bracket t
+
+let test_fault_injection_keeps_certificates () =
+  let rng = Rng.create 9 in
+  let inst = community_instance rng ~blobs:3 ~blob_size:4 ~m:5 ~k:2 in
+  Fault.configure ~seed:1 ~rate:1.0 ~kinds:[ Fault.Crash ];
+  Fun.protect ~finally:Fault.clear (fun () ->
+      let t = Serve.create ~certify:true (Rng.create 19) inst in
+      ignore
+        (Serve.submit t (Serve.Pref_delta { user = 0; item = 0; value = 0.5 }));
+      ignore
+        (Serve.submit t (Serve.Pref_delta { user = 11; item = 1; value = 0.5 }));
+      let st = Serve.tick t in
+      Alcotest.(check int)
+        "every touched shard degraded" st.Serve.shards_touched
+        st.Serve.degraded;
+      check_bracket t)
+
+(* -------------------------- warm reuse ---------------------------- *)
+
+let test_warm_hits_on_drift () =
+  let rng = Rng.create 10 in
+  let inst = community_instance rng ~blobs:2 ~blob_size:5 ~m:5 ~k:2 in
+  let t = Serve.create (Rng.create 23) inst in
+  ignore (Serve.submit t (Serve.Pref_delta { user = 0; item = 0; value = 0.9 }));
+  let st = Serve.tick t in
+  (* membership unchanged: the stored basis must seed the re-solve *)
+  Alcotest.(check int) "warm hit" st.Serve.shards_touched st.Serve.warm_hits;
+  check_bracket t
+
+(* ------------------------- trace parsing -------------------------- *)
+
+let test_parse_line () =
+  (match Serve.parse_line "  # comment" with
+  | Ok Serve.Line_blank -> ()
+  | _ -> Alcotest.fail "comment");
+  (match Serve.parse_line "tick" with
+  | Ok Serve.Line_tick -> ()
+  | _ -> Alcotest.fail "tick");
+  (match Serve.parse_line "pref 3 1 0.25" with
+  | Ok (Serve.Line_event (Serve.Pref_delta { user = 3; item = 1; value })) ->
+      Alcotest.(check (float 0.0)) "pref value" 0.25 value
+  | _ -> Alcotest.fail "pref");
+  (match Serve.parse_line "tau 0 4 2 0.5" with
+  | Ok (Serve.Line_event (Serve.Tau_delta { u = 0; v = 4; item = 2; value }))
+    ->
+      Alcotest.(check (float 0.0)) "tau value" 0.5 value
+  | _ -> Alcotest.fail "tau");
+  (match Serve.parse_line "leave 7" with
+  | Ok (Serve.Line_event (Serve.Leave 7)) -> ()
+  | _ -> Alcotest.fail "leave");
+  (match Serve.parse_line "join 0.1,0.2,0.3 5:0.4:0.6" with
+  | Ok (Serve.Line_event (Serve.Join p)) ->
+      Alcotest.(check int) "friend" 5 p.Dynamic.friends.(0);
+      Alcotest.(check (float 0.0)) "tau_out" 0.4 (p.Dynamic.tau_out 5 0);
+      Alcotest.(check (float 0.0)) "tau_in" 0.6 (p.Dynamic.tau_in 5 2);
+      Alcotest.(check (float 0.0)) "pref" 0.2 p.Dynamic.pref.(1)
+  | _ -> Alcotest.fail "join");
+  match Serve.parse_line "bogus 1 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus line must not parse"
+
+(* ------------------- Dynamic stable external ids ------------------ *)
+
+let small_dynamic () =
+  let rng = Rng.create 12 in
+  let inst = community_instance ~p_cross:0.3 rng ~blobs:2 ~blob_size:3 ~m:4 ~k:2 in
+  Dynamic.start (Rng.create 29) inst
+
+let test_dynamic_stable_ids () =
+  let t = small_dynamic () in
+  (* leave user 2: everyone else keeps her external id *)
+  let t = Dynamic.leave t 2 in
+  Alcotest.(check bool) "2 is tombstoned" true (Dynamic.internal_of t 2 = None);
+  Array.iteri
+    (fun i ext ->
+      Alcotest.(check int)
+        (Printf.sprintf "roundtrip %d" ext)
+        i
+        (Option.get (Dynamic.internal_of t ext)))
+    (Dynamic.user_ids t);
+  Alcotest.(check bool) "5 still addressable" true
+    (Dynamic.internal_of t 5 <> None);
+  (* a join reuses the most recently freed id *)
+  let t, ext =
+    Dynamic.join t (profile ~m:4 ~seed:6 ~friends:[ 0; 5 ])
+  in
+  Alcotest.(check int) "tombstone reused LIFO" 2 ext;
+  (* and with no tombstones left, a fresh id is minted *)
+  let t, ext2 = Dynamic.join t (profile ~m:4 ~seed:7 ~friends:[ 1 ]) in
+  Alcotest.(check int) "fresh id" 6 ext2;
+  Alcotest.(check int) "population" 7 (Instance.n (Dynamic.instance t))
+
+let test_dynamic_resolve_preserves_remap () =
+  let t = small_dynamic () in
+  let t = Dynamic.leave t 0 in
+  let ids_before = Dynamic.user_ids t in
+  let t = Dynamic.resolve (Rng.create 31) t in
+  Alcotest.(check bool)
+    "remap survives resolve" true
+    (ids_before = Dynamic.user_ids t);
+  Alcotest.(check bool) "0 still gone" true (Dynamic.internal_of t 0 = None)
+
+let test_dynamic_tau_keyed_by_external () =
+  let t = small_dynamic () in
+  (* after a leave shifts internals, a join's τ callbacks must be
+     queried with *external* friend ids *)
+  let t = Dynamic.leave t 1 in
+  let asked = ref [] in
+  let p =
+    {
+      Dynamic.pref = Array.make 4 0.5;
+      friends = [| 5 |];
+      tau_out =
+        (fun fext _ ->
+          asked := fext :: !asked;
+          0.25);
+      tau_in = (fun _ _ -> 0.125);
+    }
+  in
+  let t, _ext = Dynamic.join t p in
+  Alcotest.(check bool) "asked with external id 5" true (List.mem 5 !asked);
+  Alcotest.(check bool) "never asked with an internal id" true
+    (List.for_all (fun e -> e = 5) !asked);
+  let i = Option.get (Dynamic.internal_of t 5) in
+  let j = Instance.n (Dynamic.instance t) - 1 in
+  Alcotest.(check (float 1e-12))
+    "tau_out landed" 0.25
+    (Instance.tau (Dynamic.instance t) j i 0)
+
+(* ------------------------ monotonic clock ------------------------- *)
+
+let test_mclock_monotone () =
+  let a = Mclock.now_s () in
+  let b = Mclock.now_s () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "finite" true (Float.is_finite a);
+  let tm = Timer.start () in
+  let x = ref 0 in
+  for i = 0 to 10_000 do
+    x := !x + i
+  done;
+  Alcotest.(check bool) "timer elapsed >= 0" true (Timer.elapsed_s tm >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "initial bracket" `Quick test_initial_bracket;
+    Alcotest.test_case "delta tick + LWW coalescing" `Quick test_delta_tick;
+    Alcotest.test_case "tau deltas and drops" `Quick test_tau_delta_and_drops;
+    Alcotest.test_case "join/leave structural tick" `Quick test_join_leave;
+    Alcotest.test_case "join then leave same tick" `Quick
+      test_join_then_leave_same_tick;
+    Alcotest.test_case "replay bit-identical" `Quick test_replay_bit_identical;
+    Alcotest.test_case "replay across domains" `Quick
+      test_replay_across_domains;
+    Alcotest.test_case "incremental within cold gap (20 seeds)" `Slow
+      test_incremental_within_cold_gap;
+    Alcotest.test_case "deadline degrades, never fails" `Quick
+      test_deadline_degrades_not_fails;
+    Alcotest.test_case "fault injection keeps certificates" `Quick
+      test_fault_injection_keeps_certificates;
+    Alcotest.test_case "warm hits on pure drift" `Quick test_warm_hits_on_drift;
+    Alcotest.test_case "trace parsing" `Quick test_parse_line;
+    Alcotest.test_case "dynamic: stable external ids" `Quick
+      test_dynamic_stable_ids;
+    Alcotest.test_case "dynamic: resolve preserves remap" `Quick
+      test_dynamic_resolve_preserves_remap;
+    Alcotest.test_case "dynamic: tau keyed by external ids" `Quick
+      test_dynamic_tau_keyed_by_external;
+    Alcotest.test_case "monotonic clock" `Quick test_mclock_monotone;
+  ]
