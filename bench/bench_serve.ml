@@ -213,7 +213,7 @@ let serve_records ~smoke =
   let hot_tr =
     make_traffic 4713 ~labels ~hot_shards ~hot_frac:1.0 ~rate inst
   in
-  (inst, labels, hot_tr, srv, tick_rows @ throughput_rows)
+  (inst, labels, hot_tr, srv, cold_ns, tick_rows @ throughput_rows)
 
 (* ---------------- coalesce hot path: zero major-heap words -------- *)
 
@@ -299,14 +299,191 @@ let deadline_records ~smoke inst labels tr =
       (!total_s *. 1e9 /. float_of_int ticks);
   ]
 
+(* ---------------- WAL durability overhead ------------------------- *)
+
+let fresh_dir tag =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "svgic-bench-%s-%d" tag (Unix.getpid ()))
+  in
+  Svgic.Checkpoint.ensure_dir d;
+  d
+
+(* Raw append hot path: a Pref frame encoded into the writer's scratch
+   buffer and pushed to the channel, no fsync. The WAL must not turn
+   the event stream into a GC workload, so the row hard-fails above a
+   small constant words/event (the seqno and float-bits boxes). *)
+let wal_append_records () =
+  let dir = fresh_dir "wal-append" in
+  let path = Filename.concat dir "wal.svgic" in
+  let w = Svgic.Wal.create ~path ~m:6 ~policy:Svgic.Wal.Off in
+  let i = ref 0 in
+  let ops = 100_000 in
+  let append_ns, append_w =
+    Bench_kernels.time_kernel ~rounds:3 ~ops (fun () ->
+        incr i;
+        ignore
+          (Svgic.Wal.append w
+             (Svgic.Wal.Event
+                (Svgic.Wal.Pref
+                   { user = !i land 1023; item = !i mod 6; value = 0.5 }))
+            : int64))
+  in
+  Svgic.Wal.close w;
+  Sys.remove path;
+  if append_w > 64.0 then
+    failwith
+      (Printf.sprintf
+         "serve_wal append allocates %.1f words/event (budget 64)" append_w);
+  (* One synced append: the per-tick fsync cost under Every_tick. *)
+  let w = Svgic.Wal.create ~path ~m:6 ~policy:Svgic.Wal.Every_event in
+  let fsync_ns, _ =
+    Bench_kernels.time_kernel ~rounds:1 ~ops:64 (fun () ->
+        ignore (Svgic.Wal.append w (Svgic.Wal.Tick 1) : int64))
+  in
+  Svgic.Wal.close w;
+  Sys.remove path;
+  ( append_ns,
+    fsync_ns,
+    [
+      Bench_kernels.mk ~alloc:append_w
+        ~note:"encode + buffered write of one Pref frame, no fsync"
+        "serve_wal" "append" ops append_ns;
+      Bench_kernels.mk ~note:"append + fsync of one Tick frame" "serve_wal"
+        "fsync" 64 fsync_ns;
+    ] )
+
+(* End-to-end: the same live engine serving the same skewed traffic
+   bare and then under each fsync policy (fresh directory each, the
+   initial checkpoint excluded from tick timing, periodic checkpoints
+   pushed past the horizon so the rows isolate WAL cost). The <10%
+   acceptance bar is asserted on the deterministic decomposition
+   (events/tick x append cost + one fsync, against the bare tick) —
+   the measured end-to-end deltas ride along in the notes, where the
+   tick-to-tick solver variance they include is visible rather than
+   load-bearing. *)
+let wal_records ~smoke srv tr ~append_ns ~fsync_ns =
+  let ticks = if smoke then 2 else 4 in
+  let n = Instance.n (Serve.instance srv) in
+  let run_ticks () =
+    let total = ref 0.0 and applied = ref 0 in
+    for _ = 1 to ticks do
+      submit_batch srv tr (poisson tr.gen tr.rate);
+      let s = Serve.tick srv in
+      total := !total +. s.Serve.elapsed_s;
+      applied := !applied + s.Serve.events_applied
+    done;
+    (!total /. float_of_int ticks, !applied)
+  in
+  let bare_s, bare_applied = run_ticks () in
+  Printf.printf "  wal: bare tick %.1f ms\n%!" (1e3 *. bare_s);
+  let policy_row (name, policy) =
+    let dir = fresh_dir ("wal-" ^ name) in
+    Serve.enable_durability srv
+      { Serve.dir; fsync = policy; checkpoint_every = 1_000_000; retain = 1 };
+    let mean_s, applied = run_ticks () in
+    let bytes = Serve.wal_bytes srv in
+    Serve.disable_durability srv;
+    let delta = 100.0 *. (mean_s -. bare_s) /. bare_s in
+    Printf.printf "  wal: %s tick %.1f ms (%+.1f%%), %d bytes\n%!" name
+      (1e3 *. mean_s) delta bytes;
+    Bench_kernels.mk
+      ~note:
+        (Printf.sprintf
+           "mean tick vs %.1f ms bare (%+.1f%%); %d events, %d WAL bytes"
+           (1e3 *. bare_s) delta applied bytes)
+      "serve_wal" name n (mean_s *. 1e9)
+  in
+  let rows =
+    List.map policy_row
+      [
+        ("off", Svgic.Wal.Off);
+        ("every_tick", Svgic.Wal.Every_tick);
+        ("every_event", Svgic.Wal.Every_event);
+      ]
+  in
+  let per_tick_events = float_of_int bare_applied /. float_of_int ticks in
+  let every_tick_overhead =
+    ((per_tick_events *. append_ns) +. fsync_ns) /. (bare_s *. 1e9)
+  in
+  Printf.printf "  wal: every_tick decomposed overhead %.3f%%\n%!"
+    (100.0 *. every_tick_overhead);
+  if (not smoke) && every_tick_overhead > 0.10 then
+    failwith
+      (Printf.sprintf "serve_wal: every_tick overhead %.1f%% exceeds 10%%"
+         (100.0 *. every_tick_overhead));
+  rows
+
+(* ---------------- crash recovery vs cold start -------------------- *)
+
+(* Checkpoint + WAL-suffix recovery against what a stateless redeploy
+   pays (the cold full partition + solve_round measured above). The
+   recovered engine must be bit-identical to the live one — the same
+   fingerprint the kill-matrix test checks — and the acceptance bar is
+   >= 50x over cold at full scale. *)
+let recover_records ~smoke ~cold_ns srv tr =
+  let dir = fresh_dir "recover" in
+  Serve.enable_durability srv
+    { Serve.dir; fsync = Svgic.Wal.Every_tick; checkpoint_every = 2; retain = 2 };
+  let ticks = 3 in
+  for _ = 1 to ticks do
+    submit_batch srv tr (poisson tr.gen tr.rate);
+    ignore (Serve.tick srv : Serve.tick_stats)
+  done;
+  (* trailing events land in the WAL but stay pending, as at a crash *)
+  submit_batch srv tr (poisson tr.gen tr.rate);
+  let ckpt_bytes =
+    List.fold_left
+      (fun acc (p, _, _) -> acc + (Unix.stat p).Unix.st_size)
+      0
+      (Svgic.Checkpoint.list_files dir)
+  in
+  let fp = Serve.fingerprint srv in
+  Serve.disable_durability srv;
+  let t0 = Timer.start () in
+  match Serve.recover ~dir () with
+  | Error e -> failwith ("serve_recover: " ^ e)
+  | Ok (r, rec_) ->
+      let recover_ns = Timer.elapsed_s t0 *. 1e9 in
+      Serve.disable_durability r;
+      if Serve.fingerprint r <> fp then
+        failwith "serve_recover: recovered state is not bit-identical";
+      let speedup = cold_ns /. recover_ns in
+      Printf.printf
+        "  recover: %.2f s (checkpoint %.1f MB, %d events + %d ticks \
+         replayed), %.0fx vs cold\n%!"
+        (recover_ns /. 1e9)
+        (float_of_int ckpt_bytes /. 1e6)
+        rec_.Serve.replayed_events rec_.Serve.replayed_ticks speedup;
+      if (not smoke) && speedup < 50.0 then
+        failwith
+          (Printf.sprintf "serve_recover: %.1fx vs cold is below the 50x bar"
+             speedup);
+      [
+        Bench_kernels.mk
+          ~note:
+            (Printf.sprintf
+               "checkpoint %d bytes, replayed %d events %d ticks; \
+                fingerprint bit-identical; %.0fx vs cold re-solve"
+               ckpt_bytes rec_.Serve.replayed_events rec_.Serve.replayed_ticks
+               speedup)
+          "serve_recover" "warm"
+          (Instance.n (Serve.instance r))
+          recover_ns;
+      ]
+
 (* ---------------- entry point ------------------------------------- *)
 
 let run () =
   Bench_common.heading "serve" "online serving: incremental vs cold per tick";
   let smoke = Bench_kernels.smoke () in
-  let inst, labels, tr, srv, serve_rows = serve_records ~smoke in
+  let inst, labels, tr, srv, cold_ns, serve_rows = serve_records ~smoke in
+  let append_ns, fsync_ns, append_rows = wal_append_records () in
   let records =
-    serve_rows @ coalesce_records srv tr
+    serve_rows @ coalesce_records srv tr @ append_rows
+    @ wal_records ~smoke srv tr ~append_ns ~fsync_ns
+    @ recover_records ~smoke ~cold_ns srv tr
     @ deadline_records ~smoke inst labels tr
   in
   Bench_kernels.print_records records;

@@ -378,6 +378,63 @@ let serve_labelling_arg =
     & info [ "shards" ]
         ~doc:"partition labelling: 'components', 'modularity', or an integer (balanced parts)")
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ]
+        ~doc:
+          "Durability directory: append every accepted event and tick \
+           boundary to $(i,DIR)/wal.svgic and checkpoint the full solve \
+           state there, so 'recover' can rebuild the exact state after a \
+           crash.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ]
+        ~doc:"ticks between checkpoints (with --wal; min 1)")
+
+let fsync_conv =
+  let parse = function
+    | "every_event" -> Ok Svgic.Wal.Every_event
+    | "every_tick" -> Ok Svgic.Wal.Every_tick
+    | "off" -> Ok Svgic.Wal.Off
+    | other -> Error (`Msg (Printf.sprintf "unknown --fsync value %S" other))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | Svgic.Wal.Every_event -> "every_event"
+      | Svgic.Wal.Every_tick -> "every_tick"
+      | Svgic.Wal.Off -> "off")
+  in
+  Arg.conv (parse, print)
+
+let fsync_arg =
+  Arg.(
+    value
+    & opt fsync_conv Svgic.Wal.Every_tick
+    & info [ "fsync" ]
+        ~doc:
+          "WAL fsync policy (with --wal): 'every_event' survives any crash, \
+           'every_tick' may lose events of the crashed tick but never a \
+           committed tick, 'off' leaves durability to the OS page cache")
+
+let retain_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retain" ] ~doc:"checkpoints kept on disk (with --wal; min 1)")
+
+let fingerprint_arg =
+  Arg.(
+    value & flag
+    & info [ "fingerprint" ]
+        ~doc:
+          "Print the CRC-32 state fingerprint on exit — equal fingerprints \
+           mean bit-identical solve state (the crash-recovery tests compare \
+           a recovered engine against an uninterrupted run with this)")
+
 let percentile sorted q =
   let len = Array.length sorted in
   if len = 0 then nan
@@ -397,9 +454,74 @@ let print_tick_stats (s : Svgic.Serve.tick_stats) =
     | Some u -> Printf.sprintf " upper %.4f" u);
   flush stdout
 
+(* Shared by serve and recover: stream a trace into the engine, one
+   stats line per tick, then the run summary. [skip_events] and
+   [skip_ticks] let recover fast-forward past the prefix the crashed
+   run already consumed (counted by events_total / tick_count; the
+   skip assumes the consumed prefix had no dropped events, which the
+   live run reports on stderr). *)
+let replay_trace t ~events ~skip_events ~skip_ticks =
+  let ic = if events = "-" then stdin else open_in events in
+  let ticks = ref [] in
+  let do_tick () =
+    let s = Svgic.Serve.tick t in
+    ticks := s :: !ticks;
+    print_tick_stats s
+  in
+  let ev_skip = ref skip_events and tk_skip = ref skip_ticks in
+  (try
+     let lineno = ref 0 in
+     (try
+        while true do
+          let raw = input_line ic in
+          incr lineno;
+          match Svgic.Serve.parse_line raw with
+          | Ok Svgic.Serve.Line_blank -> ()
+          | Ok Svgic.Serve.Line_tick ->
+              if !tk_skip > 0 then decr tk_skip else do_tick ()
+          | Ok (Svgic.Serve.Line_event ev) ->
+              if !ev_skip > 0 then decr ev_skip
+              else ignore (Svgic.Serve.submit t ev : int option)
+          | Error msg ->
+              Printf.eprintf "%s:%d: %s\n" events !lineno msg;
+              exit 1
+        done
+      with End_of_file -> ());
+     if Svgic.Serve.pending_events t > 0 then do_tick ()
+   with e ->
+     if events <> "-" then close_in_noerr ic;
+     raise e);
+  if events <> "-" then close_in ic;
+  let ticks = Array.of_list (List.rev !ticks) in
+  let times = Array.map (fun s -> s.Svgic.Serve.elapsed_s) ticks in
+  Array.sort compare times;
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 ticks in
+  Printf.printf
+    "\nsummary: %d ticks, %d events applied (%d dropped), %d shard \
+     solves (%d warm, %d degraded)\n"
+    (Array.length ticks)
+    (sum (fun s -> s.Svgic.Serve.events_applied))
+    (sum (fun s -> s.Svgic.Serve.events_dropped))
+    (sum (fun s -> s.Svgic.Serve.shards_touched))
+    (sum (fun s -> s.Svgic.Serve.warm_hits))
+    (sum (fun s -> s.Svgic.Serve.degraded));
+  if Array.length times > 0 then
+    Printf.printf "tick latency: p50 %.2f ms, p99 %.2f ms\n"
+      (1e3 *. percentile times 0.50)
+      (1e3 *. percentile times 0.99);
+  Printf.printf "final bracket: %.4f <= objective %.4f%s\n"
+    (Svgic.Serve.bound t) (Svgic.Serve.objective t)
+    (match Svgic.Serve.upper t with
+    | None -> ""
+    | Some u when u = infinity -> " <= inf (certificate degraded)"
+    | Some u -> Printf.sprintf " <= %.4f" u)
+
+let print_fingerprint t =
+  Printf.printf "fingerprint: %08x\n" (Svgic.Serve.fingerprint t)
+
 let serve_cmd =
   let run preset n m k lambda seed load events shards deadline_ms certify
-      domains repair_passes =
+      domains repair_passes wal checkpoint_every fsync retain fingerprint =
     match parse_labelling shards with
     | Error msg ->
         prerr_endline msg;
@@ -411,61 +533,23 @@ let serve_cmd =
           Svgic.Serve.create ~labelling ?deadline_s ~certify ?domains
             ~repair_passes (Rng.create seed) inst
         in
-        Printf.printf "serving %d users in %d shards (seed %d)\n"
+        Printf.printf "serving %d users in %d shards (seed %d)\n%!"
           (Svgic.Serve.num_users t) (Svgic.Serve.num_shards t) seed;
-        let ic = if events = "-" then stdin else open_in events in
-        let ticks = ref [] in
-        let do_tick () =
-          let s = Svgic.Serve.tick t in
-          ticks := s :: !ticks;
-          print_tick_stats s
-        in
-        (try
-           let lineno = ref 0 in
-           (try
-              while true do
-                let raw = input_line ic in
-                incr lineno;
-                match Svgic.Serve.parse_line raw with
-                | Ok Svgic.Serve.Line_blank -> ()
-                | Ok Svgic.Serve.Line_tick -> do_tick ()
-                | Ok (Svgic.Serve.Line_event ev) ->
-                    ignore (Svgic.Serve.submit t ev : int option)
-                | Error msg ->
-                    Printf.eprintf "%s:%d: %s\n" events !lineno msg;
-                    exit 1
-              done
-            with End_of_file -> ());
-           if Svgic.Serve.pending_events t > 0 then do_tick ()
-         with e ->
-           if events <> "-" then close_in_noerr ic;
-           raise e);
-        if events <> "-" then close_in ic;
-        let ticks = Array.of_list (List.rev !ticks) in
-        let times =
-          Array.map (fun s -> s.Svgic.Serve.elapsed_s) ticks
-        in
-        Array.sort compare times;
-        let sum f = Array.fold_left (fun a s -> a + f s) 0 ticks in
-        Printf.printf
-          "\nsummary: %d ticks, %d events applied (%d dropped), %d shard \
-           solves (%d warm, %d degraded)\n"
-          (Array.length ticks)
-          (sum (fun s -> s.Svgic.Serve.events_applied))
-          (sum (fun s -> s.Svgic.Serve.events_dropped))
-          (sum (fun s -> s.Svgic.Serve.shards_touched))
-          (sum (fun s -> s.Svgic.Serve.warm_hits))
-          (sum (fun s -> s.Svgic.Serve.degraded));
-        if Array.length times > 0 then
-          Printf.printf "tick latency: p50 %.2f ms, p99 %.2f ms\n"
-            (1e3 *. percentile times 0.50)
-            (1e3 *. percentile times 0.99);
-        Printf.printf "final bracket: %.4f <= objective %.4f%s\n"
-          (Svgic.Serve.bound t) (Svgic.Serve.objective t)
-          (match Svgic.Serve.upper t with
-          | None -> ""
-          | Some u when u = infinity -> " <= inf (certificate degraded)"
-          | Some u -> Printf.sprintf " <= %.4f" u)
+        (match wal with
+        | None -> ()
+        | Some dir ->
+            Svgic.Serve.enable_durability t
+              { Svgic.Serve.dir; fsync; checkpoint_every; retain };
+            Printf.printf
+              "durable: %s (fsync %s, checkpoint every %d, retain %d)\n%!" dir
+              (match fsync with
+              | Svgic.Wal.Every_event -> "every_event"
+              | Svgic.Wal.Every_tick -> "every_tick"
+              | Svgic.Wal.Off -> "off")
+              checkpoint_every retain);
+        replay_trace t ~events ~skip_events:0 ~skip_ticks:0;
+        Svgic.Serve.disable_durability t;
+        if fingerprint then print_fingerprint t
   in
   Cmd.v
     (Cmd.info "serve"
@@ -473,11 +557,191 @@ let serve_cmd =
     Term.(
       const run $ dataset_arg $ n_arg $ m_arg $ k_arg $ lambda_arg $ seed_arg
       $ load_arg $ events_arg $ serve_labelling_arg $ deadline_ms_arg
-      $ certify_arg $ domains_arg $ repair_arg)
+      $ certify_arg $ domains_arg $ repair_arg $ wal_arg $ checkpoint_every_arg
+      $ fsync_arg $ retain_arg $ fingerprint_arg)
+
+(* -------------------------------------------------------------------
+   recover: rebuild the engine from the newest valid checkpoint + WAL
+   suffix, audit it, and optionally resume the original trace. *)
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~doc:"durability directory written by 'serve --wal'")
+
+let resume_events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events"; "e" ]
+        ~doc:
+          "Resume the original event trace ('-' reads stdin): the prefix the \
+           crashed run already consumed — counted by the recovered engine's \
+           accepted-event and tick totals — is skipped, and serving continues \
+           from the first unconsumed line.")
+
+let audit_repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "If the post-recovery audit fails, demote the failing shards to a \
+           fresh re-solve and re-check instead of exiting nonzero")
+
+let recover_cmd =
+  let run dir events deadline_ms certify domains repair_passes fsync
+      checkpoint_every retain repair fingerprint =
+    let deadline_s = Option.map (fun ms -> ms /. 1e3) deadline_ms in
+    match
+      Svgic.Serve.recover ?deadline_s ~certify ?domains ~repair_passes ~fsync
+        ~checkpoint_every ~retain ~dir ()
+    with
+    | Error msg ->
+        Printf.eprintf "recover: %s\n" msg;
+        exit 1
+    | Ok (t, (r : Svgic.Serve.recovery)) ->
+        List.iter
+          (fun (path, err) ->
+            Printf.printf "skipped corrupt checkpoint %s: %s\n"
+              (Filename.basename path) err)
+          r.checkpoints_skipped;
+        Printf.printf
+          "recovered %d users from %s (seqno %Ld): replayed %d events, %d \
+           ticks%s\n%!"
+          (Svgic.Serve.num_users t)
+          (Filename.basename r.checkpoint_path)
+          r.checkpoint_seqno r.replayed_events r.replayed_ticks
+          (if r.torn_bytes > 0 then
+             Printf.sprintf " (truncated %d-byte torn WAL tail)" r.torn_bytes
+           else "");
+        let a : Svgic.Serve.audit_report = Svgic.Serve.audit ~repair t in
+        Printf.printf
+          "audit: %s (cut drift %.3g, objective drift %.3g, bracket %s)%s\n%!"
+          (if a.audit_ok then "ok" else "FAILED")
+          a.cut_drift a.objective_drift
+          (if a.bracket_ok then "ok" else "VIOLATED")
+          (match a.repaired with
+          | [] -> ""
+          | l ->
+              Printf.sprintf " — repaired shards [%s]"
+                (String.concat "," (List.map string_of_int l)));
+        if not a.audit_ok then (
+          Svgic.Serve.disable_durability t;
+          exit 1);
+        (match events with
+        | None ->
+            Printf.printf
+              "state: tick %d, %d events consumed, %d pending | %.4f <= \
+               objective %.4f\n"
+              (Svgic.Serve.tick_count t)
+              (Svgic.Serve.events_total t)
+              (Svgic.Serve.pending_events t)
+              (Svgic.Serve.bound t) (Svgic.Serve.objective t)
+        | Some path ->
+            replay_trace t ~events:path
+              ~skip_events:(Svgic.Serve.events_total t)
+              ~skip_ticks:(Svgic.Serve.tick_count t));
+        Svgic.Serve.disable_durability t;
+        if fingerprint then print_fingerprint t
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a crashed serving engine from its WAL and checkpoints")
+    Term.(
+      const run $ dir_arg $ resume_events_arg $ deadline_ms_arg $ certify_arg
+      $ domains_arg $ repair_arg $ fsync_arg $ checkpoint_every_arg
+      $ retain_arg $ audit_repair_arg $ fingerprint_arg)
+
+(* -------------------------------------------------------------------
+   fsck: offline health report for a durability directory. *)
+
+let fsck_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"durability directory to check")
+
+let fsck_records_arg =
+  Arg.(
+    value & flag
+    & info [ "records" ] ~doc:"print one line per CRC-valid WAL record")
+
+let fsck_cmd =
+  let run dir records =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then (
+      Printf.eprintf "fsck: no such directory %s\n" dir;
+      exit 1);
+    let newest_valid = ref None in
+    List.iter
+      (fun (path, tick, seqno) ->
+        match Svgic.Checkpoint.load path with
+        | Ok _ ->
+            newest_valid := Some (path, seqno);
+            Printf.printf "checkpoint %s: ok (tick %d, seqno %Ld)\n"
+              (Filename.basename path) tick seqno
+        | Error err ->
+            Printf.printf "checkpoint %s: CORRUPT — %s\n"
+              (Filename.basename path) err)
+      (Svgic.Checkpoint.list_files dir);
+    let wal_path = Filename.concat dir "wal.svgic" in
+    let wal_last =
+      if not (Sys.file_exists wal_path) then (
+        print_endline "wal: missing";
+        0L)
+      else
+        let on_record seqno r =
+          if records then
+            Printf.printf "  record %Ld: %s\n" seqno
+              (match r with
+              | Svgic.Wal.Tick n -> Printf.sprintf "tick %d" n
+              | Svgic.Wal.Event (Svgic.Wal.Join j) ->
+                  Printf.sprintf "join (%d friends)"
+                    (Array.length j.Svgic.Wal.jfriends)
+              | Svgic.Wal.Event (Svgic.Wal.Leave u) ->
+                  Printf.sprintf "leave %d" u
+              | Svgic.Wal.Event (Svgic.Wal.Pref { user; item; value }) ->
+                  Printf.sprintf "pref %d %d %.17g" user item value
+              | Svgic.Wal.Event (Svgic.Wal.Tau { u; v; item; value }) ->
+                  Printf.sprintf "tau %d %d %d %.17g" u v item value)
+        in
+        match Svgic.Wal.scan ~f:on_record wal_path with
+        | Error err ->
+            Printf.printf "wal: UNREADABLE — %s\n" err;
+            0L
+        | Ok (s : Svgic.Wal.scan) ->
+            Printf.printf
+              "wal: %d records ok (%d events, %d ticks), seqnos %Ld..%Ld, %d \
+               of %d bytes valid\n"
+              s.records s.events s.ticks s.first_seqno s.last_seqno
+              s.valid_end s.file_size;
+            (match s.torn with
+            | None -> ()
+            | Some why ->
+                Printf.printf "wal: torn tail at byte %d (%d bytes) — %s\n"
+                  s.valid_end (s.file_size - s.valid_end) why);
+            s.last_seqno
+    in
+    match !newest_valid with
+    | None ->
+        print_endline "unrecoverable: no valid checkpoint";
+        exit 1
+    | Some (path, seqno) ->
+        Printf.printf "recoverable: %s at seqno %Ld, WAL replay to seqno %Ld\n"
+          (Filename.basename path) seqno
+          (Int64.max seqno wal_last)
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Check a durability directory: checkpoints, WAL health, torn tail")
+    Term.(const run $ fsck_dir_arg $ fsck_records_arg)
 
 let () =
   (* Deterministic fault injection is opt-in via SVGIC_FAULT_SEED (see
      DESIGN.md §5) — inert unless the variable is set. *)
   ignore (Svgic_util.Fault.init_from_env () : bool);
   let info = Cmd.info "svgic_cli" ~doc:"Social-aware VR group-item configuration" in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; solve_cmd; compare_cmd; serve_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; solve_cmd; compare_cmd; serve_cmd; recover_cmd; fsck_cmd ]))

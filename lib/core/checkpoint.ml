@@ -1,0 +1,409 @@
+(* Checkpoint files: magic header, hex-float meta line, marshalled
+   RNG blob, embedded Serialize instance text, assignment / label /
+   ext-id sections, per-shard solve state, CRC-32 footer.  Writing
+   goes temp file -> fsync -> atomic rename -> directory fsync, so
+   the newest complete checkpoint is never replaced by a torn one. *)
+
+module Crc32 = Svgic_util.Crc32
+module Fault = Svgic_util.Fault
+
+type shard_snap = {
+  s_obj : float;
+  s_upper : float;
+  s_degraded : bool;
+  s_freshened : bool;
+  s_warm_n : int;
+  s_warm_pairs : int;
+  s_warm : int array option;
+}
+
+type snapshot = {
+  inst : Instance.t;
+  assign : int array array;
+  label : int array;
+  shards : shard_snap array;
+  ext_of : int array;
+  next_ext : int;
+  tick_no : int;
+  events_total : int;
+  wal_seqno : int64;
+  cut_mass : float;
+  objective_v : float;
+  bound_v : float;
+  upper_v : float;
+  rng_blob : string;
+}
+
+(* ---- small helpers ----------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let ensure_dir = mkdir_p
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let n = String.length h in
+  if n = 0 || n mod 2 <> 0 then failwith "bad hex blob";
+  String.init (n / 2) (fun i ->
+      match int_of_string_opt ("0x" ^ String.sub h (2 * i) 2) with
+      | Some c -> Char.chr c
+      | None -> failwith "bad hex blob")
+
+let tokens line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let int_tok t =
+  match int_of_string_opt t with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bad integer %S" t)
+
+let float_tok t =
+  match float_of_string_opt t with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bad float %S" t)
+
+let bool_tok = function
+  | "0" -> false
+  | "1" -> true
+  | t -> failwith (Printf.sprintf "bad flag %S" t)
+
+(* ---- listing ----------------------------------------------------- *)
+
+let list_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun nm ->
+             match
+               Scanf.sscanf nm "ckpt-%d-%Ld.svgic%!" (fun t s -> (t, s))
+             with
+             | t, s -> Some (Filename.concat dir nm, t, s)
+             | exception _ -> None)
+      |> List.sort (fun (_, t1, s1) (_, t2, s2) -> compare (t1, s1) (t2, s2))
+
+(* ---- writing ----------------------------------------------------- *)
+
+let write ~dir ~retain snap =
+  mkdir_p dir;
+  let name =
+    Printf.sprintf "ckpt-%012d-%016Ld.svgic" snap.tick_no snap.wal_seqno
+  in
+  let path = Filename.concat dir name in
+  let tmp = path ^ ".tmp" in
+  let idx = Int64.to_int snap.wal_seqno land max_int in
+  let oc = open_out_bin tmp in
+  let closed = ref false in
+  let close_now () =
+    if not !closed then begin
+      closed := true;
+      close_out oc
+    end
+  in
+  Fun.protect ~finally:(fun () -> if not !closed then close_out_noerr oc)
+  @@ fun () ->
+  let crc = ref 0 in
+  let out s =
+    crc := Crc32.update_string !crc s ~pos:0 ~len:(String.length s);
+    output_string oc s
+  in
+  out "svgic-checkpoint 1\n";
+  (match Fault.at ~site:"checkpoint_write" ~index:idx with
+  | Some Fault.Crash ->
+      (* simulate a crash mid-checkpoint: a torn temp file remains *)
+      flush oc;
+      close_now ();
+      raise (Fault.Injected "checkpoint_write")
+  | Some _ | None -> ());
+  out
+    (Printf.sprintf
+       "meta tick %d seqno %Ld events %d next_ext %d nshards %d cut %h obj %h \
+        bound %h upper %h\n"
+       snap.tick_no snap.wal_seqno snap.events_total snap.next_ext
+       (Array.length snap.shards) snap.cut_mass snap.objective_v snap.bound_v
+       snap.upper_v);
+  out (Printf.sprintf "rng %s\n" (hex_of_string snap.rng_blob));
+  Serialize.emit_instance out snap.inst;
+  let n = Instance.n snap.inst and k = Instance.k snap.inst in
+  out (Printf.sprintf "assign %d %d\n" n k);
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      Buffer.clear buf;
+      Array.iteri
+        (fun s c ->
+          if s > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int c))
+        row;
+      Buffer.add_char buf '\n';
+      out (Buffer.contents buf))
+    snap.assign;
+  let int_line name a =
+    Buffer.clear buf;
+    Buffer.add_string buf name;
+    Array.iter
+      (fun v ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int v))
+      a;
+    Buffer.add_char buf '\n';
+    out (Buffer.contents buf)
+  in
+  int_line "label" snap.label;
+  int_line "ext_of" snap.ext_of;
+  Array.iter
+    (fun sh ->
+      Buffer.clear buf;
+      Buffer.add_string buf
+        (Printf.sprintf "shard %h %h %d %d %d %d" sh.s_obj sh.s_upper
+           (Bool.to_int sh.s_degraded)
+           (Bool.to_int sh.s_freshened)
+           sh.s_warm_n sh.s_warm_pairs);
+      (match sh.s_warm with
+      | None -> Buffer.add_string buf " -1"
+      | Some entries ->
+          Buffer.add_string buf
+            (Printf.sprintf " %d" (Array.length entries));
+          Array.iter
+            (fun e ->
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf (string_of_int e))
+            entries);
+      Buffer.add_char buf '\n';
+      out (Buffer.contents buf))
+    snap.shards;
+  (* footer CRC covers every byte written so far, not itself *)
+  output_string oc (Printf.sprintf "end %08x\n" !crc);
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_now ();
+  (match Fault.at ~site:"checkpoint_rename" ~index:idx with
+  | Some Fault.Crash ->
+      (* complete temp file exists, but was never renamed into place *)
+      raise (Fault.Injected "checkpoint_rename")
+  | Some _ | None -> ());
+  Sys.rename tmp path;
+  fsync_dir dir;
+  (* retention: drop all but the newest [retain], plus stray temps *)
+  let files = list_files dir in
+  let ndrop = List.length files - max 1 retain in
+  List.iteri
+    (fun i (p, _, _) ->
+      if i < ndrop then try Sys.remove p with Sys_error _ -> ())
+    files;
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun nm ->
+          if Filename.check_suffix nm ".tmp" then
+            try Sys.remove (Filename.concat dir nm) with Sys_error _ -> ())
+        names);
+  path
+
+(* ---- loading ----------------------------------------------------- *)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let crc = ref 0 and prev = ref 0 in
+      let pos = ref 0 and cur = ref 0 in
+      let next () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | l ->
+            prev := !crc;
+            cur := !pos;
+            let c = Crc32.update_string !crc l ~pos:0 ~len:(String.length l) in
+            crc := Crc32.update_string c "\n" ~pos:0 ~len:1;
+            pos := !pos + String.length l + 1;
+            Some l
+      in
+      let fail fmt = Printf.ksprintf failwith fmt in
+      let line what =
+        match next () with
+        | Some l -> l
+        | None -> fail "truncated checkpoint: missing %s" what
+      in
+      try
+        if line "header" <> "svgic-checkpoint 1" then
+          failwith "not a svgic-checkpoint file";
+        let ( tick_no, wal_seqno, events_total, next_ext, nshards, cut_mass,
+              objective_v, bound_v, upper_v ) =
+          match tokens (line "meta line") with
+          | [ "meta"; "tick"; t; "seqno"; s; "events"; e; "next_ext"; x;
+              "nshards"; ns; "cut"; c; "obj"; o; "bound"; b; "upper"; u ] ->
+              let s =
+                match Int64.of_string_opt s with
+                | Some v -> v
+                | None -> fail "bad seqno %S" s
+              in
+              ( int_tok t, s, int_tok e, int_tok x, int_tok ns, float_tok c,
+                float_tok o, float_tok b, float_tok u )
+          | _ -> failwith "bad meta line"
+        in
+        if tick_no < 0 || events_total < 0 || next_ext < 0 || nshards < 0
+           || Int64.compare wal_seqno 0L < 0
+        then failwith "negative meta field";
+        if
+          not
+            (Float.is_finite cut_mass
+            && Float.is_finite objective_v
+            && Float.is_finite bound_v)
+        then failwith "non-finite bracket term";
+        if Float.is_nan upper_v then failwith "NaN upper bound";
+        let rng_blob =
+          match tokens (line "rng line") with
+          | [ "rng"; hex ] -> string_of_hex hex
+          | _ -> failwith "bad rng line"
+        in
+        let inst =
+          match
+            Serialize.instance_of_source ~pos:(fun () -> !cur) (fun () ->
+                next ())
+          with
+          | Ok i -> i
+          | Error e -> fail "embedded instance: %s" e
+        in
+        let n = Instance.n inst
+        and m = Instance.m inst
+        and k = Instance.k inst in
+        (match tokens (line "assign header") with
+        | [ "assign"; an; ak ] when int_tok an = n && int_tok ak = k -> ()
+        | _ -> failwith "bad assign header");
+        let assign =
+          Array.init n (fun u ->
+              let row =
+                Array.of_list (List.map int_tok (tokens (line "assign row")))
+              in
+              if Array.length row <> k then
+                fail "assign row %d: expected %d items" u k;
+              Array.iter
+                (fun c ->
+                  if c < 0 || c >= m then
+                    fail "assign row %d: item %d outside [0,%d)" u c m)
+                row;
+              row)
+        in
+        let int_line name =
+          match tokens (line name) with
+          | hd :: rest when hd = name ->
+              let a = Array.of_list (List.map int_tok rest) in
+              if Array.length a <> n then
+                fail "%s: expected %d entries, got %d" name n (Array.length a);
+              a
+          | _ -> fail "bad %s line" name
+        in
+        let label = int_line "label" in
+        Array.iter
+          (fun l ->
+            if l < 0 || l >= nshards then
+              fail "label %d outside [0,%d)" l nshards)
+          label;
+        let ext_of = int_line "ext_of" in
+        let seen = Hashtbl.create ((2 * n) + 16) in
+        Array.iter
+          (fun e ->
+            if e < 0 || e >= next_ext then
+              fail "ext id %d outside [0,%d)" e next_ext;
+            if Hashtbl.mem seen e then fail "duplicate ext id %d" e;
+            Hashtbl.add seen e ())
+          ext_of;
+        let shards =
+          Array.init nshards (fun s ->
+              match tokens (line "shard line") with
+              | "shard" :: obj :: upper :: deg :: fresh :: wn :: wp :: wl
+                :: rest ->
+                  let wl = int_tok wl in
+                  let s_warm =
+                    if wl < 0 then begin
+                      if rest <> [] then fail "shard %d: stray warm entries" s;
+                      None
+                    end
+                    else begin
+                      let a = Array.of_list (List.map int_tok rest) in
+                      if Array.length a <> wl then
+                        fail "shard %d: warm length mismatch" s;
+                      Some a
+                    end
+                  in
+                  let s_obj = float_tok obj and s_upper = float_tok upper in
+                  if not (Float.is_finite s_obj) then
+                    fail "shard %d: non-finite objective" s;
+                  if Float.is_nan s_upper then fail "shard %d: NaN upper" s;
+                  {
+                    s_obj;
+                    s_upper;
+                    s_degraded = bool_tok deg;
+                    s_freshened = bool_tok fresh;
+                    s_warm_n = int_tok wn;
+                    s_warm_pairs = int_tok wp;
+                    s_warm;
+                  }
+              | _ -> fail "bad shard line %d" s)
+        in
+        (match tokens (line "footer") with
+        | [ "end"; h ] ->
+            let got =
+              match int_of_string_opt ("0x" ^ h) with
+              | Some v -> v
+              | None -> fail "bad footer crc %S" h
+            in
+            (* [prev] is the running CRC just before the footer line *)
+            if got <> !prev then failwith "checkpoint crc mismatch"
+        | _ -> failwith "bad footer");
+        (match next () with
+        | Some _ -> failwith "trailing data after footer"
+        | None -> ());
+        Ok
+          {
+            inst;
+            assign;
+            label;
+            shards;
+            ext_of;
+            next_ext;
+            tick_no;
+            events_total;
+            wal_seqno;
+            cut_mass;
+            objective_v;
+            bound_v;
+            upper_v;
+            rng_blob;
+          }
+      with Failure msg -> Error msg)
+
+let load_latest dir =
+  let files = List.rev (list_files dir) in
+  let rec go skipped = function
+    | [] ->
+        Error
+          (match skipped with
+          | [] -> "no checkpoints found"
+          | (_, e) :: _ ->
+              Printf.sprintf "no loadable checkpoint (newest: %s)" e)
+    | (path, _, _) :: tl -> (
+        match load path with
+        | Ok s -> Ok (path, s, List.rev skipped)
+        | Error e -> go ((path, e) :: skipped) tl)
+  in
+  go [] files

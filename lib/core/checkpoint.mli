@@ -1,0 +1,81 @@
+(** Checkpointed {!Serve} solve state.
+
+    A checkpoint is a single self-describing text file holding
+    everything a serving engine needs to resume: the arena-backed
+    instance (embedded via the streaming {!Serialize} writer), the
+    incumbent assignment rows, partition labels, per-shard solve state
+    (objective / certified upper bound / warm-basis entries), the
+    external-id map, the bracket terms, the RNG cursor, and the seqno
+    of the last WAL record the state reflects.
+
+    Floats that must survive bit-exactly (objectives, bounds, cut
+    mass) travel as hex float literals ([%h]); the instance arenas go
+    through [Serialize]'s [%.17g], which also round-trips exactly.
+    The file starts with a magic header and ends with a CRC-32 footer
+    over every preceding byte, and {!write} goes through a temp file +
+    [fsync] + atomic rename, so a crash mid-checkpoint can never
+    replace a good checkpoint with a torn one.
+
+    Fault sites (both indexed by the WAL seqno): ["checkpoint_write"]
+    crashes mid-write leaving a partial temp file, and
+    ["checkpoint_rename"] crashes after the temp file is complete but
+    before it is renamed into place. *)
+
+type shard_snap = {
+  s_obj : float;
+  s_upper : float;
+  s_degraded : bool;
+  s_freshened : bool;
+  s_warm_n : int;
+  s_warm_pairs : int;
+  s_warm : int array option;
+      (** warm-basis variable statuses ([Revised_simplex.vbasis_entries]) *)
+}
+
+type snapshot = {
+  inst : Instance.t;
+  assign : int array array;
+  label : int array;
+  shards : shard_snap array;
+  ext_of : int array;
+  next_ext : int;
+  tick_no : int;
+  events_total : int;
+      (** events accepted by [Serve.submit] since engine creation —
+          lets a trace-driven resume skip the consumed prefix *)
+  wal_seqno : int64;  (** last WAL seqno reflected in this state *)
+  cut_mass : float;
+  objective_v : float;
+  bound_v : float;
+  upper_v : float;
+  rng_blob : string;  (** marshalled RNG state, opaque bytes *)
+}
+
+val ensure_dir : string -> unit
+(** [mkdir -p] for the durability directory. *)
+
+val write : dir:string -> retain:int -> snapshot -> string
+(** Write a checkpoint into [dir] (created if missing) and return its
+    path. After the atomic rename, checkpoints beyond the newest
+    [retain] and any stray temp files are removed. Raises on I/O
+    failure or at an armed fault site — the caller decides whether a
+    failed checkpoint is fatal (it is not for a live server, which
+    still has its previous checkpoint plus the WAL). *)
+
+val list_files : string -> (string * int * int64) list
+(** Checkpoint files in [dir] as [(path, tick, seqno)], oldest
+    first. Ignores foreign and temp files; [] for a missing dir. *)
+
+val load : string -> (snapshot, string) result
+(** Parse and fully validate one checkpoint file: magic, footer CRC,
+    [Instance.validate] on the embedded instance, shape and range
+    checks on every section (assignment rows within [0,m), labels
+    within the shard table, finite bracket terms). No partially
+    validated snapshot ever escapes. *)
+
+val load_latest :
+  string -> (string * snapshot * (string * string) list, string) result
+(** Load the newest valid checkpoint in [dir], falling back to older
+    ones when validation fails. Returns [(path, snapshot, skipped)]
+    where [skipped] lists newer-but-corrupt files with their decode
+    errors; [Error] when the directory holds no loadable checkpoint. *)

@@ -51,28 +51,47 @@ let save_instance path inst =
 let tokens_of_line line =
   String.split_on_char ' ' line |> List.filter (( <> ) "")
 
-(* Non-empty-line sources: the parser below is written once against
-   [unit -> string option] and shared by the in-memory and the
-   streaming entry points. *)
+(* Non-empty-line sources: the parser below is written once against a
+   [source] and shared by the in-memory and the streaming entry
+   points.  [pos] reports the byte offset of the start of the line
+   most recently returned by [next], so every decode failure can name
+   where in the file it happened. *)
+type source = { next : unit -> string option; pos : unit -> int }
+
 let source_of_lines lines =
   let rem = ref lines in
+  let off = ref 0 and cur = ref 0 in
   let rec next () =
     match !rem with
-    | [] -> None
+    | [] ->
+        cur := !off;
+        None
     | l :: tl ->
         rem := tl;
+        cur := !off;
+        off := !off + String.length l + 1;
         if l = "" then next () else Some l
   in
-  next
+  { next; pos = (fun () -> !cur) }
 
 let source_of_channel ic =
+  let cur = ref 0 in
   let rec next () =
+    cur := pos_in ic;
     match input_line ic with
     | "" -> next ()
     | line -> Some line
     | exception End_of_file -> None
   in
-  next
+  { next; pos = (fun () -> !cur) }
+
+let int_tok t =
+  try int_of_string t
+  with Failure _ -> failwith (Printf.sprintf "bad integer %S" t)
+
+let float_tok t =
+  try float_of_string t
+  with Failure _ -> failwith (Printf.sprintf "bad float %S" t)
 
 (* Parse [count] floats of a line's token list into [dst] starting at
    [off]; returns how many tokens the line actually carried (extras are
@@ -81,13 +100,18 @@ let fill_floats dst off count toks =
   let seen = ref 0 in
   List.iter
     (fun tok ->
-      let x = float_of_string tok in
+      let x = float_tok tok in
       if !seen < count then FA.set dst (off + !seen) x;
       incr seen)
     toks;
   !seen
 
-let parse_instance next =
+let parse_instance src =
+  let err msg =
+    let p = src.pos () in
+    if p < 0 then Error msg else Error (Printf.sprintf "byte %d: %s" p msg)
+  in
+  let next = src.next in
   match next () with
   | Some header when String.trim header = "svgic-instance 1" -> (
       match next () with
@@ -95,13 +119,13 @@ let parse_instance next =
           match tokens_of_line dims with
           | [ "n"; n; "m"; m; "k"; k; "lambda"; lambda ] -> (
               try
-                let n = int_of_string n
-                and m = int_of_string m
-                and k = int_of_string k
-                and lambda = float_of_string lambda in
-                if n < 0 then Error "missing preference rows"
+                let n = int_tok n
+                and m = int_tok m
+                and k = int_tok k
+                and lambda = float_tok lambda in
+                if n < 0 then err "missing preference rows"
                 else if m < 1 || k < 1 || k > m then
-                  Error "Instance.create: need 1 <= k <= m"
+                  err "Instance.create: need 1 <= k <= m"
                 else begin
                   (* Preference matrix straight into its arena. *)
                   let pref = FA.create (n * m) in
@@ -117,14 +141,14 @@ let parse_instance next =
                           invalid_arg "Instance.create: pref row length";
                         incr row
                   done;
-                  if !short then Error "missing preference rows"
+                  if !short then err "missing preference rows"
                   else
                     match next () with
-                    | None -> Error "missing edges section"
+                    | None -> err "missing edges section"
                     | Some count_line -> (
                         match tokens_of_line count_line with
                         | [ "edges"; count ] ->
-                            let count = max 0 (int_of_string count) in
+                            let count = max 0 (int_tok count) in
                             let eu = Array.make (max 1 count) 0
                             and ev = Array.make (max 1 count) 0 in
                             let tau = FA.create (count * m) in
@@ -140,8 +164,8 @@ let parse_instance next =
                               | Some line -> (
                                   match tokens_of_line line with
                                   | u :: v :: taus ->
-                                      let u = int_of_string u
-                                      and v = int_of_string v in
+                                      let u = int_tok u
+                                      and v = int_tok v in
                                       (* Pre-checks with actionable
                                          messages: a dangling endpoint
                                          or short τ row would otherwise
@@ -174,7 +198,7 @@ let parse_instance next =
                                       incr i
                                   | _ -> failwith "bad edge line")
                             done;
-                            if !short then Error "missing edge rows"
+                            if !short then err "missing edge rows"
                             else begin
                               let graph =
                                 Graph.of_edge_arrays ~n (Array.sub eu 0 count)
@@ -215,17 +239,21 @@ let parse_instance next =
                                   Error (Instance.violation_to_string v)
                               | Error [] -> assert false
                             end
-                        | _ -> Error "bad edges header")
+                        | _ -> err "bad edges header")
                 end
               with
-              | Failure msg -> Error msg
-              | Invalid_argument msg -> Error msg)
-          | _ -> Error "bad dimensions line")
-      | None -> Error "bad dimensions line")
+              | Failure msg -> err msg
+              | Invalid_argument msg -> err msg)
+          | _ -> err "bad dimensions line")
+      | None -> err "bad dimensions line")
   | _ -> Error "not a svgic-instance file"
 
 let instance_of_string text =
   parse_instance (source_of_lines (String.split_on_char '\n' text))
+
+let instance_of_source ?pos next =
+  parse_instance
+    { next; pos = (match pos with Some p -> p | None -> fun () -> -1) }
 
 let load_instance path =
   let ic = open_in path in

@@ -33,6 +33,21 @@ type shard_state = {
   mutable freshened : bool;  (** membership changed since last solve *)
 }
 
+(* Durability attachment: the WAL writer plus checkpoint policy. *)
+type durability = {
+  dir : string;
+  fsync : Wal.fsync_policy;
+  checkpoint_every : int;  (** ticks between checkpoints *)
+  retain : int;  (** checkpoints kept on disk *)
+}
+
+type dur_state = {
+  wal : Wal.writer;
+  d_opts : durability;
+  mutable last_ckpt_tick : int;
+  mutable ckpt_failures : int;
+}
+
 type t = {
   mutable inst : Instance.t;  (** root; mutated in place by value deltas *)
   mutable assign : int array array;  (** incumbent rows, internal ids *)
@@ -61,9 +76,11 @@ type t = {
   domains : int option;
   repair_passes : int;
   mutable tick_no : int;
+  mutable events_total : int;  (** accepted submits since creation *)
   mutable objective_v : float;
   mutable bound_v : float;
   mutable upper_v : float;
+  mutable dur : dur_state option;
 }
 
 type tick_stats = {
@@ -198,8 +215,78 @@ let serial_backend inst =
 
 (* ---- event intake ------------------------------------------------ *)
 
+(* WAL form of an event.  Joins are materialized: the profile's
+   [tau_out]/[tau_in] closures are evaluated here, once per declared
+   friend over all m items, because closures cannot be persisted and
+   replay must not depend on them. *)
+let wal_event_of t ev =
+  let m = Instance.m t.inst in
+  match ev with
+  | Join p ->
+      let jfriends =
+        Array.map
+          (fun f ->
+            ( f,
+              Array.init m (fun c -> p.Dynamic.tau_out f c),
+              Array.init m (fun c -> p.Dynamic.tau_in f c) ))
+          p.Dynamic.friends
+      in
+      Wal.Join { Wal.jpref = Array.copy p.Dynamic.pref; jfriends }
+  | Leave ext -> Wal.Leave ext
+  | Pref_delta { user; item; value } -> Wal.Pref { user; item; value }
+  | Tau_delta { u; v; item; value } -> Wal.Tau { u; v; item; value }
+
+(* Inverse of [wal_event_of]: rebuild a [Dynamic.user_profile] whose
+   closures read the materialized rows (0.0 for an id that was never
+   declared, matching the trace-replay semantics of [parse_line]). *)
+let event_of_wal we =
+  match we with
+  | Wal.Join { Wal.jpref; jfriends } ->
+      let row sel fext =
+        let rec go i =
+          if i >= Array.length jfriends then None
+          else
+            let e, o, i' = jfriends.(i) in
+            if e = fext then Some (sel o i') else go (i + 1)
+        in
+        go 0
+      in
+      Join
+        {
+          Dynamic.pref = jpref;
+          friends = Array.map (fun (e, _, _) -> e) jfriends;
+          tau_out =
+            (fun fext c ->
+              match row (fun o _ -> o) fext with
+              | Some r when c >= 0 && c < Array.length r -> r.(c)
+              | _ -> 0.0);
+          tau_in =
+            (fun fext c ->
+              match row (fun _ i -> i) fext with
+              | Some r when c >= 0 && c < Array.length r -> r.(c)
+              | _ -> 0.0);
+        }
+  | Wal.Leave ext -> Leave ext
+  | Wal.Pref { user; item; value } -> Pref_delta { user; item; value }
+  | Wal.Tau { u; v; item; value } -> Tau_delta { u; v; item; value }
+
 let submit t ev =
+  (* Log first, apply second: an event the WAL did not accept is never
+     in memory either, so replay can only under-apply (the trace-resume
+     path re-submits anything lost), never diverge.  When a WAL is
+     attached, a Join is re-wrapped in its materialized form so the
+     live run and a recovered replay read identical tau values even
+     from an impure profile callback. *)
+  let ev =
+    match t.dur with
+    | None -> ev
+    | Some d ->
+        let we = wal_event_of t ev in
+        ignore (Wal.append d.wal (Wal.Event we) : int64);
+        (match ev with Join _ -> event_of_wal we | _ -> ev)
+  in
   t.seen <- t.seen + 1;
+  t.events_total <- t.events_total + 1;
   match ev with
   | Join p ->
       let ext = t.next_ext in
@@ -737,8 +824,66 @@ let finish_tick t ~t0 ~token ~seen ~applied ~dropped ~structural ~repair_extra
     upper = (if t.certify then Some t.upper_v else None);
   }
 
+(* ---- checkpointing ----------------------------------------------- *)
+
+let snapshot_of t ~wal_seqno =
+  {
+    Checkpoint.inst = t.inst;
+    assign = t.assign;
+    label = t.label;
+    shards =
+      Array.map
+        (fun sh ->
+          {
+            Checkpoint.s_obj = sh.obj;
+            s_upper = sh.upper_b;
+            s_degraded = sh.degraded;
+            s_freshened = sh.freshened;
+            s_warm_n = sh.warm_n;
+            s_warm_pairs = sh.warm_pairs;
+            s_warm =
+              Option.map Svgic_lp.Revised_simplex.vbasis_entries sh.warm;
+          })
+        t.shards;
+    ext_of = t.ext_of;
+    next_ext = t.next_ext;
+    tick_no = t.tick_no;
+    events_total = t.events_total;
+    wal_seqno;
+    cut_mass = t.cut_mass;
+    objective_v = t.objective_v;
+    bound_v = t.bound_v;
+    upper_v = t.upper_v;
+    rng_blob = Marshal.to_string t.rng [];
+  }
+
+(* Periodic checkpoint at the end of a tick.  A failed checkpoint is
+   counted but never kills serving: the engine still has its previous
+   checkpoint plus the WAL, which is exactly the recovery story. *)
+let write_checkpoint_now t d =
+  try
+    let snap = snapshot_of t ~wal_seqno:(Wal.last_seqno d.wal) in
+    let (_ : string) =
+      Checkpoint.write ~dir:d.d_opts.dir ~retain:d.d_opts.retain snap
+    in
+    d.last_ckpt_tick <- t.tick_no
+  with _ -> d.ckpt_failures <- d.ckpt_failures + 1
+
+let maybe_checkpoint t =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      if t.tick_no - d.last_ckpt_tick >= max 1 d.d_opts.checkpoint_every then
+        write_checkpoint_now t d
+
 let tick t =
   let t0 = Mclock.now_s () in
+  (* The tick boundary is logged (and, under [Every_tick], synced)
+     before any state moves: a recovered replay sees the same
+     event-window boundaries the live run committed to. *)
+  (match t.dur with
+  | None -> ()
+  | Some d -> ignore (Wal.append d.wal (Wal.Tick (t.tick_no + 1)) : int64));
   let token = Supervise.create ?deadline_s:t.deadline_s () in
   t.tick_no <- t.tick_no + 1;
   let seen = t.seen in
@@ -786,8 +931,12 @@ let tick t =
       | _ -> incr dropped)
     t.tau_coal;
   Hashtbl.clear t.tau_coal;
-  finish_tick t ~t0 ~token ~seen ~applied ~dropped ~structural
-    ~repair_extra:!repair_extra
+  let stats =
+    finish_tick t ~t0 ~token ~seen ~applied ~dropped ~structural
+      ~repair_extra:!repair_extra
+  in
+  maybe_checkpoint t;
+  stats
 
 (* ---- construction ------------------------------------------------ *)
 
@@ -843,9 +992,11 @@ let create ?(labelling = Shard.Components)
       domains;
       repair_passes;
       tick_no = 0;
+      events_total = 0;
       objective_v = 0.0;
       bound_v = 0.0;
       upper_v = infinity;
+      dur = None;
     }
   in
   for u = 0 to n - 1 do
@@ -862,6 +1013,437 @@ let create ?(labelling = Shard.Components)
   in
   t
 
+(* ---- durability -------------------------------------------------- *)
+
+let wal_file dir = Filename.concat dir "wal.svgic"
+
+let enable_durability t (opts : durability) =
+  if t.dur <> None then
+    invalid_arg "Serve.enable_durability: already enabled";
+  if
+    t.seen > 0 || t.structural <> []
+    || Hashtbl.length t.pref_coal > 0
+    || Hashtbl.length t.tau_coal > 0
+  then
+    invalid_arg
+      "Serve.enable_durability: pending events (tick before enabling)";
+  Checkpoint.ensure_dir opts.dir;
+  let path = wal_file opts.dir in
+  let wal =
+    if Sys.file_exists path then begin
+      match Wal.open_append ~path ~policy:opts.fsync () with
+      | Error e -> invalid_arg ("Serve.enable_durability: wal: " ^ e)
+      | Ok (w, _) ->
+          if Wal.items w <> Instance.m t.inst then
+            invalid_arg "Serve.enable_durability: wal item count mismatch";
+          w
+    end
+    else begin
+      (match Checkpoint.list_files opts.dir with
+      | [] -> ()
+      | _ :: _ ->
+          invalid_arg
+            "Serve.enable_durability: directory has checkpoints but no wal \
+             (use Serve.recover)");
+      Wal.create ~path ~m:(Instance.m t.inst) ~policy:opts.fsync
+    end
+  in
+  let d = { wal; d_opts = opts; last_ckpt_tick = t.tick_no; ckpt_failures = 0 } in
+  t.dur <- Some d;
+  (* The initial checkpoint anchors recovery before any event arrives;
+     unlike the periodic ones, a failure here is fatal — an empty
+     durability directory could not be recovered from at all. *)
+  let (_ : string) =
+    try
+      Checkpoint.write ~dir:opts.dir ~retain:opts.retain
+        (snapshot_of t ~wal_seqno:(Wal.last_seqno wal))
+    with e ->
+      t.dur <- None;
+      Wal.close wal;
+      raise e
+  in
+  d.last_ckpt_tick <- t.tick_no
+
+let disable_durability t =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      Wal.close d.wal;
+      t.dur <- None
+
+let durability_dir t = Option.map (fun d -> d.d_opts.dir) t.dur
+let checkpoint_failures t =
+  match t.dur with None -> 0 | Some d -> d.ckpt_failures
+let wal_bytes t =
+  match t.dur with None -> 0 | Some d -> Wal.bytes_written d.wal
+
+let checkpoint t =
+  match t.dur with
+  | None -> invalid_arg "Serve.checkpoint: durability not enabled"
+  | Some d ->
+      Checkpoint.write ~dir:d.d_opts.dir ~retain:d.d_opts.retain
+        (snapshot_of t ~wal_seqno:(Wal.last_seqno d.wal))
+
+(* Rebuild a live engine from a validated snapshot.  Mirror image of
+   [snapshot_of]: everything bit-carried (objectives, bounds, cut
+   mass, RNG cursor) is restored verbatim; only the structural cut
+   tables and the ext->internal map are derived. *)
+let restore ?(rounding = Shard.Avg_d { r = None }) ?deadline_s
+    ?(certify = false) ?domains ?(repair_passes = 2)
+    (snap : Checkpoint.snapshot) =
+  let inst = snap.Checkpoint.inst in
+  let n = Instance.n inst in
+  let nshards = Array.length snap.Checkpoint.shards in
+  (* members from labels, increasing internal-id order — the same
+     invariant [apply_structural] maintains *)
+  let cnt = Array.make (max 1 nshards) 0 in
+  Array.iter (fun l -> cnt.(l) <- cnt.(l) + 1) snap.Checkpoint.label;
+  let fill = Array.init nshards (fun s -> Array.make cnt.(s) 0) in
+  let pos = Array.make (max 1 nshards) 0 in
+  Array.iteri
+    (fun u l ->
+      fill.(l).(pos.(l)) <- u;
+      pos.(l) <- pos.(l) + 1)
+    snap.Checkpoint.label;
+  let shards =
+    Array.mapi
+      (fun s (ss : Checkpoint.shard_snap) ->
+        {
+          members = fill.(s);
+          warm =
+            Option.map Svgic_lp.Revised_simplex.vbasis_of_entries
+              ss.Checkpoint.s_warm;
+          warm_n = ss.Checkpoint.s_warm_n;
+          warm_pairs = ss.Checkpoint.s_warm_pairs;
+          obj = ss.Checkpoint.s_obj;
+          upper_b = ss.Checkpoint.s_upper;
+          degraded = ss.Checkpoint.s_degraded;
+          freshened = ss.Checkpoint.s_freshened;
+        })
+      snap.Checkpoint.shards
+  in
+  let rng : Rng.t =
+    try Marshal.from_string snap.Checkpoint.rng_blob 0
+    with Failure _ -> invalid_arg "Serve.restore: corrupt rng blob"
+  in
+  let t =
+    {
+      inst;
+      assign = snap.Checkpoint.assign;
+      label = snap.Checkpoint.label;
+      shards;
+      ext_of = snap.Checkpoint.ext_of;
+      ext_slot = Hashtbl.create ~random:false ((2 * n) + 16);
+      next_ext = snap.Checkpoint.next_ext;
+      pref_coal = Hashtbl.create ~random:false 4096;
+      tau_coal = Hashtbl.create ~random:false 4096;
+      structural = [];
+      seen = 0;
+      cut_u = [||];
+      cut_v = [||];
+      cut_euv = [||];
+      cut_evu = [||];
+      cut_mass = 0.0;
+      scratch = Array.make (max 1 nshards) false;
+      rng;
+      rounding;
+      deadline_s;
+      certify;
+      domains;
+      repair_passes;
+      tick_no = snap.Checkpoint.tick_no;
+      events_total = snap.Checkpoint.events_total;
+      objective_v = snap.Checkpoint.objective_v;
+      bound_v = snap.Checkpoint.bound_v;
+      upper_v = snap.Checkpoint.upper_v;
+      dur = None;
+    }
+  in
+  Array.iteri (fun i ext -> Hashtbl.replace t.ext_slot ext i) t.ext_of;
+  rebuild_cut t;
+  (* the incremental cut mass is bit-carried; [rebuild_cut] only
+     recomputed the structural pair/edge tables *)
+  t.cut_mass <- snap.Checkpoint.cut_mass;
+  t
+
+(* ---- audit ------------------------------------------------------- *)
+
+type audit_report = {
+  audit_ok : bool;
+  bad_shards : int list;  (** stored within-shard obj <> recomputed *)
+  cut_drift : float;  (** |stored cut mass − recomputed| *)
+  objective_drift : float;  (** |stored objective − recomputed| *)
+  bracket_ok : bool;  (** bound ≤ obj (≤ upper, when certified) *)
+  structure_ok : bool;  (** labels/members/ext map shape checks *)
+  repaired : int list;  (** shards demoted to a fresh re-solve *)
+}
+
+(* Recompute the cut mass without touching the incremental tables. *)
+let cut_mass_recompute t =
+  let inst = t.inst in
+  let g = Instance.graph inst in
+  let m = Instance.m inst in
+  let mass = ref 0.0 in
+  Instance.iter_pairs inst (fun _ u v ->
+      if t.label.(u) <> t.label.(v) then begin
+        let e1 = Graph.edge_index g u v and e2 = Graph.edge_index g v u in
+        for c = 0 to m - 1 do
+          if e1 >= 0 then mass := !mass +. Instance.tau_edge inst e1 c;
+          if e2 >= 0 then mass := !mass +. Instance.tau_edge inst e2 c
+        done
+      end);
+  Instance.lambda inst *. !mass
+
+let audit ?(repair = false) ?(tol = 1e-6) t =
+  let n = Instance.n t.inst in
+  let nshards = Array.length t.shards in
+  (* structure: shapes, ranges, the members-vs-label partition and the
+     external-id bijection *)
+  let structure_ok =
+    Array.length t.assign = n
+    && Array.length t.label = n
+    && Array.length t.ext_of = n
+    && Array.for_all (fun l -> l >= 0 && l < nshards) t.label
+    && begin
+         let cnt = Array.make (max 1 nshards) 0 in
+         Array.iter (fun l -> cnt.(l) <- cnt.(l) + 1) t.label;
+         Array.for_all Fun.id
+           (Array.mapi
+              (fun s sh ->
+                Array.length sh.members = cnt.(s)
+                && Array.for_all
+                     (fun u -> u >= 0 && u < n && t.label.(u) = s)
+                     sh.members)
+              t.shards)
+       end
+    && Array.for_all
+         (fun ext ->
+           match Hashtbl.find_opt t.ext_slot ext with
+           | Some i -> i >= 0 && i < n && t.ext_of.(i) = ext
+           | None -> false)
+         t.ext_of
+  in
+  let close a b = Float.abs (a -. b) <= tol *. (1.0 +. Float.abs a) in
+  let bad_shards = ref [] in
+  Array.iteri
+    (fun s sh ->
+      if Array.length sh.members > 0 || sh.obj <> 0.0 then
+        if not (close sh.obj (shard_obj_of t sh.members)) then
+          bad_shards := s :: !bad_shards)
+    t.shards;
+  let bad_shards0 = List.rev !bad_shards in
+  let cut_drift = Float.abs (t.cut_mass -. cut_mass_recompute t) in
+  let obj_re =
+    Config.total_utility t.inst (Config.make_unchecked t.assign)
+  in
+  let objective_drift = Float.abs (t.objective_v -. obj_re) in
+  let scale = 1.0 +. Float.abs obj_re in
+  let bracket_ok =
+    t.bound_v <= obj_re +. (tol *. scale)
+    && ((not t.certify) || obj_re <= t.upper_v +. (tol *. scale))
+  in
+  let failing =
+    bad_shards0 <> []
+    || cut_drift > tol *. (1.0 +. t.cut_mass)
+    || objective_drift > tol *. scale
+    || not bracket_ok
+  in
+  if (not repair) || not failing then
+    {
+      audit_ok = structure_ok && not failing;
+      bad_shards = bad_shards0;
+      cut_drift;
+      objective_drift;
+      bracket_ok;
+      structure_ok;
+      repaired = [];
+    }
+  else begin
+    (* Repair: rebuild the cut tables from the arenas, demote every
+       failing shard to a fresh cold re-solve, and let the standard
+       tick tail re-establish the bracket. *)
+    rebuild_cut t;
+    ensure_scratch t;
+    let demoted =
+      if bad_shards0 <> [] then bad_shards0
+      else List.init nshards Fun.id
+           |> List.filter (fun s -> Array.length t.shards.(s).members > 0)
+    in
+    List.iter
+      (fun s ->
+        let sh = t.shards.(s) in
+        sh.warm <- None;
+        sh.warm_n <- -1;
+        sh.warm_pairs <- -1;
+        sh.freshened <- true;
+        t.scratch.(s) <- true)
+      demoted;
+    let token = Supervise.create ?deadline_s:t.deadline_s () in
+    let (_ : tick_stats) =
+      finish_tick t ~t0:(Mclock.now_s ()) ~token ~seen:0 ~applied:(ref 0)
+        ~dropped:(ref 0) ~structural:false ~repair_extra:[]
+    in
+    let bad' = ref [] in
+    Array.iteri
+      (fun s sh ->
+        if Array.length sh.members > 0 || sh.obj <> 0.0 then
+          if not (close sh.obj (shard_obj_of t sh.members)) then
+            bad' := s :: !bad')
+      t.shards;
+    let cut_drift' = Float.abs (t.cut_mass -. cut_mass_recompute t) in
+    let obj_re' =
+      Config.total_utility t.inst (Config.make_unchecked t.assign)
+    in
+    let drift' = Float.abs (t.objective_v -. obj_re') in
+    let scale' = 1.0 +. Float.abs obj_re' in
+    let bracket_ok' =
+      t.bound_v <= obj_re' +. (tol *. scale')
+      && ((not t.certify) || obj_re' <= t.upper_v +. (tol *. scale'))
+    in
+    {
+      audit_ok =
+        structure_ok && !bad' = []
+        && cut_drift' <= tol *. (1.0 +. t.cut_mass)
+        && drift' <= tol *. scale' && bracket_ok';
+      bad_shards = bad_shards0;
+      cut_drift = cut_drift';
+      objective_drift = drift';
+      bracket_ok = bracket_ok';
+      structure_ok;
+      repaired = demoted;
+    }
+  end
+
+(* ---- recovery ---------------------------------------------------- *)
+
+type recovery = {
+  checkpoint_path : string;
+  checkpoint_seqno : int64;
+  checkpoints_skipped : (string * string) list;
+  replayed_events : int;
+  replayed_ticks : int;
+  wal_records : int;
+  torn_bytes : int;  (** bytes truncated off the WAL tail *)
+}
+
+let recover ?rounding ?deadline_s ?certify ?domains ?repair_passes
+    ?(fsync = Wal.Every_tick) ?(checkpoint_every = 1) ?(retain = 2) ~dir ()
+    =
+  match Checkpoint.load_latest dir with
+  | Error e -> Error e
+  | Ok (ckpt_path, snap, skipped) -> (
+      let t =
+        restore ?rounding ?deadline_s ?certify ?domains ?repair_passes snap
+      in
+      let path = wal_file dir in
+      let replayed_events = ref 0 and replayed_ticks = ref 0 in
+      let replay seq r =
+        if Int64.compare seq snap.Checkpoint.wal_seqno > 0 then
+          match r with
+          | Wal.Event we ->
+              incr replayed_events;
+              ignore (submit t (event_of_wal we) : int option)
+          | Wal.Tick _ ->
+              incr replayed_ticks;
+              ignore (tick t : tick_stats)
+      in
+      let scan =
+        if Sys.file_exists path then Wal.scan ~f:replay path
+        else
+          Ok
+            {
+              Wal.records = 0; events = 0; ticks = 0;
+              scan_m = Instance.m t.inst; first_seqno = 0L; last_seqno = 0L;
+              valid_end = 0; file_size = 0; torn = None;
+            }
+      in
+      match scan with
+      | Error e -> Error ("wal: " ^ e)
+      | Ok sc ->
+          if sc.Wal.scan_m <> Instance.m t.inst then
+            Error "wal: item count mismatch with checkpoint"
+          else begin
+            let torn_bytes = sc.Wal.file_size - sc.Wal.valid_end in
+            (* WAL lost entirely: seed a fresh header so [open_append]
+               can continue seqnos past the checkpoint. *)
+            if not (Sys.file_exists path) then
+              Wal.close (Wal.create ~path ~m:(Instance.m t.inst) ~policy:fsync);
+            match
+              Wal.open_append ~path ~policy:fsync
+                ~min_seqno:snap.Checkpoint.wal_seqno ()
+            with
+            | Error e -> Error ("wal reopen: " ^ e)
+            | Ok (wal, _) ->
+                let opts = { dir; fsync; checkpoint_every; retain } in
+                let d =
+                  { wal; d_opts = opts; last_ckpt_tick = t.tick_no;
+                    ckpt_failures = 0 }
+                in
+                t.dur <- Some d;
+                (* A fresh checkpoint of the recovered state bounds the
+                   next recovery's replay work. *)
+                write_checkpoint_now t d;
+                Ok
+                  ( t,
+                    {
+                      checkpoint_path = ckpt_path;
+                      checkpoint_seqno = snap.Checkpoint.wal_seqno;
+                      checkpoints_skipped = skipped;
+                      replayed_events = !replayed_events;
+                      replayed_ticks = !replayed_ticks;
+                      wal_records = sc.Wal.records;
+                      torn_bytes;
+                    } )
+          end)
+
+(* ---- fingerprint ------------------------------------------------- *)
+
+(* CRC-32 over every bit of observable solve state: dimensions, the
+   incumbent rows, labels, external ids, counters, the bracket terms
+   and both arenas.  Two engines with equal fingerprints serve
+   identical configurations and will evolve identically under the
+   same future event stream (modulo RNG state, which the checkpoint
+   carries separately). *)
+let fingerprint t =
+  let module Crc32 = Svgic_util.Crc32 in
+  let buf = Bytes.create 8 in
+  let crc = ref 0 in
+  let add_i v =
+    Bytes.set_int64_le buf 0 (Int64.of_int v);
+    crc := Crc32.update_bytes !crc buf ~pos:0 ~len:8
+  in
+  let add_f v =
+    Bytes.set_int64_le buf 0 (Int64.bits_of_float v);
+    crc := Crc32.update_bytes !crc buf ~pos:0 ~len:8
+  in
+  let inst = t.inst in
+  let n = Instance.n inst and m = Instance.m inst in
+  add_i n;
+  add_i m;
+  add_i (Instance.k inst);
+  add_i t.next_ext;
+  add_i t.tick_no;
+  add_i t.events_total;
+  Array.iter (fun row -> Array.iter add_i row) t.assign;
+  Array.iter add_i t.label;
+  Array.iter add_i t.ext_of;
+  add_f t.objective_v;
+  add_f t.bound_v;
+  add_f t.upper_v;
+  add_f t.cut_mass;
+  for u = 0 to n - 1 do
+    for c = 0 to m - 1 do
+      add_f (Instance.pref inst u c)
+    done
+  done;
+  Instance.iter_edges inst (fun e u v ->
+      add_i u;
+      add_i v;
+      for c = 0 to m - 1 do
+        add_f (Instance.tau_edge inst e c)
+      done);
+  !crc
+
 (* ---- accessors --------------------------------------------------- *)
 
 let instance t = t.inst
@@ -871,6 +1453,8 @@ let bound t = t.bound_v
 let upper t = if t.certify then Some t.upper_v else None
 let num_users t = Instance.n t.inst
 let num_shards t = Array.length t.shards
+let tick_count t = t.tick_no
+let events_total t = t.events_total
 let user_ids t = Array.copy t.ext_of
 let internal_of t ext = Hashtbl.find_opt t.ext_slot ext
 

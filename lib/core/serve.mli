@@ -141,6 +141,138 @@ val num_shards : t -> int
 (** Shard slots, including emptied husks kept so shard ids stay
     stable across leaves. *)
 
+val tick_count : t -> int
+(** Ticks completed so far (the initial solve is tick 0). *)
+
+val events_total : t -> int
+(** Events accepted by {!submit} since engine creation — together
+    with {!tick_count} this names the exact prefix of a trace the
+    engine has consumed, which is how a trace-driven resume after
+    {!recover} skips already-applied lines. *)
+
+(** {2 Durability}
+
+    With durability enabled the engine write-ahead-logs every
+    {!submit} and every {!tick} boundary ({!Wal}) and periodically
+    checkpoints its full solve state ({!Checkpoint}); {!recover}
+    rebuilds a crashed engine from the newest valid checkpoint plus
+    the WAL suffix, and {!audit} proves the recovered bracket before
+    the engine takes traffic. See DESIGN.md §5 "Durability &
+    recovery". *)
+
+type durability = {
+  dir : string;  (** holds [wal.svgic] plus [ckpt-*.svgic] files *)
+  fsync : Wal.fsync_policy;
+  checkpoint_every : int;  (** ticks between checkpoints (min 1) *)
+  retain : int;  (** checkpoints kept on disk (min 1) *)
+}
+
+val enable_durability : t -> durability -> unit
+(** Attach a WAL + checkpoint policy to a live engine and write the
+    initial checkpoint. The directory must be fresh, or hold a WAL
+    from a previous life of this engine (its torn tail is truncated
+    and seqnos continue). Raises [Invalid_argument] when durability
+    is already enabled, when events are pending (tick first — the WAL
+    must never miss an accepted event), or when the directory holds
+    checkpoints but no WAL (use {!recover} instead). *)
+
+val disable_durability : t -> unit
+(** Close the WAL and stop checkpointing; a no-op when disabled. *)
+
+val durability_dir : t -> string option
+val checkpoint_failures : t -> int
+(** Periodic checkpoints that failed to write (counted, not fatal —
+    the engine still has its previous checkpoint plus the WAL). *)
+
+val wal_bytes : t -> int
+(** Bytes appended to the WAL through this engine's writer. *)
+
+val checkpoint : t -> string
+(** Force a checkpoint now; returns its path. Raises on I/O failure
+    or when durability is disabled. *)
+
+val restore :
+  ?rounding:Shard.rounding ->
+  ?deadline_s:float ->
+  ?certify:bool ->
+  ?domains:int ->
+  ?repair_passes:int ->
+  Checkpoint.snapshot ->
+  t
+(** Rebuild an engine from a validated snapshot, durability detached.
+    Bit-carried state (objectives, bounds, cut mass, RNG cursor,
+    warm bases) is restored verbatim; the cut tables and the
+    ext→internal map are re-derived. The solver knobs are not part of
+    the snapshot and must be re-supplied (defaults as {!create}). *)
+
+type recovery = {
+  checkpoint_path : string;  (** the checkpoint recovery loaded *)
+  checkpoint_seqno : int64;  (** WAL seqno that checkpoint reflected *)
+  checkpoints_skipped : (string * string) list;
+      (** newer-but-corrupt checkpoints recovery fell past, with the
+          validation error of each *)
+  replayed_events : int;  (** WAL events re-submitted *)
+  replayed_ticks : int;  (** WAL tick boundaries re-run *)
+  wal_records : int;  (** valid WAL records scanned in total *)
+  torn_bytes : int;  (** bytes truncated off the WAL's torn tail *)
+}
+
+val recover :
+  ?rounding:Shard.rounding ->
+  ?deadline_s:float ->
+  ?certify:bool ->
+  ?domains:int ->
+  ?repair_passes:int ->
+  ?fsync:Wal.fsync_policy ->
+  ?checkpoint_every:int ->
+  ?retain:int ->
+  dir:string ->
+  unit ->
+  (t * recovery, string) result
+(** Crash recovery: load the newest valid checkpoint in [dir]
+    (falling back to older ones on corruption), {!restore}, replay
+    the WAL suffix past the checkpoint's seqno (events re-submit,
+    tick records re-run {!tick}; trailing events after the last tick
+    record stay pending, exactly as they were live), truncate any
+    torn WAL tail, re-attach durability with the given policy and
+    write a fresh checkpoint. The result is bit-identical to the
+    state the crashed engine held at its last durable WAL position —
+    continue feeding the same stream and every subsequent tick
+    matches an uninterrupted run. Callers should {!audit} before
+    taking traffic. *)
+
+type audit_report = {
+  audit_ok : bool;
+  bad_shards : int list;
+      (** shards whose stored within-shard objective disagrees with a
+          recomputation from the arenas (pre-repair) *)
+  cut_drift : float;
+  objective_drift : float;
+  bracket_ok : bool;
+      (** [bound <= objective] (and [objective <= upper] when
+          certified) on recomputed values *)
+  structure_ok : bool;
+      (** label ranges, member partition, ext-id bijection *)
+  repaired : int list;  (** shards demoted to a fresh re-solve *)
+}
+
+val audit : ?repair:bool -> ?tol:float -> t -> audit_report
+(** Recompute the objective and cut mass from the arenas and check
+    them — plus the bracket invariant
+    [Σ shard_obj − cut_mass ≤ obj ≤ Σ upper + cut_mass] — against the
+    engine's stored values ([tol] relative, default 1e-6). With
+    [~repair:true], a failing audit rebuilds the cut tables, demotes
+    every failing shard (all non-empty shards if only global terms
+    drifted) to a cold re-solve and re-checks; [repaired] lists the
+    demoted shards. Read-only when the audit passes. *)
+
+val fingerprint : t -> int
+(** CRC-32 over every bit of observable solve state (dimensions,
+    incumbent rows, labels, external ids, counters, bracket terms,
+    both arenas). Equal fingerprints ⇒ the engines serve identical
+    configurations; the kill-matrix test compares a recovered engine
+    against an uninterrupted run with this. *)
+
 val user_ids : t -> int array
 (** External ids in internal order (entry [i] belongs to instance
     user [i]). *)

@@ -1,0 +1,34 @@
+(* CRC-32 (IEEE, reflected 0xEDB88320), table-driven, one byte per
+   step.  The running value is a masked OCaml int: the table fits in a
+   256-entry int array and the hot loop is allocation-free. *)
+
+let table : int array =
+  let t = Array.make 256 0 in
+  for i = 0 to 255 do
+    let c = ref i in
+    for _ = 0 to 7 do
+      if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+      else c := !c lsr 1
+    done;
+    t.(i) <- !c
+  done;
+  t
+
+(* [update] carries the *finalized* checksum between calls: we
+   re-invert on entry and invert again on exit, which makes the empty
+   input a no-op and lets 0 serve as the initial accumulator. *)
+
+let update_bytes crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.update_bytes";
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let update_string crc s ~pos ~len =
+  update_bytes crc (Bytes.unsafe_of_string s) ~pos ~len
+
+let of_string s = update_string 0 s ~pos:0 ~len:(String.length s)

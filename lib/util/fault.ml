@@ -2,14 +2,24 @@ type kind = Timeout | Nan | Crash
 
 exception Injected of string
 
-type config = { seed : int; rate : float; kinds : kind array }
+type config = {
+  seed : int;
+  rate : float;
+  kinds : kind array;
+  sites : string array option;
+}
 
 (* Written only by [configure]/[clear] from the coordinating domain,
    read (immutably) by workers during fan-outs. *)
 let state : config option ref = ref None
 
 let configure ~seed ~rate ~kinds =
-  state := Some { seed; rate; kinds = Array.of_list kinds }
+  state := Some { seed; rate; kinds = Array.of_list kinds; sites = None }
+
+let restrict_sites sites =
+  match !state with
+  | None -> ()
+  | Some c -> state := Some { c with sites = Some (Array.of_list sites) }
 
 let clear () = state := None
 let enabled () = !state <> None
@@ -34,9 +44,14 @@ let unit_float h = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53
 let at ~site ~index =
   match !state with
   | None -> None
-  | Some { seed; rate; kinds } ->
+  | Some { seed; rate; kinds; sites } ->
       let nk = Array.length kinds in
       if rate <= 0.0 || nk = 0 then None
+      else if
+        match sites with
+        | None -> false
+        | Some ss -> not (Array.exists (String.equal site) ss)
+      then None
       else begin
         let h = hash ~seed ~site ~index in
         if unit_float h >= rate then None
@@ -80,5 +95,14 @@ let init_from_env () =
             in
             if parsed = [] then [ Timeout; Nan; Crash ] else parsed
       in
-      configure ~seed ~rate ~kinds);
+      configure ~seed ~rate ~kinds;
+      match Sys.getenv_opt "SVGIC_FAULT_SITES" with
+      | None -> ()
+      | Some s ->
+          let sites =
+            String.split_on_char ',' s
+            |> List.filter_map (fun x ->
+                   match String.trim x with "" -> None | t -> Some t)
+          in
+          if sites <> [] then restrict_sites sites);
   enabled ()

@@ -31,6 +31,14 @@ val configure : seed:int -> rate:float -> kinds:kind list -> unit
     [rate] (deterministically, per site/index), drawing the kind
     uniformly from [kinds]. Replaces any previous configuration. *)
 
+val restrict_sites : string list -> unit
+(** Narrow the armed configuration so only the listed sites fire —
+    {!at} returns [None] at every other site. A no-op while disarmed;
+    {!configure} resets the restriction. The durability tests use this
+    to aim a [Crash] at exactly one of [wal_append] / [wal_fsync] /
+    [checkpoint_write] / [checkpoint_rename] without also tripping the
+    shard-ladder sites. *)
+
 val clear : unit -> unit
 (** Disarm; {!at} returns [None] everywhere. *)
 
@@ -38,9 +46,11 @@ val enabled : unit -> bool
 
 val init_from_env : unit -> bool
 (** Arm from the environment when [SVGIC_FAULT_SEED] is set:
-    [SVGIC_FAULT_RATE] (default [0.3]) and [SVGIC_FAULT_KINDS] (a
+    [SVGIC_FAULT_RATE] (default [0.3]), [SVGIC_FAULT_KINDS] (a
     comma-separated subset of [timeout,nan,crash]; default all
-    three) complete the configuration. Returns whether the harness
+    three), and [SVGIC_FAULT_SITES] (a comma-separated site
+    allowlist; default: all sites) complete the configuration.
+    Returns whether the harness
     is now enabled. Called by the CLI and the chaos tests — never
     implicitly at module load. *)
 

@@ -24,4 +24,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("datagen", Test_datagen.suite);
       ("serve", Test_serve.suite);
+      ("durability", Test_durability.suite);
     ]
